@@ -1,0 +1,68 @@
+//! Ablation bench: robustness classifiers.
+//!
+//! The optimizer's inner loop cross-validates a classifier per K; this
+//! bench compares the four options (CART tree, random forest, naive
+//! Bayes, k-NN) on the fit+predict cost that dominates the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ada_bench::bench_log;
+use ada_mining::bayes::GaussianNb;
+use ada_mining::forest::{ForestConfig, RandomForest};
+use ada_mining::kmeans::KMeans;
+use ada_mining::knn::KnnClassifier;
+use ada_mining::tree::{DecisionTree, TreeConfig};
+use ada_vsm::{DenseMatrix, VsmBuilder};
+
+fn training_task() -> (DenseMatrix, Vec<usize>, usize) {
+    let log = bench_log();
+    let pv = VsmBuilder::new().top_features(&log, 32).build(&log);
+    let k = 8;
+    let labels = KMeans::new(k).seed(1).fit(&pv.matrix).assignments;
+    (pv.matrix, labels, k)
+}
+
+fn bench_fit_predict(c: &mut Criterion) {
+    let (matrix, labels, k) = training_task();
+    let tree_cfg = TreeConfig {
+        max_depth: 8,
+        min_samples_leaf: 5,
+        ..TreeConfig::default()
+    };
+    let forest_cfg = ForestConfig {
+        num_trees: 15,
+        ..ForestConfig::default()
+    };
+
+    let mut group = c.benchmark_group("classifiers");
+    group.sample_size(10);
+    group.bench_function("tree", |b| {
+        b.iter(|| {
+            let model = DecisionTree::fit(&matrix, &labels, k, &tree_cfg);
+            black_box(model.predict(&matrix))
+        })
+    });
+    group.bench_function("forest-15", |b| {
+        b.iter(|| {
+            let model = RandomForest::fit(&matrix, &labels, k, &forest_cfg);
+            black_box(model.predict(&matrix))
+        })
+    });
+    group.bench_function("naive-bayes", |b| {
+        b.iter(|| {
+            let model = GaussianNb::fit(&matrix, &labels, k);
+            black_box(model.predict(&matrix))
+        })
+    });
+    group.bench_function("knn-5", |b| {
+        b.iter(|| {
+            let model = KnnClassifier::fit(&matrix, &labels, k, 5);
+            black_box(model.predict(&matrix))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_predict);
+criterion_main!(benches);

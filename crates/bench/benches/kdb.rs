@@ -1,0 +1,116 @@
+//! K-DB bench: document-store operations.
+//!
+//! The paper hosts its knowledge base on "a cluster of MongoDBs"; the
+//! embedded substitute must sustain the pipeline's access pattern —
+//! bursts of knowledge-item inserts, filtered reads during ranking, and
+//! journal replay on reopen. This bench tracks all three plus the
+//! index-vs-scan ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ada_kdb::{Document, Filter, Kdb, Value};
+
+fn item(i: usize) -> Document {
+    Document::new()
+        .with("session", format!("s{}", i % 8))
+        .with(
+            "kind",
+            if i.is_multiple_of(3) {
+                "cluster"
+            } else {
+                "pattern"
+            },
+        )
+        .with("score", (i % 100) as f64 / 100.0)
+        .with("description", format!("knowledge item number {i}"))
+}
+
+fn populated(n: usize, indexed: bool) -> Kdb {
+    let mut db = Kdb::in_memory();
+    db.create_collection("items").unwrap();
+    if indexed {
+        db.create_index("items", "kind").unwrap();
+        db.create_index("items", "score").unwrap();
+    }
+    for i in 0..n {
+        db.insert("items", item(i)).unwrap();
+    }
+    db
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdb-insert");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, &n| {
+            b.iter(|| black_box(populated(n, false)))
+        });
+        group.bench_with_input(BenchmarkId::new("memory-indexed", n), &n, |b, &n| {
+            b.iter(|| black_box(populated(n, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let scan_db = populated(20_000, false);
+    let index_db = populated(20_000, true);
+    let eq = Filter::eq("kind", "cluster");
+    let range = Filter::Gt("score".into(), Value::F64(0.95));
+
+    let mut group = c.benchmark_group("kdb-query");
+    group.bench_function("eq-scan", |b| {
+        b.iter(|| black_box(scan_db.collection("items").unwrap().find(&eq).len()))
+    });
+    group.bench_function("eq-indexed", |b| {
+        b.iter(|| black_box(index_db.collection("items").unwrap().find(&eq).len()))
+    });
+    group.bench_function("range-scan", |b| {
+        b.iter(|| black_box(scan_db.collection("items").unwrap().find(&range).len()))
+    });
+    group.bench_function("range-indexed", |b| {
+        b.iter(|| black_box(index_db.collection("items").unwrap().find(&range).len()))
+    });
+    group.finish();
+}
+
+fn bench_journal(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("ada_kdb_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut group = c.benchmark_group("kdb-journal");
+    group.sample_size(10);
+    group.bench_function("append-5k", |b| {
+        b.iter(|| {
+            let path = dir.join("append.kdb");
+            std::fs::remove_file(&path).ok();
+            let mut db = Kdb::open(&path).unwrap();
+            db.create_collection("items").unwrap();
+            for i in 0..5_000 {
+                db.insert("items", item(i)).unwrap();
+            }
+            black_box(db)
+        })
+    });
+
+    // Replay: open a pre-written 5k journal.
+    let replay_path = dir.join("replay.kdb");
+    {
+        std::fs::remove_file(&replay_path).ok();
+        let mut db = Kdb::open(&replay_path).unwrap();
+        db.create_collection("items").unwrap();
+        for i in 0..5_000 {
+            db.insert("items", item(i)).unwrap();
+        }
+    }
+    group.bench_function("replay-5k", |b| {
+        b.iter(|| black_box(Kdb::open(&replay_path).unwrap()))
+    });
+    group.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_insert, bench_query, bench_journal);
+criterion_main!(benches);

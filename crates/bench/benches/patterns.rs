@@ -1,0 +1,83 @@
+//! Ablation bench: Apriori vs FP-growth across support thresholds.
+//!
+//! The two miners produce identical outputs (property-tested); this
+//! bench documents why FP-growth is the production default — the gap
+//! widens as the support threshold drops and the candidate space of
+//! Apriori explodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ada_bench::bench_log;
+use ada_mining::patterns::{apriori, fpgrowth, relative_min_support, Transaction};
+
+fn visit_transactions() -> Vec<Transaction> {
+    let log = bench_log();
+    log.visits()
+        .into_iter()
+        .map(|v| v.exams.into_iter().map(|e| e.0).collect())
+        .collect()
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let transactions = visit_transactions();
+    let mut group = c.benchmark_group("patterns");
+    group.sample_size(10);
+    for rel_support in [0.05f64, 0.02, 0.01] {
+        let min_support = relative_min_support(transactions.len(), rel_support);
+        let label = format!("{:.0}%", rel_support * 100.0);
+        group.bench_with_input(
+            BenchmarkId::new("fpgrowth", &label),
+            &min_support,
+            |b, &s| b.iter(|| black_box(fpgrowth::mine(&transactions, s))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("apriori", &label),
+            &min_support,
+            |b, &s| b.iter(|| black_box(apriori::mine(&transactions, s))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_multilevel(c: &mut Criterion) {
+    // Taxonomy-aware mining: extended transactions cost extra tree size;
+    // this measures the multi-level overhead vs flat mining.
+    use ada_mining::patterns::taxonomy_mine::{self, ItemHierarchy};
+
+    let log = bench_log();
+    let taxonomy = log.taxonomy();
+    let n_leaf = log.num_exam_types() as u32;
+    let n_groups = ada_dataset::taxonomy::ConditionGroup::ALL.len() as u32;
+    // Leaves -> group nodes -> domain nodes, in one dense id space.
+    let mut parent: Vec<Option<u32>> = (0..n_leaf)
+        .map(|e| {
+            taxonomy
+                .group_of(ada_dataset::ExamTypeId(e))
+                .map(|g| n_leaf + g.index() as u32)
+        })
+        .collect();
+    for g in ada_dataset::taxonomy::ConditionGroup::ALL {
+        parent.push(Some(n_leaf + n_groups + g.domain().index() as u32));
+    }
+    for _ in ada_dataset::taxonomy::Domain::ALL {
+        parent.push(None);
+    }
+    let hierarchy = ItemHierarchy::new(parent);
+
+    let transactions = visit_transactions();
+    let min_support = relative_min_support(transactions.len(), 0.05);
+
+    let mut group = c.benchmark_group("patterns-multilevel");
+    group.sample_size(10);
+    group.bench_function("flat", |b| {
+        b.iter(|| black_box(fpgrowth::mine(&transactions, min_support)))
+    });
+    group.bench_function("taxonomy", |b| {
+        b.iter(|| black_box(taxonomy_mine::mine(&transactions, &hierarchy, min_support)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners, bench_multilevel);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Scratch calibration tool for the synthetic generator (dev aid).
+use ada_core::partial::HorizontalPartialMiner;
+use ada_dataset::stats;
+use ada_dataset::synthetic::{generate_with_truth, SyntheticConfig};
+
+fn main() {
+    let mut cfg = SyntheticConfig::small();
+    let args: Vec<String> = std::env::args().collect();
+    // args: [s, shift, bundle, sig, episodic_frac, mask, paper?]
+    if args.len() > 1 {
+        cfg.zipf_exponent = args[1].parse().unwrap();
+    }
+    if args.len() > 2 {
+        cfg.zipf_shift_fraction = args[2].parse().unwrap();
+    }
+    if args.len() > 3 {
+        cfg.bundle_boost = args[3].parse().unwrap();
+    }
+    if args.len() > 4 {
+        cfg.signature_boost = args[4].parse().unwrap();
+    }
+    if args.len() > 5 {
+        cfg.episodic_fraction = args[5].parse().unwrap();
+    }
+    if args.len() > 6 {
+        cfg.episodic_mask = args[6].parse().unwrap();
+    }
+    if args.len() > 7 {
+        cfg.signature_band_lo = args[7].parse().unwrap();
+    }
+    if args.len() > 8 {
+        cfg.signature_band_hi = args[8].parse().unwrap();
+    }
+    if args.len() > 9 {
+        cfg.generic_head_fraction = args[9].parse().unwrap();
+    }
+    if args.len() > 10 && args[10] == "paper" {
+        cfg.num_patients = 6380;
+        cfg.num_exam_types = 159;
+        cfg.target_records = 95788;
+    }
+    let data = generate_with_truth(&cfg, 11);
+    let log = &data.log;
+    let c20 = stats::coverage_at_fraction(log, 0.20);
+    let c40 = stats::coverage_at_fraction(log, 0.40);
+    println!(
+        "records {} c20 {:.3} c40 {:.3}",
+        log.num_records(),
+        c20,
+        c40
+    );
+
+    // where do catalog-band (22-38% id) exams land in realized rank order?
+    let n = log.num_exam_types();
+    let (lo, hi) = (
+        (cfg.signature_band_lo * n as f64) as usize,
+        (cfg.signature_band_hi * n as f64) as usize,
+    );
+    let order = log.exams_by_frequency();
+    let mut realized_rank = vec![0usize; n];
+    for (rank, id) in order.iter().enumerate() {
+        realized_rank[id.index()] = rank;
+    }
+    let band_ranks: Vec<usize> = (lo..hi).map(|id| realized_rank[id]).collect();
+    println!(
+        "band ids {lo}..{hi} realized ranks {:?} (top20 cut {})",
+        band_ranks,
+        n / 5
+    );
+
+    // Purity of a K=10 normalized clustering vs latent classes
+    // (profile x episodic), per step.
+    {
+        use ada_mining::kmeans::KMeans;
+        use ada_vsm::VsmBuilder;
+        let classes: Vec<usize> = data
+            .true_profile
+            .iter()
+            .zip(&data.episodic)
+            .map(|(&p, &e)| p * 2 + e as usize)
+            .collect();
+        let num_classes = classes.iter().max().unwrap() + 1;
+        let order = log.exams_by_frequency();
+        for frac in [0.2, 0.4, 1.0] {
+            let kcount = ((frac * n as f64).ceil() as usize).min(n);
+            let pv = VsmBuilder::new()
+                .normalize(true)
+                .features(order[..kcount].to_vec())
+                .build(log);
+            let res = KMeans::new(10).seed(7).fit(&pv.matrix);
+            // purity
+            let mut table = vec![vec![0usize; num_classes]; 10];
+            for (i, &a) in res.assignments.iter().enumerate() {
+                table[a][classes[i]] += 1;
+            }
+            let pure: usize = table
+                .iter()
+                .map(|r| r.iter().max().copied().unwrap_or(0))
+                .sum();
+            println!(
+                "frac {:.1} purity {:.3}",
+                frac,
+                pure as f64 / classes.len() as f64
+            );
+        }
+    }
+    let report = HorizontalPartialMiner {
+        ks: vec![10, 14, 18],
+        ..Default::default()
+    }
+    .run(log);
+    for s in &report.steps {
+        println!(
+            "frac {:.2} types {} rowcov {:.3} sim {:.4}",
+            s.fraction,
+            s.included,
+            s.row_coverage,
+            s.mean_similarity()
+        );
+    }
+    println!(
+        "selected step {} (diff vs full: {:?})",
+        report.selected,
+        (0..report.steps.len())
+            .map(|i| format!("{:.3}", report.difference_vs_full(i)))
+            .collect::<Vec<_>>()
+    );
+}

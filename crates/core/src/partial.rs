@@ -1,0 +1,500 @@
+//! Adaptive partial mining strategies.
+//!
+//! "To avoid the expensive and resource-consuming procedure of mining
+//! the entire dataset when not necessary, adaptive partial mining
+//! strategies need to be designed." The paper's preliminary
+//! implementation — and its Section IV-B experiment — is the
+//! [`HorizontalPartialMiner`]: K-means runs on incrementally larger
+//! subsets of the *examination types*, chosen in decreasing frequency
+//! order (20% → 40% → 100% of types, covering ≈ 70% / 85% / 100% of the
+//! raw records), and the smallest subset whose overall similarity is
+//! within ε (5%) of the full-data value is selected.
+//!
+//! The paper also names a second axis ("partial mining can reduce the
+//! dataset along any dimension (vertical mining)"): the
+//! [`VerticalPartialMiner`] grows a *patient* sample instead.
+
+use ada_dataset::ExamLog;
+use ada_metrics::cluster;
+use ada_mining::kmeans::KMeans;
+use ada_vsm::{VsmBuilder, Weighting};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Result of one partial-mining step (one subset size).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepResult {
+    /// Fraction of the growth axis included (exam types or patients).
+    pub fraction: f64,
+    /// Absolute number of included exam types (horizontal) or patients
+    /// (vertical).
+    pub included: usize,
+    /// Fraction of raw records retained by this subset.
+    pub row_coverage: f64,
+    /// Per-K overall similarity: `(k, overall_similarity)`.
+    pub per_k: Vec<(usize, f64)>,
+    /// Per-K adjusted Rand index between this step's partition and the
+    /// full-data partition at the same K (restart-paired mean); 1.0 on
+    /// the full step by construction. Empty when not computed (the
+    /// vertical miner's samples have incomparable supports).
+    pub agreement_vs_full: Vec<(usize, f64)>,
+}
+
+impl StepResult {
+    /// Mean overall similarity across the probed K values.
+    pub fn mean_similarity(&self) -> f64 {
+        if self.per_k.is_empty() {
+            return 0.0;
+        }
+        self.per_k.iter().map(|&(_, s)| s).sum::<f64>() / self.per_k.len() as f64
+    }
+
+    /// Mean adjusted Rand agreement with the full-data partition, or
+    /// `None` when agreement was not computed.
+    pub fn mean_agreement(&self) -> Option<f64> {
+        if self.agreement_vs_full.is_empty() {
+            None
+        } else {
+            Some(
+                self.agreement_vs_full.iter().map(|&(_, a)| a).sum::<f64>()
+                    / self.agreement_vs_full.len() as f64,
+            )
+        }
+    }
+}
+
+/// The report of an adaptive partial-mining run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialMiningReport {
+    /// One entry per step, in growth order (last step = full data).
+    pub steps: Vec<StepResult>,
+    /// Index into `steps` of the selected (smallest acceptable) subset.
+    pub selected: usize,
+    /// The ε tolerance used (paper: 0.05).
+    pub epsilon: f64,
+}
+
+impl PartialMiningReport {
+    /// The selected step.
+    pub fn selected_step(&self) -> &StepResult {
+        &self.steps[self.selected]
+    }
+
+    /// Percentage difference of a step's mean similarity vs. full data.
+    pub fn difference_vs_full(&self, step: usize) -> f64 {
+        let full = self
+            .steps
+            .last()
+            .expect("at least the full step exists")
+            .mean_similarity();
+        if full == 0.0 {
+            return 0.0;
+        }
+        (full - self.steps[step].mean_similarity()).abs() / full
+    }
+}
+
+/// Selects the smallest step whose mean similarity is within `epsilon`
+/// (relative) of the final, full-data step.
+fn select_step(steps: &[StepResult], epsilon: f64) -> usize {
+    let full = steps.last().expect("non-empty steps").mean_similarity();
+    if full == 0.0 {
+        return steps.len() - 1;
+    }
+    steps
+        .iter()
+        .position(|s| (full - s.mean_similarity()).abs() / full <= epsilon)
+        .unwrap_or(steps.len() - 1)
+}
+
+/// The paper's horizontal partial miner: grows the examination-type
+/// subset along decreasing record frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HorizontalPartialMiner {
+    /// Exam-type fractions to probe, ascending; 1.0 is appended when
+    /// missing (the full-data reference run).
+    pub fractions: Vec<f64>,
+    /// K values each step is clustered at.
+    pub ks: Vec<usize>,
+    /// Relative similarity tolerance (paper: 0.05).
+    pub epsilon: f64,
+    /// VSM weighting (paper: raw counts).
+    pub weighting: Weighting,
+    /// L2-normalize patient rows before clustering, so the partition
+    /// keys on the *mix* of examinations rather than raw visit volume.
+    pub normalize: bool,
+    /// K-means restarts per (step, K); the reported similarity is the
+    /// restart mean, damping local-optimum noise so the ε comparison
+    /// reflects the subset, not one lucky initialization.
+    pub restarts: usize,
+    /// Clustering seed.
+    pub seed: u64,
+}
+
+impl Default for HorizontalPartialMiner {
+    fn default() -> Self {
+        Self {
+            fractions: vec![0.2, 0.4, 1.0],
+            ks: vec![8, 12, 16],
+            epsilon: 0.05,
+            weighting: Weighting::Count,
+            normalize: true,
+            restarts: 3,
+            seed: 0,
+        }
+    }
+}
+
+impl HorizontalPartialMiner {
+    /// Runs the adaptive strategy.
+    ///
+    /// # Panics
+    /// Panics when the log has no records or `ks` is empty/exceeds the
+    /// patient count.
+    #[allow(clippy::needless_range_loop)] // restart-paired reference partitions
+    pub fn run(&self, log: &ExamLog) -> PartialMiningReport {
+        assert!(log.num_records() > 0, "cannot partial-mine an empty log");
+        assert!(!self.ks.is_empty(), "need at least one K to probe");
+        let mut fractions = self.fractions.clone();
+        fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
+        if fractions.last().copied().unwrap_or(0.0) < 1.0 {
+            fractions.push(1.0);
+        }
+
+        let order = log.exams_by_frequency();
+        let freq = log.exam_frequencies();
+        let total_records: usize = freq.iter().sum();
+        let n_types = order.len();
+
+        // The reference representation: every partition — whichever
+        // feature subset it was *computed* on — is scored by its overall
+        // similarity in the complete feature space. Scoring each subset
+        // in its own space would inflate low-dimensional cosines and
+        // make subsets incomparable; scoring in the full space directly
+        // measures how well the cheap clustering approximates the
+        // full-data structure (and yields the paper's observation that
+        // similarity decreases as exam types are dropped).
+        let full = VsmBuilder::new()
+            .weighting(self.weighting)
+            .normalize(self.normalize)
+            .build(log);
+
+        // Reference partitions: the full-data clustering per (K, restart),
+        // used both as the last step and as the agreement baseline.
+        let restarts = self.restarts.max(1);
+        let full_partitions: Vec<Vec<Vec<usize>>> = self
+            .ks
+            .iter()
+            .map(|&k| {
+                (0..restarts)
+                    .map(|r| {
+                        let seed = self.seed.wrapping_add(1_000 * r as u64);
+                        KMeans::new(k).seed(seed).fit(&full.matrix).assignments
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let steps: Vec<StepResult> = fractions
+            .iter()
+            .map(|&fraction| {
+                let included = ((fraction * n_types as f64).ceil() as usize).clamp(1, n_types);
+                let features = order[..included].to_vec();
+                let covered: usize = features.iter().map(|e| freq[e.index()]).sum();
+                let is_full = included == n_types;
+                let pv = if is_full {
+                    None // reuse the reference partitions
+                } else {
+                    Some(
+                        VsmBuilder::new()
+                            .weighting(self.weighting)
+                            .normalize(self.normalize)
+                            .features(features)
+                            .build(log),
+                    )
+                };
+                let mut per_k = Vec::with_capacity(self.ks.len());
+                let mut agreement = Vec::with_capacity(self.ks.len());
+                for (ki, &k) in self.ks.iter().enumerate() {
+                    let mut sim_acc = 0.0;
+                    let mut ari_acc = 0.0;
+                    for r in 0..restarts {
+                        let owned;
+                        let assignments: &[usize] = match &pv {
+                            None => &full_partitions[ki][r],
+                            Some(pv) => {
+                                let seed = self.seed.wrapping_add(1_000 * r as u64);
+                                owned = KMeans::new(k).seed(seed).fit(&pv.matrix).assignments;
+                                &owned
+                            }
+                        };
+                        sim_acc += cluster::overall_similarity(&full.matrix, assignments, k);
+                        ari_acc +=
+                            ada_metrics::adjusted_rand_index(assignments, &full_partitions[ki][r]);
+                    }
+                    per_k.push((k, sim_acc / restarts as f64));
+                    agreement.push((k, ari_acc / restarts as f64));
+                }
+                StepResult {
+                    fraction,
+                    included,
+                    row_coverage: covered as f64 / total_records as f64,
+                    per_k,
+                    agreement_vs_full: agreement,
+                }
+            })
+            .collect();
+
+        let selected = select_step(&steps, self.epsilon);
+        PartialMiningReport {
+            steps,
+            selected,
+            epsilon: self.epsilon,
+        }
+    }
+}
+
+/// Vertical partial miner: grows a seeded random *patient* sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerticalPartialMiner {
+    /// Patient fractions to probe, ascending; 1.0 appended when missing.
+    pub fractions: Vec<f64>,
+    /// K values each step is clustered at.
+    pub ks: Vec<usize>,
+    /// Relative similarity tolerance.
+    pub epsilon: f64,
+    /// VSM weighting.
+    pub weighting: Weighting,
+    /// Sampling + clustering seed.
+    pub seed: u64,
+}
+
+impl Default for VerticalPartialMiner {
+    fn default() -> Self {
+        Self {
+            fractions: vec![0.25, 0.5, 1.0],
+            ks: vec![6, 8, 10],
+            epsilon: 0.05,
+            weighting: Weighting::Count,
+            seed: 0,
+        }
+    }
+}
+
+impl VerticalPartialMiner {
+    /// Runs the adaptive strategy over patient samples.
+    ///
+    /// # Panics
+    /// Panics when the log has no records or patients, or `ks` is empty.
+    pub fn run(&self, log: &ExamLog) -> PartialMiningReport {
+        assert!(log.num_records() > 0, "cannot partial-mine an empty log");
+        assert!(log.num_patients() > 0, "no patients");
+        assert!(!self.ks.is_empty(), "need at least one K to probe");
+        let mut fractions = self.fractions.clone();
+        fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
+        if fractions.last().copied().unwrap_or(0.0) < 1.0 {
+            fractions.push(1.0);
+        }
+
+        // One seeded permutation; each step takes a prefix, so samples
+        // are nested exactly like the horizontal miner's feature sets.
+        let mut permutation: Vec<usize> = (0..log.num_patients()).collect();
+        permutation.shuffle(&mut StdRng::seed_from_u64(self.seed));
+
+        let pv = VsmBuilder::new().weighting(self.weighting).build(log);
+        let per_patient_records: Vec<f64> = pv
+            .matrix
+            .rows_iter()
+            .map(|row| row.iter().sum::<f64>())
+            .collect();
+        let total_records: f64 = match self.weighting {
+            Weighting::Count => per_patient_records.iter().sum(),
+            _ => log.num_records() as f64,
+        };
+
+        let steps: Vec<StepResult> = fractions
+            .iter()
+            .map(|&fraction| {
+                let included = ((fraction * log.num_patients() as f64).ceil() as usize)
+                    .clamp(1, log.num_patients());
+                let sample = &permutation[..included];
+                let matrix = pv.matrix.select_rows(sample);
+                let row_coverage = match self.weighting {
+                    Weighting::Count => {
+                        sample.iter().map(|&p| per_patient_records[p]).sum::<f64>()
+                            / total_records.max(1.0)
+                    }
+                    _ => included as f64 / log.num_patients() as f64,
+                };
+                let per_k = self
+                    .ks
+                    .iter()
+                    .filter(|&&k| k <= matrix.num_rows())
+                    .map(|&k| {
+                        let result = KMeans::new(k).seed(self.seed).fit(&matrix);
+                        let sim = cluster::overall_similarity(&matrix, &result.assignments, k);
+                        (k, sim)
+                    })
+                    .collect();
+                StepResult {
+                    fraction,
+                    included,
+                    row_coverage,
+                    per_k,
+                    agreement_vs_full: Vec::new(),
+                }
+            })
+            .collect();
+
+        let selected = select_step(&steps, self.epsilon);
+        PartialMiningReport {
+            steps,
+            selected,
+            epsilon: self.epsilon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_dataset::synthetic::{generate, SyntheticConfig};
+
+    fn small_log() -> ExamLog {
+        generate(&SyntheticConfig::small(), 11)
+    }
+
+    #[test]
+    fn horizontal_steps_cover_paper_points() {
+        let log = small_log();
+        let report = HorizontalPartialMiner::default().run(&log);
+        assert_eq!(report.steps.len(), 3);
+        // Row coverage grows with the feature fraction and matches the
+        // synthetic generator's calibration (~70% / ~85% / 100%).
+        let cov: Vec<f64> = report.steps.iter().map(|s| s.row_coverage).collect();
+        assert!(cov[0] < cov[1] && cov[1] < cov[2]);
+        assert!((0.50..=0.72).contains(&cov[0]), "cov20 = {}", cov[0]);
+        assert!((0.75..=0.90).contains(&cov[1]), "cov40 = {}", cov[1]);
+        assert!((cov[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizontal_selects_within_epsilon() {
+        let log = small_log();
+        let report = HorizontalPartialMiner::default().run(&log);
+        // The selected step must actually satisfy the tolerance.
+        assert!(report.difference_vs_full(report.selected) <= report.epsilon + 1e-12);
+        // And every earlier step must violate it (smallest acceptable).
+        for earlier in 0..report.selected {
+            assert!(report.difference_vs_full(earlier) > report.epsilon);
+        }
+    }
+
+    #[test]
+    fn similarity_decreases_with_fewer_exams_at_fixed_k() {
+        // The paper: "For a fixed number of clusters, the overall
+        // similarity decreases as the number of exams is reduced."
+        let log = small_log();
+        let report = HorizontalPartialMiner::default().run(&log);
+        let sims: Vec<f64> = report.steps.iter().map(|s| s.mean_similarity()).collect();
+        assert!(
+            sims[0] < sims[2],
+            "20% subset must not beat full data: {sims:?}"
+        );
+        assert!(
+            sims[1] <= sims[2] + 0.01,
+            "40% subset must not beat full data: {sims:?}"
+        );
+        // The paper's crossover: the 40%-of-types step is within the 5%
+        // tolerance, the 20% step is not.
+        assert!(report.difference_vs_full(0) > report.epsilon);
+        assert!(report.difference_vs_full(1) <= report.epsilon);
+        assert_eq!(report.selected, 1);
+    }
+
+    #[test]
+    fn full_step_appended_when_missing() {
+        let log = small_log();
+        let report = HorizontalPartialMiner {
+            fractions: vec![0.3],
+            ks: vec![4],
+            ..Default::default()
+        }
+        .run(&log);
+        assert_eq!(report.steps.len(), 2);
+        assert!((report.steps[1].fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertical_miner_runs_and_selects() {
+        let log = small_log();
+        let report = VerticalPartialMiner::default().run(&log);
+        assert_eq!(report.steps.len(), 3);
+        assert!(report.selected < report.steps.len());
+        let last = report.steps.last().unwrap();
+        assert_eq!(last.included, log.num_patients());
+        assert!((last.row_coverage - 1.0).abs() < 1e-9);
+        // Nested samples: included counts strictly increase.
+        assert!(report.steps[0].included < report.steps[1].included);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let log = small_log();
+        let a = HorizontalPartialMiner::default().run(&log);
+        let b = HorizontalPartialMiner::default().run(&log);
+        assert_eq!(a, b);
+        let va = VerticalPartialMiner::default().run(&log);
+        let vb = VerticalPartialMiner::default().run(&log);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty log")]
+    fn rejects_empty_log() {
+        let log = ExamLog::new(vec![], vec![]).unwrap();
+        let _ = HorizontalPartialMiner::default().run(&log);
+    }
+}
+
+#[cfg(test)]
+mod agreement_tests {
+    use super::*;
+    use ada_dataset::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn agreement_is_one_on_full_step_and_grows_with_subset_size() {
+        let log = generate(&SyntheticConfig::small(), 11);
+        let report = HorizontalPartialMiner::default().run(&log);
+        let agreements: Vec<f64> = report
+            .steps
+            .iter()
+            .map(|s| s.mean_agreement().expect("horizontal miner computes ARI"))
+            .collect();
+        let full = *agreements.last().unwrap();
+        assert!(
+            (full - 1.0).abs() < 1e-9,
+            "full step must agree with itself"
+        );
+        // The selected (acceptable) step approximates the full partition
+        // substantially better than chance.
+        assert!(
+            agreements[report.selected] > 0.2,
+            "selected-step agreement too low: {agreements:?}"
+        );
+        // Bigger subsets approximate the reference at least as well.
+        assert!(
+            agreements[0] <= agreements[report.selected] + 0.05,
+            "agreement should not degrade with more features: {agreements:?}"
+        );
+    }
+
+    #[test]
+    fn vertical_miner_reports_no_agreement() {
+        let log = generate(&SyntheticConfig::small(), 11);
+        let report = VerticalPartialMiner::default().run(&log);
+        assert!(report.steps.iter().all(|s| s.mean_agreement().is_none()));
+    }
+}

@@ -1,0 +1,295 @@
+//! Knowledge navigation: interactive ranking of knowledge items.
+//!
+//! "ADA-HEALTH also includes an interactive knowledge ranking algorithm
+//! … which will help to select, among a set of knowledge items, which
+//! ones are most interesting for a user. Based on user feedbacks, the
+//! algorithm dynamically adjusts the way and order how knowledge items
+//! are organized and presented."
+//!
+//! Before any feedback exists, items are ordered by an objective prior
+//! (their composite interestingness). Each piece of feedback (a) shifts
+//! a per-kind preference weight (fast adaptation) and (b) accumulates
+//! labelled examples; once enough exist, a decision tree is trained to
+//! predict the {high, medium, low} label from item features and takes
+//! over the ordering (the paper's "prediction of a degree of
+//! interestingness … by means of a classification algorithm").
+
+use ada_kdb::schema::Interestingness;
+use ada_mining::tree::{DecisionTree, TreeConfig};
+use ada_vsm::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a knowledge item (which miner produced it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ItemKind {
+    /// A patient cluster.
+    Cluster,
+    /// A frequent pattern / association rule.
+    Pattern,
+}
+
+impl ItemKind {
+    fn index(self) -> usize {
+        match self {
+            ItemKind::Cluster => 0,
+            ItemKind::Pattern => 1,
+        }
+    }
+}
+
+/// A knowledge item as seen by the ranker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeItem {
+    /// Caller-side identifier (e.g. the K-DB document id).
+    pub id: u64,
+    /// Which miner produced the item.
+    pub kind: ItemKind,
+    /// Human-readable description.
+    pub description: String,
+    /// Fixed-order numeric features (see [`KnowledgeItem::cluster`] /
+    /// [`KnowledgeItem::pattern`]).
+    pub features: Vec<f64>,
+}
+
+impl KnowledgeItem {
+    /// Feature-vector length (shared by both kinds).
+    pub const NUM_FEATURES: usize = 7;
+
+    /// A cluster item: `size_fraction` of the cohort, `cohesion` =
+    /// within-cluster overall similarity.
+    pub fn cluster(
+        id: u64,
+        description: impl Into<String>,
+        size_fraction: f64,
+        cohesion: f64,
+    ) -> Self {
+        Self {
+            id,
+            kind: ItemKind::Cluster,
+            description: description.into(),
+            // [is_cluster, is_pattern, support, confidence, lift', size, cohesion]
+            features: vec![1.0, 0.0, 0.0, 0.0, 0.0, size_fraction, cohesion],
+        }
+    }
+
+    /// A pattern item with its rule statistics (`lift` is squashed to
+    /// `lift/(1+lift)` so the feature stays bounded).
+    pub fn pattern(
+        id: u64,
+        description: impl Into<String>,
+        support: f64,
+        confidence: f64,
+        lift: f64,
+    ) -> Self {
+        let squashed = if lift.is_finite() {
+            lift / (1.0 + lift)
+        } else {
+            1.0
+        };
+        Self {
+            id,
+            kind: ItemKind::Pattern,
+            description: description.into(),
+            features: vec![0.0, 1.0, support, confidence, squashed, 0.0, 0.0],
+        }
+    }
+
+    /// The objective prior score used before any feedback exists.
+    pub fn prior_score(&self) -> f64 {
+        match self.kind {
+            ItemKind::Cluster => {
+                let size = self.features[5];
+                let cohesion = self.features[6];
+                // Peak for mid-sized cohesive clusters.
+                let size_term = 1.0 - (size - 0.2).abs().min(1.0);
+                0.5 * cohesion + 0.5 * size_term
+            }
+            ItemKind::Pattern => {
+                let support = self.features[2];
+                let confidence = self.features[3];
+                let lift = self.features[4];
+                (support + confidence + lift) / 3.0
+            }
+        }
+    }
+}
+
+/// The adaptive knowledge ranker.
+#[derive(Debug, Clone)]
+pub struct KnowledgeRanker {
+    /// Per-kind preference weights, adapted by feedback (EMA).
+    kind_weight: [f64; 2],
+    /// Labelled history: (features, label index 0/1/2).
+    history: Vec<(Vec<f64>, usize)>,
+    /// Trained interestingness classifier, once history suffices.
+    model: Option<DecisionTree>,
+    /// EMA smoothing factor for kind weights.
+    alpha: f64,
+}
+
+impl Default for KnowledgeRanker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KnowledgeRanker {
+    /// Minimum feedback count before the classifier is trained.
+    pub const MIN_HISTORY: usize = 12;
+
+    /// A fresh ranker with neutral preferences.
+    pub fn new() -> Self {
+        Self {
+            kind_weight: [1.0, 1.0],
+            history: Vec::new(),
+            model: None,
+            alpha: 0.2,
+        }
+    }
+
+    /// Number of feedback observations absorbed.
+    pub fn feedback_count(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether the learned classifier is active.
+    pub fn model_active(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Records one user feedback and adapts the ordering policy.
+    pub fn record_feedback(&mut self, item: &KnowledgeItem, label: Interestingness) {
+        // Fast path: exponential moving average on the item's kind.
+        let idx = item.kind.index();
+        self.kind_weight[idx] =
+            (1.0 - self.alpha) * self.kind_weight[idx] + self.alpha * (0.5 + label.score());
+        // Slow path: accumulate and (re)train the classifier.
+        let label_idx = match label {
+            Interestingness::Low => 0,
+            Interestingness::Medium => 1,
+            Interestingness::High => 2,
+        };
+        self.history.push((item.features.clone(), label_idx));
+        if self.history.len() >= Self::MIN_HISTORY {
+            let rows: Vec<Vec<f64>> = self.history.iter().map(|(f, _)| f.clone()).collect();
+            let labels: Vec<usize> = self.history.iter().map(|&(_, l)| l).collect();
+            let matrix = DenseMatrix::from_rows(&rows);
+            self.model = Some(DecisionTree::fit(
+                &matrix,
+                &labels,
+                3,
+                &TreeConfig {
+                    max_depth: 5,
+                    min_samples_leaf: 2,
+                    ..TreeConfig::default()
+                },
+            ));
+        }
+    }
+
+    /// The current score of an item under the adapted policy.
+    pub fn score(&self, item: &KnowledgeItem) -> f64 {
+        let base = match &self.model {
+            Some(model) => {
+                // Predicted interest dominates; the objective prior
+                // breaks ties within a predicted class.
+                let predicted = model.predict_row(&item.features) as f64 / 2.0;
+                predicted + 0.1 * item.prior_score()
+            }
+            None => item.prior_score(),
+        };
+        base * self.kind_weight[item.kind.index()]
+    }
+
+    /// Returns the items sorted most-interesting-first (stable, ties by
+    /// id for determinism).
+    pub fn rank<'a>(&self, items: &'a [KnowledgeItem]) -> Vec<&'a KnowledgeItem> {
+        let mut ranked: Vec<&KnowledgeItem> = items.iter().collect();
+        ranked.sort_by(|a, b| {
+            self.score(b)
+                .partial_cmp(&self.score(a))
+                .expect("finite scores")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items() -> Vec<KnowledgeItem> {
+        vec![
+            KnowledgeItem::cluster(1, "mid-size cohesive cluster", 0.2, 0.8),
+            KnowledgeItem::cluster(2, "catch-all blob", 0.9, 0.3),
+            KnowledgeItem::pattern(3, "strong rule", 0.2, 0.9, 3.0),
+            KnowledgeItem::pattern(4, "weak rule", 0.01, 0.2, 1.0),
+        ]
+    }
+
+    #[test]
+    fn prior_ranking_prefers_strong_items() {
+        let ranker = KnowledgeRanker::new();
+        let all = items();
+        let ranked = ranker.rank(&all);
+        let first_two: Vec<u64> = ranked[..2].iter().map(|i| i.id).collect();
+        assert!(first_two.contains(&1), "cohesive cluster should rank high");
+        assert!(first_two.contains(&3), "strong rule should rank high");
+        assert_eq!(ranked[3].id, 4, "weak rule last");
+    }
+
+    #[test]
+    fn kind_feedback_shifts_ordering() {
+        let mut ranker = KnowledgeRanker::new();
+        let all = items();
+        // The user repeatedly dislikes clusters and likes patterns.
+        for _ in 0..5 {
+            ranker.record_feedback(&all[0], Interestingness::Low);
+            ranker.record_feedback(&all[2], Interestingness::High);
+        }
+        assert!(
+            ranker.kind_weight[ItemKind::Pattern.index()]
+                > ranker.kind_weight[ItemKind::Cluster.index()]
+        );
+        let ranked = ranker.rank(&all);
+        assert_eq!(ranked[0].kind, ItemKind::Pattern);
+    }
+
+    #[test]
+    fn model_activates_after_enough_feedback_and_learns_policy() {
+        let mut ranker = KnowledgeRanker::new();
+        // Teach: high-confidence patterns are High, low-confidence Low.
+        for i in 0..10 {
+            let strong = KnowledgeItem::pattern(100 + i, "s", 0.2, 0.9, 2.5);
+            let weak = KnowledgeItem::pattern(200 + i, "w", 0.2, 0.1, 2.5);
+            ranker.record_feedback(&strong, Interestingness::High);
+            ranker.record_feedback(&weak, Interestingness::Low);
+        }
+        assert!(ranker.model_active());
+        let unseen_strong = KnowledgeItem::pattern(999, "new strong", 0.2, 0.85, 2.5);
+        let unseen_weak = KnowledgeItem::pattern(998, "new weak", 0.2, 0.15, 2.5);
+        assert!(
+            ranker.score(&unseen_strong) > ranker.score(&unseen_weak),
+            "classifier must generalize the feedback policy"
+        );
+    }
+
+    #[test]
+    fn rank_is_deterministic_and_stable_on_ties() {
+        let ranker = KnowledgeRanker::new();
+        let twins = vec![
+            KnowledgeItem::pattern(7, "a", 0.2, 0.5, 1.5),
+            KnowledgeItem::pattern(3, "b", 0.2, 0.5, 1.5),
+        ];
+        let ranked = ranker.rank(&twins);
+        assert_eq!(ranked[0].id, 3, "ties break by id");
+    }
+
+    #[test]
+    fn feature_vectors_have_fixed_length() {
+        for item in items() {
+            assert_eq!(item.features.len(), KnowledgeItem::NUM_FEATURES);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Human-readable session reports.
+//!
+//! "A user interface allows interactive presentation and navigation of
+//! the extracted knowledge items." This headless reproduction renders
+//! the same content as text: a structured clinical summary of one
+//! pipeline session, suitable for terminals, logs, or inclusion in a
+//! study notebook.
+
+use std::fmt::Write;
+
+use crate::pipeline::SessionReport;
+
+/// Renders a full session report as formatted text.
+pub fn render(report: &SessionReport) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    let d = &report.descriptor;
+    writeln!(w, "ADA-HEALTH session report").expect("write to String");
+    writeln!(w, "=========================").expect("write to String");
+    writeln!(
+        w,
+        "dataset: {} patients, {} exam types, {} records (sparsity {:.2}, gini {:.2})",
+        d.summary.num_patients,
+        d.summary.num_exam_types,
+        d.summary.num_records,
+        d.summary.sparsity,
+        d.summary.exam_frequency_gini,
+    )
+    .expect("write to String");
+    if let Some((lo, hi)) = d.summary.age_range {
+        writeln!(w, "ages {lo}-{hi}").expect("write to String");
+    }
+
+    writeln!(w, "\ntransformation: {}", report.transform.best()).expect("write to String");
+
+    let sel = report.partial.selected_step();
+    writeln!(
+        w,
+        "partial mining: kept {:.0}% of exam types = {:.1}% of rows ({} of {} steps within eps)",
+        sel.fraction * 100.0,
+        sel.row_coverage * 100.0,
+        report
+            .partial
+            .steps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| report.partial.difference_vs_full(*i) <= report.partial.epsilon)
+            .count(),
+        report.partial.steps.len(),
+    )
+    .expect("write to String");
+
+    writeln!(
+        w,
+        "optimizer: K = {} (SSE window from K = {})",
+        report.optimizer.selected_k, report.optimizer.sse_window_start
+    )
+    .expect("write to String");
+
+    writeln!(w, "\nclusters:").expect("write to String");
+    for c in &report.clusters {
+        writeln!(
+            w,
+            "  #{:<2} {:>6} patients  cohesion {:.3}  groups: {}",
+            c.cluster,
+            c.size,
+            c.cohesion,
+            c.top_groups
+                .iter()
+                .map(|g| g.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .expect("write to String");
+    }
+
+    writeln!(w, "\nassociation rules: {}", report.rules.len()).expect("write to String");
+
+    if let Some(compliance) = &report.compliance {
+        writeln!(
+            w,
+            "\nguideline compliance (overall {:.1}%):",
+            compliance.overall_rate() * 100.0
+        )
+        .expect("write to String");
+        for r in &compliance.results {
+            writeln!(
+                w,
+                "  {:<52} {:>5.1}% ({}/{})",
+                r.name,
+                r.rate() * 100.0,
+                r.compliant,
+                r.eligible
+            )
+            .expect("write to String");
+        }
+    }
+
+    writeln!(w, "\nsuggested end-goals:").expect("write to String");
+    for (goal, score, verdict) in report.goals.iter().take(3) {
+        writeln!(w, "  {goal:<26} score {score:.2} ({})", verdict.reason).expect("write to String");
+    }
+
+    writeln!(
+        w,
+        "\ntop knowledge items ({} feedback entries absorbed):",
+        report.feedback_recorded
+    )
+    .expect("write to String");
+    for item in report.ranked_items.iter().take(10) {
+        writeln!(w, "  - {item}").expect("write to String");
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{AdaHealth, AdaHealthConfig};
+    use ada_dataset::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn report_contains_every_section() {
+        let log = generate(
+            &SyntheticConfig {
+                num_patients: 150,
+                num_exam_types: 30,
+                target_records: 2_200,
+                ..SyntheticConfig::small()
+            },
+            19,
+        );
+        let mut engine = AdaHealth::new(AdaHealthConfig::quick("report"));
+        let session = engine.run(&log);
+        let text = render(&session);
+        for needle in [
+            "ADA-HEALTH session report",
+            "dataset: 150 patients",
+            "transformation:",
+            "partial mining:",
+            "optimizer: K =",
+            "clusters:",
+            "association rules:",
+            "suggested end-goals:",
+            "top knowledge items",
+        ] {
+            assert!(text.contains(needle), "missing section {needle:?}\n{text}");
+        }
+        // Compliance section appears when the audit ran.
+        if session.compliance.is_some() {
+            assert!(text.contains("guideline compliance"));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the dataset crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or loading examination-log data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A year/month/day combination that does not name a calendar day.
+    InvalidDate {
+        /// The offending year (0 when unknown).
+        year: u16,
+        /// The offending month (0 when unknown).
+        month: u8,
+        /// The offending day (0 when unknown).
+        day: u8,
+    },
+    /// A textual date that could not be parsed as `YYYY-MM-DD`.
+    DateParse(String),
+    /// A record referenced a patient id absent from the patient registry.
+    UnknownPatient(u32),
+    /// A record referenced an exam-type id absent from the catalog.
+    UnknownExamType(u32),
+    /// A duplicate id was registered.
+    DuplicateId(u32),
+    /// A patient age outside the plausible 0–130 range.
+    InvalidAge(u16),
+    /// A malformed CSV line: (1-based line number, reason).
+    Csv(usize, String),
+    /// An underlying I/O failure, carried as a string to keep the error
+    /// type `Clone + PartialEq` for tests.
+    Io(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidDate { year, month, day } => {
+                write!(f, "invalid date {year:04}-{month:02}-{day:02}")
+            }
+            Self::DateParse(s) => write!(f, "cannot parse date {s:?} (expected YYYY-MM-DD)"),
+            Self::UnknownPatient(id) => write!(f, "unknown patient id {id}"),
+            Self::UnknownExamType(id) => write!(f, "unknown exam-type id {id}"),
+            Self::DuplicateId(id) => write!(f, "duplicate id {id}"),
+            Self::InvalidAge(age) => write!(f, "implausible patient age {age}"),
+            Self::Csv(line, reason) => write!(f, "CSV error at line {line}: {reason}"),
+            Self::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}

@@ -1,0 +1,312 @@
+//! CSV import/export of examination logs.
+//!
+//! A log is persisted as three CSV files — `patients.csv`, `catalog.csv`
+//! and `records.csv` — mirroring how hospital extracts are typically
+//! delivered. The writer/reader pair is round-trip tested; a minimal CSV
+//! quoting scheme (RFC-4180 style double quotes) is implemented by hand
+//! to keep the crate dependency-free.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::ExamLog;
+use crate::date::Date;
+use crate::error::DatasetError;
+use crate::record::{ExamRecord, ExamType, ExamTypeId, Patient, PatientId};
+use crate::taxonomy::ConditionGroup;
+
+/// Quotes a CSV field when needed (commas, quotes, newlines).
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Splits one CSV line into fields, honouring double-quote escaping.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>, DatasetError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                '"' => {
+                    return Err(DatasetError::Csv(
+                        line_no,
+                        "stray quote inside unquoted field".to_owned(),
+                    ))
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DatasetError::Csv(line_no, "unterminated quote".to_owned()));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Writes `patients.csv` content (`id,age` with a header).
+pub fn write_patients<W: Write>(w: &mut W, patients: &[Patient]) -> Result<(), DatasetError> {
+    writeln!(w, "patient_id,age")?;
+    for p in patients {
+        writeln!(w, "{},{}", p.id.0, p.age)?;
+    }
+    Ok(())
+}
+
+/// Reads `patients.csv` content.
+pub fn read_patients<R: Read>(r: R) -> Result<Vec<Patient>, DatasetError> {
+    let reader = BufReader::new(r);
+    let mut patients = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue; // header / trailing newline
+        }
+        let line_no = i + 1;
+        let fields = split_line(&line, line_no)?;
+        if fields.len() != 2 {
+            return Err(DatasetError::Csv(
+                line_no,
+                format!("expected 2 fields, got {}", fields.len()),
+            ));
+        }
+        let id: u32 = fields[0]
+            .parse()
+            .map_err(|_| DatasetError::Csv(line_no, format!("bad patient id {:?}", fields[0])))?;
+        let age: u16 = fields[1]
+            .parse()
+            .map_err(|_| DatasetError::Csv(line_no, format!("bad age {:?}", fields[1])))?;
+        patients.push(Patient::new(PatientId(id), age)?);
+    }
+    Ok(patients)
+}
+
+/// Writes `catalog.csv` content (`id,name,group` with a header).
+pub fn write_catalog<W: Write>(w: &mut W, catalog: &[ExamType]) -> Result<(), DatasetError> {
+    writeln!(w, "exam_id,name,group")?;
+    for e in catalog {
+        writeln!(w, "{},{},{}", e.id.0, quote(&e.name), e.group)?;
+    }
+    Ok(())
+}
+
+/// Reads `catalog.csv` content.
+pub fn read_catalog<R: Read>(r: R) -> Result<Vec<ExamType>, DatasetError> {
+    let reader = BufReader::new(r);
+    let mut catalog = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let fields = split_line(&line, line_no)?;
+        if fields.len() != 3 {
+            return Err(DatasetError::Csv(
+                line_no,
+                format!("expected 3 fields, got {}", fields.len()),
+            ));
+        }
+        let id: u32 = fields[0]
+            .parse()
+            .map_err(|_| DatasetError::Csv(line_no, format!("bad exam id {:?}", fields[0])))?;
+        let group: ConditionGroup = fields[2]
+            .parse()
+            .map_err(|e: String| DatasetError::Csv(line_no, e))?;
+        catalog.push(ExamType::new(ExamTypeId(id), fields[1].clone(), group));
+    }
+    Ok(catalog)
+}
+
+/// Writes `records.csv` content (`patient_id,exam_id,date` with a header).
+pub fn write_records<W: Write>(w: &mut W, records: &[ExamRecord]) -> Result<(), DatasetError> {
+    writeln!(w, "patient_id,exam_id,date")?;
+    for r in records {
+        writeln!(w, "{},{},{}", r.patient.0, r.exam.0, r.date)?;
+    }
+    Ok(())
+}
+
+/// Reads `records.csv` content.
+pub fn read_records<R: Read>(r: R) -> Result<Vec<ExamRecord>, DatasetError> {
+    let reader = BufReader::new(r);
+    let mut records = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let fields = split_line(&line, line_no)?;
+        if fields.len() != 3 {
+            return Err(DatasetError::Csv(
+                line_no,
+                format!("expected 3 fields, got {}", fields.len()),
+            ));
+        }
+        let patient: u32 = fields[0]
+            .parse()
+            .map_err(|_| DatasetError::Csv(line_no, format!("bad patient id {:?}", fields[0])))?;
+        let exam: u32 = fields[1]
+            .parse()
+            .map_err(|_| DatasetError::Csv(line_no, format!("bad exam id {:?}", fields[1])))?;
+        let date: Date = fields[2]
+            .parse()
+            .map_err(|_| DatasetError::Csv(line_no, format!("bad date {:?}", fields[2])))?;
+        records.push(ExamRecord::new(PatientId(patient), ExamTypeId(exam), date));
+    }
+    Ok(records)
+}
+
+/// Saves a log to `dir/patients.csv`, `dir/catalog.csv`,
+/// `dir/records.csv`, creating the directory when missing.
+pub fn save_dir(log: &ExamLog, dir: &Path) -> Result<(), DatasetError> {
+    std::fs::create_dir_all(dir)?;
+    let mut pw = BufWriter::new(File::create(dir.join("patients.csv"))?);
+    write_patients(&mut pw, log.patients())?;
+    pw.flush()?;
+    let mut cw = BufWriter::new(File::create(dir.join("catalog.csv"))?);
+    write_catalog(&mut cw, log.catalog())?;
+    cw.flush()?;
+    let mut rw = BufWriter::new(File::create(dir.join("records.csv"))?);
+    write_records(&mut rw, log.records())?;
+    rw.flush()?;
+    Ok(())
+}
+
+/// Loads a log previously written by [`save_dir`], re-validating
+/// referential integrity.
+pub fn load_dir(dir: &Path) -> Result<ExamLog, DatasetError> {
+    let patients = read_patients(File::open(dir.join("patients.csv"))?)?;
+    let catalog = read_catalog(File::open(dir.join("catalog.csv"))?)?;
+    let records = read_records(File::open(dir.join("records.csv"))?)?;
+    let mut log = ExamLog::new(patients, catalog)?;
+    log.extend_records(records)?;
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn quote_and_split_round_trip() {
+        let cases = [
+            "plain",
+            "with,comma",
+            "with \"quote\"",
+            "multi,\"both\"",
+            "",
+        ];
+        for original in cases {
+            let line = format!("{},tail", quote(original));
+            let fields = split_line(&line, 1).unwrap();
+            assert_eq!(fields, vec![original.to_owned(), "tail".to_owned()]);
+        }
+    }
+
+    #[test]
+    fn split_rejects_malformed() {
+        assert!(split_line("\"unterminated", 1).is_err());
+        assert!(split_line("stray\"quote", 1).is_err());
+    }
+
+    #[test]
+    fn patients_round_trip() {
+        let patients = vec![
+            Patient::new(PatientId(0), 4).unwrap(),
+            Patient::new(PatientId(1), 95).unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_patients(&mut buf, &patients).unwrap();
+        let back = read_patients(&buf[..]).unwrap();
+        assert_eq!(back, patients);
+    }
+
+    #[test]
+    fn catalog_round_trip_with_quoting() {
+        let catalog = vec![
+            ExamType::new(
+                ExamTypeId(0),
+                "Lipoprotein(a), fasting",
+                ConditionGroup::Lipid,
+            ),
+            ExamType::new(ExamTypeId(1), "Plain name", ConditionGroup::Imaging),
+        ];
+        let mut buf = Vec::new();
+        write_catalog(&mut buf, &catalog).unwrap();
+        let back = read_catalog(&buf[..]).unwrap();
+        assert_eq!(back, catalog);
+    }
+
+    #[test]
+    fn full_log_round_trip_via_dir() {
+        let cfg = SyntheticConfig {
+            num_patients: 50,
+            num_exam_types: 20,
+            target_records: 600,
+            ..SyntheticConfig::small()
+        };
+        let log = generate(&cfg, 11);
+        let dir = std::env::temp_dir().join(format!("ada_io_test_{}", std::process::id()));
+        save_dir(&log, &dir).unwrap();
+        let back = load_dir(&dir).unwrap();
+        assert_eq!(back, log);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_records_rejects_bad_rows() {
+        let data = "patient_id,exam_id,date\n1,2\n";
+        assert!(matches!(
+            read_records(data.as_bytes()),
+            Err(DatasetError::Csv(2, _))
+        ));
+        let data = "patient_id,exam_id,date\n1,2,not-a-date\n";
+        assert!(matches!(
+            read_records(data.as_bytes()),
+            Err(DatasetError::Csv(2, _))
+        ));
+    }
+
+    #[test]
+    fn load_dir_validates_integrity() {
+        let dir = std::env::temp_dir().join(format!("ada_io_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("patients.csv"), "patient_id,age\n0,50\n").unwrap();
+        std::fs::write(dir.join("catalog.csv"), "exam_id,name,group\n0,X,lipid\n").unwrap();
+        // Record references exam 7, which is not in the catalog.
+        std::fs::write(
+            dir.join("records.csv"),
+            "patient_id,exam_id,date\n0,7,2015-01-01\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            load_dir(&dir),
+            Err(DatasetError::UnknownExamType(7))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,212 @@
+//! Small sampling toolkit used by the synthetic generator.
+//!
+//! The workspace deliberately depends only on `rand`'s core (no
+//! `rand_distr`), so the handful of distributions the generator needs are
+//! implemented here: Box–Muller normals, Poisson counts, Zipf weights and
+//! an alias table for O(1) weighted sampling of exam types.
+
+use rand::Rng;
+
+/// Draws a standard normal via the Box–Muller transform.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a normal with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * std_normal(rng)
+}
+
+/// Draws a Poisson-distributed count.
+///
+/// Uses Knuth's product method for small means and a normal approximation
+/// (rounded, clamped at 0) for large ones, which is plenty for generating
+/// per-patient record counts.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, mean, mean.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Unnormalized Zipf weights `1 / rank^s` for ranks `1..=n`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (1..=n).map(|rank| (rank as f64).powf(-s)).collect()
+}
+
+/// Walker alias table for O(1) sampling from a discrete distribution.
+///
+/// Construction is O(n); each draw costs one uniform index plus one
+/// uniform accept test. The synthetic generator draws ~10⁵ exam types per
+/// dataset, and the optimizer's stress benches scale that up further, so
+/// constant-time draws matter.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero — all programming errors in this crate.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "alias table weights must be finite with positive sum"
+        );
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight");
+        }
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical residue: whatever remains gets probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn std_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for target in [0.5, 4.0, 15.0, 80.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, target)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - target).abs() < target.sqrt() * 0.1 + 0.05,
+                "target {target}, mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn zipf_weights_decreasing() {
+        let w = zipf_weights(10, 1.0);
+        assert_eq!(w.len(), 10);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [0.1, 0.0, 0.4, 0.5];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0usize; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(hits[1], 0, "zero-weight category must never be drawn");
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = hits[i] as f64 / n as f64;
+            assert!((freq - w).abs() < 0.01, "category {i}: {freq} vs {w}");
+        }
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let table = AliasTable::new(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn alias_table_rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn alias_table_rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

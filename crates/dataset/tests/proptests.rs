@@ -1,0 +1,136 @@
+//! Property tests: calendar arithmetic, CSV round-trips, statistics
+//! bounds.
+
+use ada_dataset::record::{ExamRecord, ExamType, ExamTypeId, Patient, PatientId};
+use ada_dataset::taxonomy::ConditionGroup;
+use ada_dataset::{io, stats, Date, ExamLog};
+use proptest::prelude::*;
+
+fn valid_date() -> impl Strategy<Value = Date> {
+    (1u16..=9999, 1u8..=12, 1u8..=31)
+        .prop_filter_map("valid calendar day", |(y, m, d)| Date::new(y, m, d).ok())
+}
+
+proptest! {
+    #[test]
+    fn date_epoch_round_trip(date in valid_date()) {
+        let days = date.days_since_epoch();
+        prop_assert_eq!(Date::from_days_since_epoch(days).unwrap(), date);
+    }
+
+    #[test]
+    fn date_ordinal_round_trip(date in valid_date()) {
+        let back = Date::from_ordinal(date.year(), date.ordinal()).unwrap();
+        prop_assert_eq!(back, date);
+    }
+
+    #[test]
+    fn date_string_round_trip(date in valid_date()) {
+        let parsed: Date = date.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, date);
+    }
+
+    #[test]
+    fn date_add_days_inverts(date in valid_date(), delta in -3000i64..3000) {
+        if let Ok(moved) = date.add_days(delta) {
+            prop_assert_eq!(moved.days_between(date), delta);
+            prop_assert_eq!(moved.add_days(-delta).unwrap(), date);
+        }
+    }
+
+    #[test]
+    fn date_ordering_matches_epoch(a in valid_date(), b in valid_date()) {
+        prop_assert_eq!(
+            a.cmp(&b),
+            a.days_since_epoch().cmp(&b.days_since_epoch())
+        );
+    }
+
+    #[test]
+    fn gini_and_entropy_bounds(counts in prop::collection::vec(0usize..1000, 1..50)) {
+        let g = stats::gini(&counts);
+        prop_assert!((-1e-9..=1.0).contains(&g), "gini {}", g);
+        let h = stats::entropy(&counts);
+        let n = counts.iter().filter(|&&c| c > 0).count().max(1);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (n as f64).ln() + 1e-9, "entropy {} exceeds ln({})", h, n);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_cdf(
+        pairs in prop::collection::vec((0u32..8, 0u32..10), 1..60),
+    ) {
+        let np = pairs.iter().map(|p| p.0).max().unwrap() + 1;
+        let ne = pairs.iter().map(|p| p.1).max().unwrap() + 1;
+        let patients = (0..np).map(|i| Patient::new(PatientId(i), 50).unwrap()).collect();
+        let catalog = (0..ne)
+            .map(|i| ExamType::new(ExamTypeId(i), format!("e{i}"), ConditionGroup::GeneralLab))
+            .collect();
+        let mut log = ExamLog::new(patients, catalog).unwrap();
+        let d = Date::new(2015, 6, 1).unwrap();
+        for &(p, e) in &pairs {
+            log.push_record(ExamRecord::new(PatientId(p), ExamTypeId(e), d)).unwrap();
+        }
+        let curve = stats::coverage_curve(&log);
+        prop_assert_eq!(curve.len(), ne as usize + 1);
+        prop_assert_eq!(curve[0], 0.0);
+        prop_assert!((curve.last().unwrap() - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_arbitrary_names(
+        names in prop::collection::vec("[ -~]{1,20}", 1..10),
+    ) {
+        let catalog: Vec<ExamType> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ExamType::new(ExamTypeId(i as u32), n.clone(), ConditionGroup::Imaging))
+            .collect();
+        let mut buf = Vec::new();
+        io::write_catalog(&mut buf, &catalog).unwrap();
+        let back = io::read_catalog(&buf[..]).unwrap();
+        prop_assert_eq!(back, catalog);
+    }
+
+    #[test]
+    fn records_csv_round_trip(
+        rows in prop::collection::vec((0u32..50, 0u32..30), 0..40),
+        date in valid_date(),
+    ) {
+        let records: Vec<ExamRecord> = rows
+            .iter()
+            .map(|&(p, e)| ExamRecord::new(PatientId(p), ExamTypeId(e), date))
+            .collect();
+        let mut buf = Vec::new();
+        io::write_records(&mut buf, &records).unwrap();
+        let back = io::read_records(&buf[..]).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn filters_partition_records(
+        pairs in prop::collection::vec((0u32..6, 0u32..8), 1..50),
+        keep_exam in 0u32..8,
+    ) {
+        let patients = (0..6).map(|i| Patient::new(PatientId(i), 40).unwrap()).collect();
+        let catalog = (0..8)
+            .map(|i| ExamType::new(ExamTypeId(i), format!("e{i}"), ConditionGroup::Lipid))
+            .collect();
+        let mut log = ExamLog::new(patients, catalog).unwrap();
+        let d = Date::new(2015, 1, 1).unwrap();
+        for &(p, e) in &pairs {
+            log.push_record(ExamRecord::new(PatientId(p), ExamTypeId(e), d)).unwrap();
+        }
+        // Keeping one exam type + keeping the rest partitions the log.
+        let kept = log.filter_by_exams(&[ExamTypeId(keep_exam)]);
+        let rest: Vec<ExamTypeId> = (0..8)
+            .filter(|&e| e != keep_exam)
+            .map(ExamTypeId)
+            .collect();
+        let others = log.filter_by_exams(&rest);
+        prop_assert_eq!(kept.num_records() + others.num_records(), log.num_records());
+    }
+}

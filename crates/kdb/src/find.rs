@@ -1,0 +1,270 @@
+//! Rich read queries: sorting, limits, projection and aggregation.
+//!
+//! The knowledge-navigation layer reads the K-DB in ranked pages
+//! ("top-20 pattern items by score") and the session views aggregate
+//! ("how many items per session"); this module adds those read shapes
+//! on top of [`Collection::find`].
+
+use std::collections::BTreeMap;
+
+use crate::collection::{Collection, DocId};
+use crate::document::{Document, Value};
+use crate::index::IndexKey;
+use crate::query::Filter;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Smallest key first.
+    Ascending,
+    /// Largest key first.
+    Descending,
+}
+
+/// A read query over one collection.
+#[derive(Debug, Clone)]
+pub struct FindOptions {
+    /// Filter to apply (defaults to everything).
+    pub filter: Filter,
+    /// Sort key: a dotted path plus direction. Documents missing the
+    /// path sort last regardless of direction. `None` keeps id order.
+    pub sort: Option<(String, Order)>,
+    /// Skip this many results after sorting.
+    pub skip: usize,
+    /// Keep at most this many results after skipping.
+    pub limit: Option<usize>,
+    /// Keep only these top-level fields (plus `_id`) in the returned
+    /// documents. `None` returns whole documents.
+    pub projection: Option<Vec<String>>,
+}
+
+impl Default for FindOptions {
+    fn default() -> Self {
+        Self {
+            filter: Filter::True,
+            sort: None,
+            skip: 0,
+            limit: None,
+            projection: None,
+        }
+    }
+}
+
+impl FindOptions {
+    /// Everything matching `filter`.
+    pub fn filtered(filter: Filter) -> Self {
+        Self {
+            filter,
+            ..Self::default()
+        }
+    }
+
+    /// Sorts by a dotted path (builder style).
+    pub fn sort_by(mut self, path: impl Into<String>, order: Order) -> Self {
+        self.sort = Some((path.into(), order));
+        self
+    }
+
+    /// Limits the result count (builder style).
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Skips leading results (builder style).
+    pub fn skip(mut self, skip: usize) -> Self {
+        self.skip = skip;
+        self
+    }
+
+    /// Projects to the given top-level fields (builder style).
+    pub fn project(mut self, fields: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.projection = Some(fields.into_iter().map(Into::into).collect());
+        self
+    }
+}
+
+/// Runs a rich query against a collection, returning owned documents.
+pub fn find_with(collection: &Collection, options: &FindOptions) -> Vec<(DocId, Document)> {
+    let mut rows: Vec<(DocId, &Document)> = collection.find(&options.filter);
+
+    if let Some((path, order)) = &options.sort {
+        rows.sort_by(|(ia, a), (ib, b)| {
+            let ka = a.get_path(path).map(IndexKey::from_value);
+            let kb = b.get_path(path).map(IndexKey::from_value);
+            let cmp = match (ka, kb) {
+                (Some(x), Some(y)) => match order {
+                    Order::Ascending => x.cmp(&y),
+                    Order::Descending => y.cmp(&x),
+                },
+                // Missing sort keys go last, whatever the direction.
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            };
+            cmp.then_with(|| ia.cmp(ib))
+        });
+    }
+
+    rows.into_iter()
+        .skip(options.skip)
+        .take(options.limit.unwrap_or(usize::MAX))
+        .map(|(id, doc)| {
+            let doc = match &options.projection {
+                None => doc.clone(),
+                Some(fields) => {
+                    let mut projected = Document::new();
+                    if let Some(idv) = doc.get("_id") {
+                        projected.set("_id", idv.clone());
+                    }
+                    for field in fields {
+                        if let Some(v) = doc.get(field) {
+                            projected.set(field.clone(), v.clone());
+                        }
+                    }
+                    projected
+                }
+            };
+            (id, doc)
+        })
+        .collect()
+}
+
+/// Groups matching documents by the value at `path` and counts each
+/// group. Documents missing the path are counted under `Value::Null`.
+/// Groups are returned in key order.
+pub fn count_by(collection: &Collection, filter: &Filter, path: &str) -> Vec<(Value, usize)> {
+    let mut groups: BTreeMap<IndexKey, (Value, usize)> = BTreeMap::new();
+    for (_, doc) in collection.find(filter) {
+        let value = doc.get_path(path).cloned().unwrap_or(Value::Null);
+        let key = IndexKey::from_value(&value);
+        groups.entry(key).or_insert((value, 0)).1 += 1;
+    }
+    groups.into_values().collect()
+}
+
+/// Sums the numeric values at `path` over matching documents (missing or
+/// non-numeric fields contribute 0).
+pub fn sum_by(collection: &Collection, filter: &Filter, path: &str) -> f64 {
+    collection
+        .find(filter)
+        .iter()
+        .filter_map(|(_, d)| d.get_path(path).and_then(Value::as_f64))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Collection {
+        let mut c = Collection::new("items");
+        for (kind, score) in [
+            ("cluster", 0.9),
+            ("pattern", 0.5),
+            ("cluster", 0.2),
+            ("pattern", 0.7),
+        ] {
+            c.insert(Document::new().with("kind", kind).with("score", score));
+        }
+        // One document without a score.
+        c.insert(Document::new().with("kind", "cluster"));
+        c
+    }
+
+    #[test]
+    fn sort_limit_skip() {
+        let c = sample();
+        let top2 = find_with(
+            &c,
+            &FindOptions::default()
+                .sort_by("score", Order::Descending)
+                .limit(2),
+        );
+        let scores: Vec<f64> = top2
+            .iter()
+            .map(|(_, d)| d.get("score").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(scores, vec![0.9, 0.7]);
+
+        let second_page = find_with(
+            &c,
+            &FindOptions::default()
+                .sort_by("score", Order::Descending)
+                .skip(2)
+                .limit(2),
+        );
+        let scores: Vec<f64> = second_page
+            .iter()
+            .map(|(_, d)| d.get("score").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(scores, vec![0.5, 0.2]);
+    }
+
+    #[test]
+    fn missing_sort_key_goes_last() {
+        let c = sample();
+        let all = find_with(
+            &c,
+            &FindOptions::default().sort_by("score", Order::Ascending),
+        );
+        assert!(all.last().unwrap().1.get("score").is_none());
+        let all_desc = find_with(
+            &c,
+            &FindOptions::default().sort_by("score", Order::Descending),
+        );
+        assert!(all_desc.last().unwrap().1.get("score").is_none());
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let c = sample();
+        let clusters = find_with(
+            &c,
+            &FindOptions::filtered(Filter::eq("kind", "cluster")).project(["score"]),
+        );
+        assert_eq!(clusters.len(), 3);
+        for (_, d) in &clusters {
+            assert!(d.get("kind").is_none(), "kind must be projected away");
+            assert!(d.get("_id").is_some(), "_id survives projection");
+        }
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut c = Collection::new("t");
+        c.insert(Document::new().with("v", 1i64));
+        c.insert(Document::new().with("v", 1i64));
+        let rows = find_with(&c, &FindOptions::default().sort_by("v", Order::Descending));
+        assert_eq!(rows[0].0, 1);
+        assert_eq!(rows[1].0, 2);
+    }
+
+    #[test]
+    fn count_by_groups() {
+        let c = sample();
+        let counts = count_by(&c, &Filter::True, "kind");
+        assert_eq!(counts.len(), 2);
+        let get = |name: &str| {
+            counts
+                .iter()
+                .find(|(v, _)| v.as_str() == Some(name))
+                .map(|(_, n)| *n)
+        };
+        assert_eq!(get("cluster"), Some(3));
+        assert_eq!(get("pattern"), Some(2));
+
+        // Missing paths group under Null.
+        let by_score = count_by(&c, &Filter::True, "score");
+        assert!(by_score.iter().any(|(v, n)| *v == Value::Null && *n == 1));
+    }
+
+    #[test]
+    fn sum_by_totals() {
+        let c = sample();
+        let total = sum_by(&c, &Filter::True, "score");
+        assert!((total - (0.9 + 0.5 + 0.2 + 0.7)).abs() < 1e-12);
+        let clusters = sum_by(&c, &Filter::eq("kind", "cluster"), "score");
+        assert!((clusters - 1.1).abs() < 1e-12);
+    }
+}

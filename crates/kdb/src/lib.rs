@@ -1,0 +1,49 @@
+//! # ada-kdb
+//!
+//! Embedded document store: the **K-DB** substrate of ADA-HEALTH.
+//!
+//! The paper "designed and implemented a preliminary version of the K-DB
+//! on a cluster of MongoDBs", holding six collections: (1) the original
+//! dataset, (2) the transformed dataset, (3) statistical descriptors,
+//! (4–5) interesting/selected knowledge items from different mining
+//! algorithms, and (6) user interaction feedbacks. MongoDB is used purely
+//! as a document container, so this crate substitutes a from-scratch
+//! embedded store that exercises the same operations:
+//!
+//! * [`document`] — a BSON-like dynamic [`Value`]/[`Document`] model with
+//!   a length-prefixed canonical encoding (round-trip tested);
+//! * [`query`] — a composable filter AST (`Eq`/`Gt`/`In`/`And`/`Or`/…)
+//!   evaluated against documents, with dotted-path field access;
+//! * [`collection`] + [`index`] — insert/get/update/delete, filtered
+//!   scans, and secondary ordered indexes that accelerate equality and
+//!   range filters;
+//! * [`store`] — a named-collection database with append-only
+//!   [`journal`] persistence, snapshot compaction and crash recovery;
+//! * [`schema`] — the six ADA-HEALTH collections with typed helpers.
+//!
+//! Thread safety: wrap a [`Kdb`] in [`SharedKdb`] (a
+//! `parking_lot::RwLock`) when sharing across the optimizer's worker
+//! threads.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod document;
+pub mod find;
+pub mod index;
+pub mod journal;
+pub mod query;
+pub mod schema;
+pub mod store;
+
+mod error;
+
+pub use collection::{Collection, DocId};
+pub use document::{Document, Value};
+pub use error::KdbError;
+pub use find::{count_by, find_with, FindOptions, Order};
+pub use query::Filter;
+pub use store::Kdb;
+
+/// A [`Kdb`] shareable across threads.
+pub type SharedKdb = std::sync::Arc<parking_lot::RwLock<Kdb>>;

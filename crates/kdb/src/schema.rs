@@ -1,0 +1,306 @@
+//! The six ADA-HEALTH collections and typed access helpers.
+//!
+//! The paper's data model "consists of six collections, which store (1)
+//! the original dataset, (2) the transformed dataset after preprocessing
+//! and data transformation, (3) statistical descriptors to model the
+//! data distribution, (4-5) interesting and selected knowledge items
+//! discovered through different data mining algorithms, and (6) user
+//! interaction feedbacks", with knowledge items enriched by a physician
+//! with a degree of interestingness in {high, medium, low}.
+
+use serde::{Deserialize, Serialize};
+
+use crate::collection::DocId;
+use crate::document::{Document, Value};
+use crate::error::KdbError;
+use crate::store::Kdb;
+
+/// Canonical collection names.
+pub mod names {
+    /// (1) The original dataset (record documents or dataset metadata).
+    pub const RAW_DATA: &str = "raw_data";
+    /// (2) The transformed dataset after preprocessing.
+    pub const TRANSFORMED_DATA: &str = "transformed_data";
+    /// (3) Statistical descriptors of the data distribution.
+    pub const DESCRIPTORS: &str = "descriptors";
+    /// (4) Knowledge items from clustering algorithms.
+    pub const CLUSTER_KNOWLEDGE: &str = "cluster_knowledge";
+    /// (5) Knowledge items from pattern-discovery algorithms.
+    pub const PATTERN_KNOWLEDGE: &str = "pattern_knowledge";
+    /// (6) User interaction feedbacks.
+    pub const FEEDBACK: &str = "feedback";
+
+    /// All six, in paper order.
+    pub const ALL: [&str; 6] = [
+        RAW_DATA,
+        TRANSFORMED_DATA,
+        DESCRIPTORS,
+        CLUSTER_KNOWLEDGE,
+        PATTERN_KNOWLEDGE,
+        FEEDBACK,
+    ];
+}
+
+/// The physician-assigned degree of interestingness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Interestingness {
+    /// Low interest.
+    Low,
+    /// Medium interest.
+    Medium,
+    /// High interest.
+    High,
+}
+
+impl Interestingness {
+    /// Canonical string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Interestingness::Low => "low",
+            Interestingness::Medium => "medium",
+            Interestingness::High => "high",
+        }
+    }
+
+    /// Parses the canonical string form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "low" => Some(Interestingness::Low),
+            "medium" => Some(Interestingness::Medium),
+            "high" => Some(Interestingness::High),
+            _ => None,
+        }
+    }
+
+    /// A numeric score in [0, 1] (low = 0, medium = 0.5, high = 1).
+    pub fn score(self) -> f64 {
+        match self {
+            Interestingness::Low => 0.0,
+            Interestingness::Medium => 0.5,
+            Interestingness::High => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Interestingness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Creates the six collections (idempotent) and the indexes the engine
+/// queries against (`session` everywhere; `score` on knowledge items).
+///
+/// # Errors
+/// Returns journal I/O errors.
+pub fn init_schema(db: &mut Kdb) -> Result<(), KdbError> {
+    for name in names::ALL {
+        db.ensure_collection(name)?;
+    }
+    for coll in [names::CLUSTER_KNOWLEDGE, names::PATTERN_KNOWLEDGE] {
+        for path in ["session", "score"] {
+            if !db.collection(coll).expect("just created").has_index(path) {
+                db.create_index(coll, path)?;
+            }
+        }
+    }
+    for coll in [names::DESCRIPTORS, names::FEEDBACK] {
+        if !db
+            .collection(coll)
+            .expect("just created")
+            .has_index("session")
+        {
+            db.create_index(coll, "session")?;
+        }
+    }
+    Ok(())
+}
+
+/// Inserts a clustering knowledge item.
+///
+/// # Errors
+/// Returns store errors (missing collection / journal I/O).
+pub fn insert_cluster_item(
+    db: &mut Kdb,
+    session: &str,
+    k: usize,
+    cluster: usize,
+    size: usize,
+    cohesion: f64,
+    description: &str,
+) -> Result<DocId, KdbError> {
+    db.insert(
+        names::CLUSTER_KNOWLEDGE,
+        Document::new()
+            .with("session", session)
+            .with("kind", "cluster")
+            .with("k", k as i64)
+            .with("cluster", cluster as i64)
+            .with("size", size as i64)
+            .with("score", cohesion)
+            .with("description", description),
+    )
+}
+
+/// Inserts a pattern knowledge item (an association rule or itemset).
+///
+/// # Errors
+/// Returns store errors (missing collection / journal I/O).
+pub fn insert_pattern_item(
+    db: &mut Kdb,
+    session: &str,
+    items: &[u32],
+    support: f64,
+    confidence: f64,
+    lift: f64,
+    description: &str,
+) -> Result<DocId, KdbError> {
+    db.insert(
+        names::PATTERN_KNOWLEDGE,
+        Document::new()
+            .with("session", session)
+            .with("kind", "pattern")
+            .with(
+                "items",
+                Value::Array(items.iter().map(|&i| Value::I64(i as i64)).collect()),
+            )
+            .with("support", support)
+            .with("confidence", confidence)
+            .with("lift", lift)
+            .with("score", confidence * lift.min(4.0) / 4.0)
+            .with("description", description),
+    )
+}
+
+/// Records physician feedback on a knowledge item.
+///
+/// # Errors
+/// Returns store errors (missing collection / journal I/O).
+pub fn insert_feedback(
+    db: &mut Kdb,
+    session: &str,
+    item_collection: &str,
+    item_id: DocId,
+    interest: Interestingness,
+) -> Result<DocId, KdbError> {
+    db.insert(
+        names::FEEDBACK,
+        Document::new()
+            .with("session", session)
+            .with("item_collection", item_collection)
+            .with("item_id", item_id as i64)
+            .with("interest", interest.as_str()),
+    )
+}
+
+/// Stores a statistical-descriptor document for a session.
+///
+/// # Errors
+/// Returns store errors (missing collection / journal I/O).
+pub fn insert_descriptors(
+    db: &mut Kdb,
+    session: &str,
+    descriptors: Document,
+) -> Result<DocId, KdbError> {
+    db.insert(names::DESCRIPTORS, descriptors.with("session", session))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Filter;
+
+    #[test]
+    fn init_creates_all_six_collections() {
+        let mut db = Kdb::in_memory();
+        init_schema(&mut db).unwrap();
+        for name in names::ALL {
+            assert!(db.collection(name).is_some(), "missing {name}");
+        }
+        assert!(db
+            .collection(names::CLUSTER_KNOWLEDGE)
+            .unwrap()
+            .has_index("score"));
+        // Idempotent.
+        init_schema(&mut db).unwrap();
+    }
+
+    #[test]
+    fn knowledge_items_round_trip() {
+        let mut db = Kdb::in_memory();
+        init_schema(&mut db).unwrap();
+        let cid = insert_cluster_item(&mut db, "s1", 8, 2, 512, 0.73, "cluster 2 of 8").unwrap();
+        let pid = insert_pattern_item(&mut db, "s1", &[3, 17], 0.21, 0.88, 2.4, "HbA1c => glucose")
+            .unwrap();
+        insert_feedback(
+            &mut db,
+            "s1",
+            names::CLUSTER_KNOWLEDGE,
+            cid,
+            Interestingness::High,
+        )
+        .unwrap();
+
+        let clusters = db
+            .find(names::CLUSTER_KNOWLEDGE, &Filter::eq("session", "s1"))
+            .unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].1.get("k").unwrap().as_i64(), Some(8));
+
+        let patterns = db
+            .find(names::PATTERN_KNOWLEDGE, &Filter::eq("session", "s1"))
+            .unwrap();
+        assert_eq!(
+            patterns[0]
+                .1
+                .get("items")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(patterns[0].0, pid);
+
+        let feedback = db
+            .find(names::FEEDBACK, &Filter::eq("session", "s1"))
+            .unwrap();
+        assert_eq!(
+            feedback[0].1.get("interest").unwrap().as_str(),
+            Some("high")
+        );
+    }
+
+    #[test]
+    fn interestingness_round_trip() {
+        for i in [
+            Interestingness::Low,
+            Interestingness::Medium,
+            Interestingness::High,
+        ] {
+            assert_eq!(Interestingness::parse(i.as_str()), Some(i));
+        }
+        assert_eq!(Interestingness::parse("nope"), None);
+        assert!(Interestingness::High.score() > Interestingness::Medium.score());
+        assert!(Interestingness::High > Interestingness::Low);
+    }
+
+    #[test]
+    fn descriptors_tagged_with_session() {
+        let mut db = Kdb::in_memory();
+        init_schema(&mut db).unwrap();
+        insert_descriptors(
+            &mut db,
+            "s2",
+            Document::new()
+                .with("sparsity", 0.91)
+                .with("patients", 6380i64),
+        )
+        .unwrap();
+        let found = db
+            .find(names::DESCRIPTORS, &Filter::eq("session", "s2"))
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1.get("sparsity").unwrap().as_f64(), Some(0.91));
+    }
+}

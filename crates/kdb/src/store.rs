@@ -1,0 +1,394 @@
+//! The K-DB database object: named collections + optional journal.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::collection::{Collection, DocId};
+use crate::document::Document;
+use crate::error::KdbError;
+use crate::journal::{replay, Journal, Op};
+use crate::query::Filter;
+
+/// A document database of named collections.
+///
+/// All mutations go through [`Kdb`] methods so they can be journaled;
+/// reads can also borrow a [`Collection`] directly via
+/// [`Kdb::collection`].
+///
+/// ```
+/// use ada_kdb::{Document, Filter, Kdb};
+///
+/// let mut db = Kdb::in_memory();
+/// db.create_collection("items").unwrap();
+/// db.insert("items", Document::new().with("kind", "cluster").with("score", 0.9))
+///     .unwrap();
+/// let found = db.find("items", &Filter::eq("kind", "cluster")).unwrap();
+/// assert_eq!(found.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Kdb {
+    collections: BTreeMap<String, Collection>,
+    journal: Option<Journal>,
+}
+
+impl Kdb {
+    /// An in-memory store with no persistence.
+    pub fn in_memory() -> Self {
+        Self {
+            collections: BTreeMap::new(),
+            journal: None,
+        }
+    }
+
+    /// Opens (creating if needed) a journaled store at `path`, replaying
+    /// the existing journal and truncating any torn tail left by a
+    /// crash.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] on filesystem failures or
+    /// [`KdbError::Journal`] when a *replayed* operation is inconsistent
+    /// (e.g. an insert into a collection that was never created).
+    pub fn open(path: &Path) -> Result<Self, KdbError> {
+        let mut store = Self::in_memory();
+        let valid_len = if path.exists() {
+            let replayed = replay(path)?;
+            for (line, op) in replayed.ops.into_iter().enumerate() {
+                store
+                    .apply(&op)
+                    .map_err(|e| KdbError::Journal(line + 1, e.to_string()))?;
+            }
+            Some(replayed.valid_len)
+        } else {
+            None
+        };
+        store.journal = Some(Journal::open(path, valid_len)?);
+        Ok(store)
+    }
+
+    /// Applies an op to in-memory state (no journaling).
+    fn apply(&mut self, op: &Op) -> Result<(), KdbError> {
+        match op {
+            Op::CreateCollection { name } => {
+                if self.collections.contains_key(name) {
+                    return Err(KdbError::CollectionExists(name.clone()));
+                }
+                self.collections
+                    .insert(name.clone(), Collection::new(name.clone()));
+                Ok(())
+            }
+            Op::CreateIndex { name, path } => self.coll_mut(name)?.create_index(path.clone()),
+            Op::Insert { name, id, doc } => self.coll_mut(name)?.insert_with_id(*id, doc.clone()),
+            Op::Update { name, id, doc } => self.coll_mut(name)?.update(*id, doc.clone()),
+            Op::Delete { name, id } => self.coll_mut(name)?.delete(*id),
+        }
+    }
+
+    fn log(&mut self, op: &Op) -> Result<(), KdbError> {
+        if let Some(journal) = &mut self.journal {
+            journal.append(op)?;
+        }
+        Ok(())
+    }
+
+    fn coll_mut(&mut self, name: &str) -> Result<&mut Collection, KdbError> {
+        self.collections
+            .get_mut(name)
+            .ok_or_else(|| KdbError::UnknownCollection(name.to_owned()))
+    }
+
+    /// Creates a collection.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::CollectionExists`] for duplicates, or an I/O
+    /// error from the journal.
+    pub fn create_collection(&mut self, name: impl Into<String>) -> Result<(), KdbError> {
+        let name = name.into();
+        let op = Op::CreateCollection { name };
+        self.apply(&op)?;
+        self.log(&op)
+    }
+
+    /// Creates a collection if it does not already exist.
+    ///
+    /// # Errors
+    /// Returns journal I/O errors.
+    pub fn ensure_collection(&mut self, name: impl Into<String>) -> Result<(), KdbError> {
+        let name = name.into();
+        if !self.collections.contains_key(&name) {
+            self.create_collection(name)?;
+        }
+        Ok(())
+    }
+
+    /// Creates a secondary index.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::UnknownCollection`], [`KdbError::IndexExists`]
+    /// or a journal I/O error.
+    pub fn create_index(
+        &mut self,
+        collection: &str,
+        path: impl Into<String>,
+    ) -> Result<(), KdbError> {
+        let op = Op::CreateIndex {
+            name: collection.to_owned(),
+            path: path.into(),
+        };
+        self.apply(&op)?;
+        self.log(&op)
+    }
+
+    /// Inserts a document, returning its id.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::UnknownCollection`] or a journal I/O error.
+    pub fn insert(&mut self, collection: &str, doc: Document) -> Result<DocId, KdbError> {
+        let id = self.coll_mut(collection)?.insert(doc);
+        // Journal the document as stored (with _id materialized).
+        let stored = self.collections[collection]
+            .get(id)
+            .expect("just inserted")
+            .clone();
+        self.log(&Op::Insert {
+            name: collection.to_owned(),
+            id,
+            doc: stored,
+        })?;
+        Ok(id)
+    }
+
+    /// Replaces a document.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::UnknownCollection`],
+    /// [`KdbError::UnknownDocument`] or a journal I/O error.
+    pub fn update(&mut self, collection: &str, id: DocId, doc: Document) -> Result<(), KdbError> {
+        let op = Op::Update {
+            name: collection.to_owned(),
+            id,
+            doc,
+        };
+        self.apply(&op)?;
+        self.log(&op)
+    }
+
+    /// Deletes a document.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::UnknownCollection`],
+    /// [`KdbError::UnknownDocument`] or a journal I/O error.
+    pub fn delete(&mut self, collection: &str, id: DocId) -> Result<(), KdbError> {
+        let op = Op::Delete {
+            name: collection.to_owned(),
+            id,
+        };
+        self.apply(&op)?;
+        self.log(&op)
+    }
+
+    /// Borrows a collection for reads.
+    pub fn collection(&self, name: &str) -> Option<&Collection> {
+        self.collections.get(name)
+    }
+
+    /// Collection names, sorted.
+    pub fn collection_names(&self) -> Vec<&str> {
+        self.collections.keys().map(String::as_str).collect()
+    }
+
+    /// Finds documents in a collection (cloned out for ownership
+    /// simplicity at call sites that hold the store mutably elsewhere).
+    ///
+    /// # Errors
+    /// Returns [`KdbError::UnknownCollection`].
+    pub fn find(
+        &self,
+        collection: &str,
+        filter: &Filter,
+    ) -> Result<Vec<(DocId, Document)>, KdbError> {
+        let coll = self
+            .collections
+            .get(collection)
+            .ok_or_else(|| KdbError::UnknownCollection(collection.to_owned()))?;
+        Ok(coll
+            .find(filter)
+            .into_iter()
+            .map(|(id, d)| (id, d.clone()))
+            .collect())
+    }
+
+    /// Compacts the journal to the minimal op sequence reconstructing
+    /// the current state. No-op for in-memory stores.
+    ///
+    /// # Errors
+    /// Returns journal I/O errors.
+    pub fn snapshot(&mut self) -> Result<(), KdbError> {
+        let Some(journal) = &mut self.journal else {
+            return Ok(());
+        };
+        let mut ops = Vec::new();
+        for (name, coll) in &self.collections {
+            ops.push(Op::CreateCollection { name: name.clone() });
+            for path in coll.index_paths() {
+                ops.push(Op::CreateIndex {
+                    name: name.clone(),
+                    path: path.to_owned(),
+                });
+            }
+            for (id, doc) in coll.iter() {
+                ops.push(Op::Insert {
+                    name: name.clone(),
+                    id,
+                    doc: doc.clone(),
+                });
+            }
+        }
+        journal.rewrite(&ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Value;
+
+    fn item(kind: &str, score: f64) -> Document {
+        Document::new().with("kind", kind).with("score", score)
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ada_kdb_store_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn in_memory_crud() {
+        let mut db = Kdb::in_memory();
+        db.create_collection("items").unwrap();
+        let id = db.insert("items", item("cluster", 0.9)).unwrap();
+        assert_eq!(db.collection("items").unwrap().len(), 1);
+        db.update("items", id, item("cluster", 0.1)).unwrap();
+        let found = db.find("items", &Filter::eq("kind", "cluster")).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1.get("score").unwrap().as_f64(), Some(0.1));
+        db.delete("items", id).unwrap();
+        assert!(db.collection("items").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let mut db = Kdb::in_memory();
+        assert!(matches!(
+            db.insert("nope", Document::new()),
+            Err(KdbError::UnknownCollection(_))
+        ));
+        assert!(db.find("nope", &Filter::True).is_err());
+        db.create_collection("a").unwrap();
+        assert_eq!(
+            db.create_collection("a"),
+            Err(KdbError::CollectionExists("a".into()))
+        );
+        db.ensure_collection("a").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let path = temp_path("rt");
+        std::fs::remove_file(&path).ok();
+        let id;
+        {
+            let mut db = Kdb::open(&path).unwrap();
+            db.create_collection("items").unwrap();
+            db.create_index("items", "kind").unwrap();
+            id = db.insert("items", item("cluster", 0.9)).unwrap();
+            db.insert("items", item("pattern", 0.4)).unwrap();
+            db.update("items", id, item("cluster", 0.95)).unwrap();
+        }
+        {
+            let db = Kdb::open(&path).unwrap();
+            let coll = db.collection("items").unwrap();
+            assert_eq!(coll.len(), 2);
+            assert!(coll.has_index("kind"));
+            assert_eq!(
+                coll.get(id).unwrap().get("score").unwrap().as_f64(),
+                Some(0.95)
+            );
+            // New inserts continue the id sequence.
+        }
+        {
+            let mut db = Kdb::open(&path).unwrap();
+            let next = db.insert("items", item("x", 0.0)).unwrap();
+            assert_eq!(next, 3);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_recovery_truncates_torn_tail() {
+        let path = temp_path("crash");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = Kdb::open(&path).unwrap();
+            db.create_collection("items").unwrap();
+            db.insert("items", item("a", 1.0)).unwrap();
+            db.insert("items", item("b", 2.0)).unwrap();
+        }
+        // Tear the final record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        {
+            let mut db = Kdb::open(&path).unwrap();
+            // Second insert was torn away; first survives.
+            assert_eq!(db.collection("items").unwrap().len(), 1);
+            // The store keeps working after recovery.
+            db.insert("items", item("c", 3.0)).unwrap();
+        }
+        let db = Kdb::open(&path).unwrap();
+        assert_eq!(db.collection("items").unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_compacts_but_preserves_state() {
+        let path = temp_path("snap");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = Kdb::open(&path).unwrap();
+            db.create_collection("items").unwrap();
+            db.create_index("items", "score").unwrap();
+            let mut ids = Vec::new();
+            for i in 0..20 {
+                ids.push(db.insert("items", item("k", i as f64)).unwrap());
+            }
+            for &id in &ids[..10] {
+                db.delete("items", id).unwrap();
+            }
+            let before = std::fs::metadata(&path).unwrap().len();
+            db.snapshot().unwrap();
+            let after = std::fs::metadata(&path).unwrap().len();
+            assert!(after < before, "snapshot must shrink ({before} -> {after})");
+        }
+        let db = Kdb::open(&path).unwrap();
+        let coll = db.collection("items").unwrap();
+        assert_eq!(coll.len(), 10);
+        assert!(coll.has_index("score"));
+        let found = coll.find(&Filter::Gte("score".into(), Value::F64(15.0)));
+        assert_eq!(found.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writes_after_snapshot_replay_correctly() {
+        let path = temp_path("postsnap");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = Kdb::open(&path).unwrap();
+            db.create_collection("items").unwrap();
+            db.insert("items", item("a", 1.0)).unwrap();
+            db.snapshot().unwrap();
+            db.insert("items", item("b", 2.0)).unwrap();
+        }
+        let db = Kdb::open(&path).unwrap();
+        assert_eq!(db.collection("items").unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,223 @@
+//! Partition-comparison metrics: how similar are two clusterings?
+//!
+//! The partial-mining analysis needs to quantify how well a clustering
+//! computed on a feature subset *approximates* the full-data clustering,
+//! and the synthetic-cohort validation needs to compare discovered
+//! clusters against the generator's latent profiles. Standard external
+//! indices: purity, the adjusted Rand index, and normalized mutual
+//! information.
+
+/// The contingency table between two label vectors.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// `counts[a][b]` = number of items with label `a` in the first
+    /// partition and `b` in the second.
+    counts: Vec<Vec<usize>>,
+    /// Row sums (first partition's cluster sizes).
+    row: Vec<usize>,
+    /// Column sums (second partition's cluster sizes).
+    col: Vec<usize>,
+    /// Total number of items.
+    n: usize,
+}
+
+impl Contingency {
+    /// Builds the table from two parallel label vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn new(a: &[usize], b: &[usize]) -> Self {
+        assert_eq!(a.len(), b.len(), "label vectors must be parallel");
+        let ka = a.iter().copied().max().map_or(0, |m| m + 1);
+        let kb = b.iter().copied().max().map_or(0, |m| m + 1);
+        let mut counts = vec![vec![0usize; kb]; ka];
+        for (&x, &y) in a.iter().zip(b) {
+            counts[x][y] += 1;
+        }
+        let row: Vec<usize> = counts.iter().map(|r| r.iter().sum()).collect();
+        let col: Vec<usize> = (0..kb).map(|j| counts.iter().map(|r| r[j]).sum()).collect();
+        Self {
+            counts,
+            row,
+            col,
+            n: a.len(),
+        }
+    }
+
+    /// Number of items.
+    pub fn total(&self) -> usize {
+        self.n
+    }
+}
+
+/// Purity of partition `a` with respect to reference `b`: the fraction
+/// of items that belong to their cluster's majority reference class.
+/// 1.0 means every cluster is class-pure. Returns 0.0 for empty input.
+pub fn purity(a: &[usize], b: &[usize]) -> f64 {
+    let table = Contingency::new(a, b);
+    if table.n == 0 {
+        return 0.0;
+    }
+    let majority: usize = table
+        .counts
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    majority as f64 / table.n as f64
+}
+
+fn choose2(x: usize) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand index between two partitions: 1.0 for identical
+/// partitions (up to relabeling), ≈ 0 for independent ones, possibly
+/// negative for worse-than-chance agreement. Returns 1.0 when both
+/// partitions are trivial (≤ 1 cluster each or < 2 items).
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    let table = Contingency::new(a, b);
+    if table.n < 2 {
+        return 1.0;
+    }
+    let sum_ij: f64 = table
+        .counts
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_a: f64 = table.row.iter().map(|&c| choose2(c)).sum();
+    let sum_b: f64 = table.col.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(table.n);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions trivial (all-one-cluster / all-singletons):
+        // agreement is exact.
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information (arithmetic normalization):
+/// `I(A; B) / ((H(A) + H(B)) / 2)` ∈ [0, 1]. Returns 1.0 when both
+/// partitions are trivial and identical in structure, 0.0 when either
+/// carries no information while the other does.
+pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
+    let table = Contingency::new(a, b);
+    if table.n == 0 {
+        return 1.0;
+    }
+    let n = table.n as f64;
+    let entropy = |sizes: &[usize]| -> f64 {
+        sizes
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = entropy(&table.row);
+    let hb = entropy(&table.col);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both trivial: identical information content
+    }
+    let mut mi = 0.0;
+    for (i, row) in table.counts.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let p_ij = c as f64 / n;
+            let p_i = table.row[i] as f64 / n;
+            let p_j = table.col[j] as f64 / n;
+            mi += p_ij * (p_ij / (p_i * p_j)).ln();
+        }
+    }
+    (mi / ((ha + hb) / 2.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn relabeled_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // A blocks vs B alternating: statistically independent-ish.
+        let a: Vec<usize> = (0..40).map(|i| i / 20).collect();
+        let b: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.15, "ari = {ari}");
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi < 0.15, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn refinement_scores_between() {
+        // b refines a (splits each cluster in two).
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.0 && ari < 1.0, "ari = {ari}");
+        // Purity of the finer partition vs the coarser is perfect…
+        assert_eq!(purity(&b, &a), 1.0);
+        // …but not the other way round.
+        assert!(purity(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        let ones = vec![0, 0, 0, 0];
+        assert_eq!(adjusted_rand_index(&ones, &ones), 1.0);
+        assert_eq!(normalized_mutual_information(&ones, &ones), 1.0);
+        let singletons = vec![0, 1, 2, 3];
+        // All-singletons vs all-one-cluster: no shared information.
+        let nmi = normalized_mutual_information(&singletons, &ones);
+        assert_eq!(nmi, 0.0);
+        assert_eq!(purity(&ones, &singletons), 0.25);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+        assert_eq!(purity(&[], &[]), 0.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn contingency_sums() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 1, 1];
+        let t = Contingency::new(&a, &b);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.row, vec![2, 2]);
+        assert_eq!(t.col, vec![1, 3]);
+        assert_eq!(t.counts[0][0], 1);
+        assert_eq!(t.counts[1][1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn rejects_length_mismatch() {
+        let _ = Contingency::new(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Agglomerative hierarchical clustering (Lance–Williams).
+//!
+//! An extension clustering algorithm for ADA-HEALTH's algorithm-
+//! selection layer: unlike K-means it produces a full dendrogram, so the
+//! optimizer can cut at any K without re-running — useful when the K
+//! sweep itself is the expensive part. Single, complete and average
+//! (UPGMA) linkage via the Lance–Williams update on a condensed distance
+//! matrix; O(n²) memory, O(n² log n)–O(n³) time, intended for the
+//! (sub-sampled) working sets the pipeline actually clusters.
+
+use ada_vsm::dense::{distance_sq, DenseMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Inter-cluster distance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chaining-prone, finds elongated
+    /// clusters).
+    Single,
+    /// Maximum pairwise distance (compact clusters).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged node (< n: leaf; ≥ n: the merge with index `a - n`).
+    pub a: usize,
+    /// Second merged node (same encoding).
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of leaves under the new node.
+    pub size: usize,
+}
+
+/// A fitted dendrogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    /// Number of leaves (input points).
+    pub num_points: usize,
+    /// The n − 1 merges, in non-decreasing distance order for single and
+    /// complete linkage (average linkage can produce inversions only
+    /// under exotic metrics; Euclidean is safe).
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cuts the dendrogram into exactly `k` clusters (dense labels,
+    /// deterministic numbering by first-member index).
+    ///
+    /// # Panics
+    /// Panics when `k` is 0 or exceeds the number of points.
+    #[allow(clippy::needless_range_loop)] // i is both the leaf id and the label slot
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(
+            k >= 1 && k <= self.num_points,
+            "cannot cut {} points into {k} clusters",
+            self.num_points
+        );
+        // Union-find over the first (n - k) merges.
+        let n = self.num_points;
+        let mut parent: Vec<usize> = (0..2 * n - 1).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, merge) in self.merges.iter().take(n - k).enumerate() {
+            let node = n + step;
+            let ra = find(&mut parent, merge.a);
+            let rb = find(&mut parent, merge.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        // Dense labels in order of first appearance.
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut label_of_root = std::collections::HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            let label = *label_of_root.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            labels[i] = label;
+        }
+        labels
+    }
+
+    /// Cuts at a distance threshold: clusters are the connected
+    /// components of merges with `distance <= threshold`.
+    pub fn cut_at_distance(&self, threshold: f64) -> Vec<usize> {
+        let below = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
+        self.cut(self.num_points - below)
+    }
+}
+
+/// Runs agglomerative clustering on the rows of `matrix` (Euclidean
+/// distances).
+///
+/// # Panics
+/// Panics when the matrix has no rows.
+#[allow(clippy::needless_range_loop)] // lockstep multi-array indexing
+pub fn agglomerative(matrix: &DenseMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.num_rows();
+    assert!(n > 0, "cannot cluster an empty matrix");
+    if n == 1 {
+        return Dendrogram {
+            num_points: 1,
+            merges: Vec::new(),
+        };
+    }
+
+    // Active cluster list; dist[i][j] for active i < j held in a full
+    // square for simplicity (n is pipeline-sized, not corpus-sized).
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = distance_sq(matrix.row(i), matrix.row(j)).sqrt();
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    // slot -> dendrogram node id; slot -> leaf count; active slots.
+    let mut node_id: Vec<usize> = (0..n).collect();
+    let mut size: Vec<usize> = vec![1; n];
+    let mut active: Vec<bool> = vec![true; n];
+    let mut merges = Vec::with_capacity(n - 1);
+
+    for step in 0..(n - 1) {
+        // Find the closest active pair (ties → lowest indices, so the
+        // result is deterministic).
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                if dist[i][j] < best.2 {
+                    best = (i, j, dist[i][j]);
+                }
+            }
+        }
+        let (i, j, d) = best;
+
+        // Lance–Williams update into slot i.
+        for m in 0..n {
+            if !active[m] || m == i || m == j {
+                continue;
+            }
+            let dim = dist[i][m];
+            let djm = dist[j][m];
+            let updated = match linkage {
+                Linkage::Single => dim.min(djm),
+                Linkage::Complete => dim.max(djm),
+                Linkage::Average => {
+                    let (si, sj) = (size[i] as f64, size[j] as f64);
+                    (si * dim + sj * djm) / (si + sj)
+                }
+            };
+            dist[i][m] = updated;
+            dist[m][i] = updated;
+        }
+
+        merges.push(Merge {
+            a: node_id[i],
+            b: node_id[j],
+            distance: d,
+            size: size[i] + size[j],
+        });
+        node_id[i] = n + step;
+        size[i] += size[j];
+        active[j] = false;
+    }
+
+    Dendrogram {
+        num_points: n,
+        merges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ])
+    }
+
+    #[test]
+    fn cut_recovers_blobs_under_every_linkage() {
+        let m = two_blobs();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dendro = agglomerative(&m, linkage);
+            let labels = dendro.cut(2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[0], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_eq!(labels[3], labels[5]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn merge_count_and_sizes() {
+        let m = two_blobs();
+        let dendro = agglomerative(&m, Linkage::Average);
+        assert_eq!(dendro.merges.len(), 5);
+        assert_eq!(dendro.merges.last().unwrap().size, 6);
+        // Distances non-decreasing for average linkage on Euclidean data.
+        for w in dendro.merges.windows(2) {
+            assert!(w[1].distance >= w[0].distance - 1e-9);
+        }
+    }
+
+    #[test]
+    fn cut_k_extremes() {
+        let m = two_blobs();
+        let dendro = agglomerative(&m, Linkage::Complete);
+        let all_one = dendro.cut(1);
+        assert!(all_one.iter().all(|&l| l == 0));
+        let singletons = dendro.cut(6);
+        let mut sorted = singletons.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn cut_at_distance_threshold() {
+        let m = two_blobs();
+        let dendro = agglomerative(&m, Linkage::Single);
+        // Within-blob links are ~0.1; between-blob ~14.
+        let labels = dendro.cut_at_distance(1.0);
+        let mut distinct = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 2);
+        let everything = dendro.cut_at_distance(100.0);
+        assert!(everything.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn single_vs_complete_on_a_chain() {
+        // A chain of points: single linkage keeps it together; complete
+        // linkage splits it when cutting into 2.
+        let m = DenseMatrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![4.0],
+            vec![5.0],
+        ]);
+        let complete = agglomerative(&m, Linkage::Complete).cut(2);
+        // Complete linkage splits the chain into two *contiguous*
+        // segments (tie-breaking makes the exact boundary 4|2 here).
+        let boundary = complete.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(boundary, 1, "complete cut must be contiguous: {complete:?}");
+        assert_ne!(complete[0], complete[5]);
+        // Single linkage merges neighbours first; its 2-cut is also a
+        // single contiguous split of the chain.
+        let single = agglomerative(&m, Linkage::Single).cut(2);
+        let single_boundary = single.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(
+            single_boundary, 1,
+            "single cut must be contiguous: {single:?}"
+        );
+    }
+
+    #[test]
+    fn single_point_and_deterministic() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0]]);
+        let dendro = agglomerative(&m, Linkage::Average);
+        assert!(dendro.merges.is_empty());
+        assert_eq!(dendro.cut(1), vec![0]);
+
+        let m2 = two_blobs();
+        let a = agglomerative(&m2, Linkage::Average);
+        let b = agglomerative(&m2, Linkage::Average);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cut")]
+    fn cut_rejects_bad_k() {
+        let dendro = agglomerative(&two_blobs(), Linkage::Average);
+        let _ = dendro.cut(7);
+    }
+}

@@ -1,0 +1,190 @@
+//! Bisecting K-means: repeatedly split the worst cluster with 2-means.
+//!
+//! An extension backend for the ADA-HEALTH optimizer: it trades a little
+//! quality for a deterministic top-down structure and tends to produce
+//! more balanced clusters on long-tailed data.
+
+use ada_vsm::dense::{distance_sq, DenseMatrix};
+
+use super::{KMeans, KMeansResult};
+
+/// Configuration for bisecting K-means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bisecting {
+    /// Target number of clusters.
+    pub k: usize,
+    /// Number of 2-means restarts per split (best SSE wins).
+    pub split_trials: usize,
+    /// Base configuration used for the inner 2-means runs.
+    pub inner: KMeans,
+}
+
+impl Bisecting {
+    /// Default configuration: 3 split trials, inner k-means++ 2-means.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            split_trials: 3,
+            inner: KMeans::new(2),
+        }
+    }
+
+    /// Sets the RNG seed of the inner 2-means runs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Runs bisecting K-means on the rows of `matrix`.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `k` exceeds the number of rows.
+    pub fn fit(&self, matrix: &DenseMatrix) -> KMeansResult {
+        assert!(self.k > 0, "k must be positive");
+        assert!(self.k <= matrix.num_rows(), "k exceeds point count");
+        let n = matrix.num_rows();
+
+        // clusters[c] = indices of rows in cluster c.
+        let mut clusters: Vec<Vec<usize>> = vec![(0..n).collect()];
+        while clusters.len() < self.k {
+            // Pick the cluster with the largest SSE contribution that can
+            // still be split (≥ 2 points).
+            let victim = clusters
+                .iter()
+                .enumerate()
+                .filter(|(_, members)| members.len() >= 2)
+                .map(|(c, members)| (c, cluster_sse(matrix, members)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite SSE"))
+                .map(|(c, _)| c);
+            let Some(victim) = victim else {
+                break; // everything is singletons
+            };
+
+            let members = clusters[victim].clone();
+            let sub = matrix.select_rows(&members);
+            let mut best: Option<KMeansResult> = None;
+            for trial in 0..self.split_trials.max(1) {
+                let mut cfg = self.inner.clone();
+                cfg.k = 2;
+                cfg.seed = self
+                    .inner
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(trial as u64 + clusters.len() as u64 * 1000);
+                let result = cfg.fit(&sub);
+                if best.as_ref().is_none_or(|b| result.sse < b.sse) {
+                    best = Some(result);
+                }
+            }
+            let split = best.expect("at least one trial runs");
+
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for (local, &original) in members.iter().enumerate() {
+                if split.assignments[local] == 0 {
+                    left.push(original);
+                } else {
+                    right.push(original);
+                }
+            }
+            // 2-means with k=2 and n>=2 never leaves an empty side thanks
+            // to empty-cluster repair, but guard anyway.
+            if left.is_empty() || right.is_empty() {
+                break;
+            }
+            clusters[victim] = left;
+            clusters.push(right);
+        }
+
+        // Materialize assignments and centroids.
+        let k = clusters.len();
+        let mut assignments = vec![0usize; n];
+        for (c, members) in clusters.iter().enumerate() {
+            for &i in members {
+                assignments[i] = c;
+            }
+        }
+        let centroids = ada_metrics::centroids_of(matrix, &assignments, k);
+        let sse = ada_metrics::sse(matrix, &assignments, &centroids);
+        KMeansResult {
+            assignments,
+            centroids,
+            sse,
+            iterations: k,
+            converged: k == self.k,
+        }
+    }
+}
+
+/// SSE of one cluster around its own mean.
+fn cluster_sse(matrix: &DenseMatrix, members: &[usize]) -> f64 {
+    let dim = matrix.num_cols();
+    let mut mean = vec![0.0; dim];
+    for &i in members {
+        for (m, v) in mean.iter_mut().zip(matrix.row(i)) {
+            *m += v;
+        }
+    }
+    let inv = 1.0 / members.len() as f64;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    members
+        .iter()
+        .map(|&i| distance_sq(matrix.row(i), &mean))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::testutil::gaussian_blobs;
+
+    #[test]
+    fn reaches_target_k() {
+        let m = gaussian_blobs(4, 30, 3, 31);
+        let result = Bisecting::new(4).seed(1).fit(&m);
+        assert_eq!(result.k(), 4);
+        assert!(result.converged);
+        assert!(result.cluster_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let m = gaussian_blobs(3, 40, 2, 32);
+        let result = Bisecting::new(3).seed(2).fit(&m);
+        for b in 0..3 {
+            let first = result.assignments[b * 40];
+            assert!(
+                result.assignments[b * 40..(b + 1) * 40]
+                    .iter()
+                    .all(|&a| a == first),
+                "blob {b} split"
+            );
+        }
+    }
+
+    #[test]
+    fn k_one_is_single_cluster() {
+        let m = gaussian_blobs(2, 10, 2, 33);
+        let result = Bisecting::new(1).fit(&m);
+        assert_eq!(result.k(), 1);
+        assert!(result.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn caps_at_singletons() {
+        let m = DenseMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let result = Bisecting::new(3).seed(3).fit(&m);
+        assert_eq!(result.k(), 3);
+        assert!(result.sse < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = gaussian_blobs(3, 20, 2, 34);
+        let a = Bisecting::new(3).seed(9).fit(&m);
+        let b = Bisecting::new(3).seed(9).fit(&m);
+        assert_eq!(a, b);
+    }
+}

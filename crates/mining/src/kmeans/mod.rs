@@ -1,0 +1,347 @@
+//! K-means clustering: configuration, shared driver, and backends.
+//!
+//! The paper's clustering component is "a center-based algorithm such as
+//! K-Means", with Kanungo et al.'s filtering algorithm as its cited
+//! implementation. The [`KMeans`] driver exposes both backends behind
+//! one configuration:
+//!
+//! * [`lloyd`] — the classic full-scan Lloyd iteration;
+//! * [`filtering`] — the kd-tree filtering algorithm, which assigns
+//!   whole tree cells to a single candidate centroid whenever every
+//!   other candidate is provably farther from the cell.
+//!
+//! Both backends perform identical centroid updates, so given the same
+//! initial centroids they walk the same trajectory (a property the test
+//! suite checks); the filtering backend just touches far fewer points
+//! per iteration on clustered data.
+
+pub mod bisecting;
+pub mod filtering;
+pub mod init;
+pub mod lloyd;
+pub mod spherical;
+
+use ada_vsm::dense::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+pub use init::KMeansInit;
+
+/// Which K-means backend executes the iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KMeansBackend {
+    /// Classic Lloyd: every iteration scans every point.
+    Lloyd,
+    /// Kanungo et al.'s kd-tree filtering algorithm (paper reference \[3\]).
+    Filtering,
+}
+
+/// K-means configuration.
+///
+/// ```
+/// use ada_mining::kmeans::KMeans;
+/// use ada_vsm::DenseMatrix;
+///
+/// let points = DenseMatrix::from_rows(&[
+///     vec![0.0, 0.0], vec![0.1, 0.0],
+///     vec![9.0, 9.0], vec![9.1, 9.0],
+/// ]);
+/// let result = KMeans::new(2).seed(1).fit(&points);
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total squared centroid movement.
+    pub tol: f64,
+    /// Centroid initialization strategy.
+    pub init: KMeansInit,
+    /// RNG seed for the initialization.
+    pub seed: u64,
+    /// Iteration backend.
+    pub backend: KMeansBackend,
+}
+
+impl KMeans {
+    /// A sensible default configuration: k-means++ init, Lloyd backend,
+    /// 100 iterations, tolerance 1e-6.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            tol: 1e-6,
+            init: KMeansInit::KMeansPlusPlus,
+            seed: 0,
+            backend: KMeansBackend::Lloyd,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the backend.
+    pub fn backend(mut self, backend: KMeansBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the initialization strategy.
+    pub fn init(mut self, init: KMeansInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Runs the configured backend on the rows of `matrix`.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`, the matrix is empty, or `k` exceeds the
+    /// number of rows.
+    pub fn fit(&self, matrix: &DenseMatrix) -> KMeansResult {
+        assert!(self.k > 0, "k must be positive");
+        assert!(matrix.num_rows() > 0, "cannot cluster an empty matrix");
+        assert!(
+            self.k <= matrix.num_rows(),
+            "k = {} exceeds {} points",
+            self.k,
+            matrix.num_rows()
+        );
+        let centroids = init::initial_centroids(matrix, self.k, self.init, self.seed);
+        self.fit_from(matrix, centroids)
+    }
+
+    /// Runs the configured backend from explicit initial centroids
+    /// (used by tests and by bisecting K-means).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch between `matrix` and `centroids`.
+    pub fn fit_from(&self, matrix: &DenseMatrix, centroids: DenseMatrix) -> KMeansResult {
+        assert_eq!(centroids.num_rows(), self.k, "centroid count");
+        assert_eq!(centroids.num_cols(), matrix.num_cols(), "dim mismatch");
+        match self.backend {
+            KMeansBackend::Lloyd => lloyd::run(matrix, centroids, self.max_iters, self.tol),
+            KMeansBackend::Filtering => filtering::run(matrix, centroids, self.max_iters, self.tol),
+        }
+    }
+}
+
+/// The output of a K-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster index of every input row.
+    pub assignments: Vec<usize>,
+    /// Final centroids (k × dim).
+    pub centroids: DenseMatrix,
+    /// Final SSE (sum of squared distances to assigned centroids).
+    pub sse: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the run converged before hitting `max_iters`.
+    pub converged: bool,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.num_rows()
+    }
+
+    /// Cluster sizes (length k).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Shared post-assignment centroid update: recomputes each centroid as
+/// the mean of its members and repairs empty clusters by stealing the
+/// point farthest from its own centroid.
+///
+/// Returns the total squared movement of centroids (the convergence
+/// monitor both backends use).
+pub(crate) fn update_centroids(
+    matrix: &DenseMatrix,
+    assignments: &mut [usize],
+    centroids: &mut DenseMatrix,
+) -> f64 {
+    use ada_vsm::dense::distance_sq;
+
+    let k = centroids.num_rows();
+    let dim = centroids.num_cols();
+    let mut sums = vec![0.0; k * dim];
+    let mut counts = vec![0usize; k];
+    for (i, &a) in assignments.iter().enumerate() {
+        counts[a] += 1;
+        let row = matrix.row(i);
+        let acc = &mut sums[a * dim..(a + 1) * dim];
+        for d in 0..dim {
+            acc[d] += row[d];
+        }
+    }
+
+    // Empty-cluster repair: move the globally farthest point into each
+    // empty cluster (deterministic, one point per empty cluster).
+    let empties: Vec<usize> = (0..k).filter(|&c| counts[c] == 0).collect();
+    if !empties.is_empty() {
+        let mut donors: Vec<(f64, usize)> = assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| counts[a] > 1)
+            .map(|(i, &a)| (distance_sq(matrix.row(i), centroids.row(a)), i))
+            .collect();
+        donors.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite distances"));
+        let mut donor_iter = donors.into_iter();
+        for empty in empties {
+            // Find the next donor whose cluster can still give a point.
+            for (_, i) in donor_iter.by_ref() {
+                let old = assignments[i];
+                if counts[old] <= 1 {
+                    continue;
+                }
+                counts[old] -= 1;
+                counts[empty] += 1;
+                let row = matrix.row(i);
+                for d in 0..dim {
+                    sums[old * dim + d] -= row[d];
+                    sums[empty * dim + d] += row[d];
+                }
+                assignments[i] = empty;
+                break;
+            }
+        }
+    }
+
+    let mut movement = 0.0;
+    for c in 0..k {
+        if counts[c] == 0 {
+            continue; // unrepairable (k > distinct points); keep position
+        }
+        let inv = 1.0 / counts[c] as f64;
+        let target = centroids.row_mut(c);
+        let mut delta = 0.0;
+        for d in 0..dim {
+            let new = sums[c * dim + d] * inv;
+            let diff = new - target[d];
+            delta += diff * diff;
+            target[d] = new;
+        }
+        movement += delta;
+    }
+    movement
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ada_vsm::dense::DenseMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// `blobs` well-separated Gaussian blobs of `per_blob` points each.
+    pub fn gaussian_blobs(blobs: usize, per_blob: usize, dim: usize, seed: u64) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(blobs * per_blob);
+        for b in 0..blobs {
+            let center: Vec<f64> = (0..dim)
+                .map(|d| ((b * dim + d) % 7) as f64 * 10.0)
+                .collect();
+            for _ in 0..per_blob {
+                rows.push(
+                    center
+                        .iter()
+                        .map(|&c| c + rng.gen_range(-0.5..0.5))
+                        .collect::<Vec<f64>>(),
+                );
+            }
+        }
+        DenseMatrix::from_rows(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::gaussian_blobs;
+
+    #[test]
+    fn result_cluster_sizes_sum_to_n() {
+        let m = gaussian_blobs(3, 30, 4, 1);
+        let result = KMeans::new(3).seed(5).fit(&m);
+        assert_eq!(result.cluster_sizes().iter().sum::<usize>(), 90);
+        assert_eq!(result.k(), 3);
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let m = gaussian_blobs(4, 25, 3, 2);
+        let result = KMeans::new(4).seed(3).fit(&m);
+        assert!(result.converged);
+        // Each blob of 25 consecutive rows must be pure.
+        for b in 0..4 {
+            let first = result.assignments[b * 25];
+            for i in 0..25 {
+                assert_eq!(result.assignments[b * 25 + i], first, "blob {b}");
+            }
+        }
+        assert!(result.sse < 90.0 * 0.25 * 3.0, "sse = {}", result.sse);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = gaussian_blobs(3, 20, 3, 4);
+        let a = KMeans::new(3).seed(9).fit(&m);
+        let b = KMeans::new(3).seed(9).fit(&m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backends_agree_from_same_start() {
+        let m = gaussian_blobs(5, 40, 4, 7);
+        let start = init::initial_centroids(&m, 5, KMeansInit::KMeansPlusPlus, 11);
+        let lloyd = KMeans::new(5).fit_from(&m, start.clone());
+        let filtering = KMeans::new(5)
+            .backend(KMeansBackend::Filtering)
+            .fit_from(&m, start);
+        assert_eq!(lloyd.assignments, filtering.assignments);
+        assert!((lloyd.sse - filtering.sse).abs() < 1e-6 * (1.0 + lloyd.sse));
+        assert_eq!(lloyd.iterations, filtering.iterations);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_sse() {
+        let m = gaussian_blobs(2, 3, 2, 8);
+        let result = KMeans::new(6).seed(1).fit(&m);
+        assert!(result.sse < 1e-9, "sse = {}", result.sse);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_k_larger_than_n() {
+        let m = gaussian_blobs(1, 3, 2, 0);
+        let _ = KMeans::new(10).fit(&m);
+    }
+
+    #[test]
+    fn empty_cluster_repair_keeps_k_clusters() {
+        // Points in a line, initial centroids stacked on one point: some
+        // clusters will start empty and must be repaired.
+        let m = DenseMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![100.0]]);
+        let start = DenseMatrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0]]);
+        let result = KMeans::new(3).fit_from(&m, start);
+        let sizes = result.cluster_sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "sizes = {sizes:?}");
+    }
+}

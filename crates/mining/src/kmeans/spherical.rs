@@ -1,0 +1,258 @@
+//! Spherical K-means: cosine-objective clustering.
+//!
+//! The paper's interestingness metric (overall similarity) is
+//! cosine-based, while classic K-means optimizes squared Euclidean
+//! error — a mismatch on un-normalized count vectors. Spherical K-means
+//! closes it: points and centroids live on the unit sphere, assignment
+//! maximizes the dot product, and the update renormalizes the member
+//! sum. On L2-normalized inputs it *directly* maximizes the overall
+//! similarity index (cluster cohesion = ‖mean of unit vectors‖², which
+//! is exactly what the centroid-norm objective climbs).
+
+use ada_vsm::dense::{dot, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Spherical K-means configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SphericalKMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the objective improvement.
+    pub tol: f64,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+/// The output of a spherical K-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SphericalResult {
+    /// Cluster index per row.
+    pub assignments: Vec<usize>,
+    /// Unit-norm centroids (k × dim); zero rows for clusters that ended
+    /// empty of non-zero vectors.
+    pub centroids: DenseMatrix,
+    /// Final objective: mean cosine of each point to its centroid
+    /// (zero vectors contribute 0).
+    pub mean_cosine: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the run converged before `max_iters`.
+    pub converged: bool,
+}
+
+impl SphericalKMeans {
+    /// A default configuration.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            tol: 1e-7,
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Clusters the rows of `matrix`. Rows are normalized internally;
+    /// all-zero rows are assigned to cluster 0 and excluded from
+    /// centroid updates.
+    ///
+    /// # Panics
+    /// Panics when `k` is 0 or exceeds the number of rows.
+    pub fn fit(&self, matrix: &DenseMatrix) -> SphericalResult {
+        let n = matrix.num_rows();
+        let dim = matrix.num_cols();
+        assert!(self.k >= 1, "k must be positive");
+        assert!(self.k <= n, "k exceeds point count");
+
+        // Unit-normalized working copy.
+        let mut unit = matrix.clone();
+        unit.normalize_rows();
+        let nonzero: Vec<bool> = (0..n)
+            .map(|r| unit.row(r).iter().any(|&v| v != 0.0))
+            .collect();
+
+        // Init: k distinct non-zero rows (fall back to zeros when the
+        // data is degenerate).
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut candidates: Vec<usize> = (0..n).filter(|&r| nonzero[r]).collect();
+        candidates.shuffle(&mut rng);
+        let mut centroids = DenseMatrix::zeros(self.k, dim);
+        for c in 0..self.k {
+            if let Some(&row) = candidates.get(c) {
+                centroids.row_mut(c).copy_from_slice(unit.row(row));
+            }
+        }
+
+        let mut assignments = vec![0usize; n];
+        let mut last_objective = f64::NEG_INFINITY;
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < max(1, self.max_iters) {
+            // Assignment: maximize cosine (dot on unit vectors).
+            let mut objective = 0.0;
+            for r in 0..n {
+                if !nonzero[r] {
+                    assignments[r] = 0;
+                    continue;
+                }
+                let row = unit.row(r);
+                let mut best = 0usize;
+                let mut best_dot = f64::NEG_INFINITY;
+                for c in 0..self.k {
+                    let d = dot(row, centroids.row(c));
+                    if d > best_dot {
+                        best_dot = d;
+                        best = c;
+                    }
+                }
+                assignments[r] = best;
+                objective += best_dot;
+            }
+            objective /= n as f64;
+
+            // Update: renormalized member sums.
+            let mut sums = DenseMatrix::zeros(self.k, dim);
+            for r in 0..n {
+                if !nonzero[r] {
+                    continue;
+                }
+                let acc = sums.row_mut(assignments[r]);
+                for (a, v) in acc.iter_mut().zip(unit.row(r)) {
+                    *a += v;
+                }
+            }
+            sums.normalize_rows();
+            // Keep previous direction for clusters that lost all members.
+            for c in 0..self.k {
+                if sums.row(c).iter().all(|&v| v == 0.0) {
+                    sums.row_mut(c).copy_from_slice(centroids.row(c));
+                }
+            }
+            centroids = sums;
+
+            iterations += 1;
+            if objective - last_objective <= self.tol {
+                converged = true;
+                last_objective = objective;
+                break;
+            }
+            last_objective = objective;
+        }
+
+        SphericalResult {
+            assignments,
+            centroids,
+            mean_cosine: last_objective.max(0.0),
+            iterations,
+            converged,
+        }
+    }
+}
+
+fn max(a: usize, b: usize) -> usize {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two directional bundles with different magnitudes.
+    fn directional_data() -> DenseMatrix {
+        let mut rows = Vec::new();
+        for scale in [1.0f64, 5.0, 20.0] {
+            rows.push(vec![scale, 0.1 * scale, 0.0]);
+            rows.push(vec![0.9 * scale, 0.15 * scale, 0.0]);
+            rows.push(vec![0.0, 0.1 * scale, scale]);
+            rows.push(vec![0.0, 0.12 * scale, 0.95 * scale]);
+        }
+        DenseMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn clusters_by_direction_not_magnitude() {
+        let m = directional_data();
+        let result = SphericalKMeans::new(2).seed(3).fit(&m);
+        assert!(result.converged);
+        // Rows 0,1,4,5,8,9 point one way; 2,3,6,7,10,11 the other —
+        // regardless of their magnitudes.
+        let group_a = result.assignments[0];
+        for i in [1usize, 4, 5, 8, 9] {
+            assert_eq!(result.assignments[i], group_a, "row {i}");
+        }
+        let group_b = result.assignments[2];
+        assert_ne!(group_a, group_b);
+        for i in [3usize, 6, 7, 10, 11] {
+            assert_eq!(result.assignments[i], group_b, "row {i}");
+        }
+        assert!(result.mean_cosine > 0.95, "cosine {}", result.mean_cosine);
+    }
+
+    #[test]
+    fn centroids_are_unit_norm() {
+        let m = directional_data();
+        let result = SphericalKMeans::new(2).seed(1).fit(&m);
+        for c in 0..2 {
+            let norm = dot(result.centroids.row(c), result.centroids.row(c)).sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "centroid {c} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn zero_rows_handled() {
+        let m = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+        ]);
+        let result = SphericalKMeans::new(2).seed(2).fit(&m);
+        assert_eq!(result.assignments.len(), 4);
+        assert_eq!(result.assignments[2], 0, "zero rows park in cluster 0");
+    }
+
+    #[test]
+    fn objective_maximizes_overall_similarity_on_unit_data() {
+        use ada_metrics::cluster::overall_similarity;
+        let mut m = directional_data();
+        m.normalize_rows();
+        let spherical = SphericalKMeans::new(2).seed(4).fit(&m);
+        let sim_spherical = overall_similarity(&m, &spherical.assignments, 2);
+        // A deliberately bad partition scores lower.
+        let bad: Vec<usize> = (0..m.num_rows()).map(|i| i % 2).collect();
+        let sim_bad = overall_similarity(&m, &bad, 2);
+        assert!(
+            sim_spherical > sim_bad,
+            "spherical {sim_spherical} vs alternating {sim_bad}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = directional_data();
+        let a = SphericalKMeans::new(2).seed(9).fit(&m);
+        let b = SphericalKMeans::new(2).seed(9).fit(&m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds")]
+    fn rejects_k_over_n() {
+        let m = DenseMatrix::from_rows(&[vec![1.0]]);
+        let _ = SphericalKMeans::new(2).fit(&m);
+    }
+}

@@ -1,0 +1,191 @@
+//! k-nearest-neighbour classifier over a kd-tree.
+//!
+//! Third robustness-classifier option for the optimizer ablation: unlike
+//! the decision tree and naive Bayes it is non-parametric and directly
+//! reuses the clustering's own geometry, so its cross-validated accuracy
+//! upper-bounds what any classifier can recover from the cluster labels.
+
+use ada_vsm::dense::{distance_sq, DenseMatrix};
+use ada_vsm::kdtree::{KdTree, NodeId};
+
+/// A fitted k-NN classifier (stores the training set in a kd-tree).
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    tree: KdTree,
+    labels: Vec<usize>,
+    num_classes: usize,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Fits (i.e. indexes) the training data.
+    ///
+    /// # Panics
+    /// Panics on empty data, shape mismatch, `k == 0`, or labels
+    /// ≥ `num_classes`.
+    pub fn fit(matrix: &DenseMatrix, labels: &[usize], num_classes: usize, k: usize) -> Self {
+        assert_eq!(matrix.num_rows(), labels.len(), "label count mismatch");
+        assert!(!labels.is_empty(), "cannot fit on empty data");
+        assert!(k >= 1, "k must be positive");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Self {
+            tree: KdTree::build(matrix),
+            labels: labels.to_vec(),
+            num_classes,
+            k: k.min(labels.len()),
+        }
+    }
+
+    /// Predicts the majority label among the k nearest training points
+    /// (ties break to the lower class index; distance ties are resolved
+    /// by point index, so predictions are deterministic).
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        let neighbours = self.k_nearest(row);
+        let mut votes = vec![0usize; self.num_classes];
+        for &(idx, _) in &neighbours {
+            votes[self.labels[idx]] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Predicts every row of `matrix`.
+    pub fn predict(&self, matrix: &DenseMatrix) -> Vec<usize> {
+        (0..matrix.num_rows())
+            .map(|i| self.predict_row(matrix.row(i)))
+            .collect()
+    }
+
+    /// The k nearest training points as `(index, squared distance)`,
+    /// nearest first.
+    fn k_nearest(&self, query: &[f64]) -> Vec<(usize, f64)> {
+        // Bounded best-list maintained through a branch-and-bound walk.
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(self.k + 1);
+        self.walk(self.tree.root(), query, &mut best);
+        best
+    }
+
+    fn walk(&self, node: NodeId, query: &[f64], best: &mut Vec<(usize, f64)>) {
+        let bound = if best.len() == self.k {
+            best.last().expect("non-empty").1
+        } else {
+            f64::INFINITY
+        };
+        if self.tree.bbox_distance_sq(node, query) > bound {
+            return;
+        }
+        match self.tree.children(node) {
+            None => {
+                for &p in self.tree.points_in(node) {
+                    let d = distance_sq(query, self.tree.point(p));
+                    let pos = best
+                        .binary_search_by(|&(bi, bd)| {
+                            bd.partial_cmp(&d)
+                                .expect("finite distances")
+                                .then(bi.cmp(&p))
+                        })
+                        .unwrap_or_else(|e| e);
+                    best.insert(pos, (p, d));
+                    if best.len() > self.k {
+                        best.pop();
+                    }
+                }
+            }
+            Some((l, r)) => {
+                let dl = self.tree.bbox_distance_sq(l, query);
+                let dr = self.tree.bbox_distance_sq(r, query);
+                let (first, second) = if dl <= dr { (l, r) } else { (r, l) };
+                self.walk(first, query, best);
+                self.walk(second, query, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (DenseMatrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            let center = c as f64 * 10.0;
+            for i in 0..20 {
+                rows.push(vec![center + (i as f64) * 0.01, center]);
+                labels.push(c);
+            }
+        }
+        (DenseMatrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn classifies_separated_blobs() {
+        let (m, labels) = blobs();
+        let knn = KnnClassifier::fit(&m, &labels, 3, 5);
+        assert_eq!(knn.predict(&m), labels);
+        assert_eq!(knn.predict_row(&[9.9, 10.1]), 1);
+    }
+
+    #[test]
+    fn k_one_memorizes_training_data() {
+        let (m, labels) = blobs();
+        let knn = KnnClassifier::fit(&m, &labels, 3, 1);
+        assert_eq!(knn.predict(&m), labels);
+    }
+
+    #[test]
+    fn matches_brute_force_neighbours() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|_| (0..4).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        let labels: Vec<usize> = (0..120).map(|i| i % 4).collect();
+        let m = DenseMatrix::from_rows(&rows);
+        let knn = KnnClassifier::fit(&m, &labels, 4, 7);
+        for _ in 0..20 {
+            let q: Vec<f64> = (0..4).map(|_| rng.gen_range(-6.0..6.0)).collect();
+            let found = knn.k_nearest(&q);
+            assert_eq!(found.len(), 7);
+            let mut brute: Vec<(usize, f64)> =
+                (0..120).map(|i| (i, distance_sq(&q, m.row(i)))).collect();
+            brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            let found_d: Vec<f64> = found.iter().map(|&(_, d)| d).collect();
+            let brute_d: Vec<f64> = brute[..7].iter().map(|&(_, d)| d).collect();
+            for (a, b) in found_d.iter().zip(&brute_d) {
+                assert!((a - b).abs() < 1e-9, "{found_d:?} vs {brute_d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_vote_with_ties_prefers_lower_class() {
+        // Two classes at equal distance; k = 2 -> tie -> class 0.
+        let m = DenseMatrix::from_rows(&[vec![-1.0], vec![1.0]]);
+        let knn = KnnClassifier::fit(&m, &[1, 0], 2, 2);
+        assert_eq!(knn.predict_row(&[0.0]), 0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let m = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let knn = KnnClassifier::fit(&m, &[0, 1], 2, 99);
+        let _ = knn.predict_row(&[0.4]); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let m = DenseMatrix::from_rows(&[vec![0.0]]);
+        let _ = KnnClassifier::fit(&m, &[3], 2, 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+//!
+//! The level-wise baseline: generate candidate (k+1)-itemsets by joining
+//! frequent k-itemsets, prune candidates with an infrequent subset, then
+//! count supports with one pass over the transactions. Kept as the
+//! reference implementation the FP-growth miner is validated against,
+//! and as the slow side of the `patterns` benchmark.
+
+use std::collections::HashMap;
+
+use super::{is_subset, sort_itemsets, FrequentItemset, Item, Itemset, Transaction};
+
+/// Mines all itemsets with absolute support ≥ `min_support`.
+///
+/// Output is in canonical order (length, then lexicographic).
+///
+/// # Panics
+/// Panics when `min_support == 0` (every subset of every transaction
+/// would qualify).
+pub fn mine(transactions: &[Transaction], min_support: usize) -> Vec<FrequentItemset> {
+    assert!(min_support >= 1, "min_support must be at least 1");
+
+    // L1: frequent single items.
+    let mut item_counts: HashMap<Item, usize> = HashMap::new();
+    for t in transactions {
+        for &item in t {
+            *item_counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let mut frequent: Vec<FrequentItemset> = item_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .map(|(item, support)| FrequentItemset {
+            items: vec![item],
+            support,
+        })
+        .collect();
+    sort_itemsets(&mut frequent);
+
+    let mut result = frequent.clone();
+    let mut current: Vec<Itemset> = frequent.into_iter().map(|f| f.items).collect();
+
+    while !current.is_empty() {
+        let candidates = generate_candidates(&current);
+        if candidates.is_empty() {
+            break;
+        }
+        // Count supports in one transaction pass.
+        let mut counts = vec![0usize; candidates.len()];
+        for t in transactions {
+            for (ci, c) in candidates.iter().enumerate() {
+                if c.len() <= t.len() && is_subset(c, t) {
+                    counts[ci] += 1;
+                }
+            }
+        }
+        let mut next_level: Vec<FrequentItemset> = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c >= min_support)
+            .map(|(items, support)| FrequentItemset { items, support })
+            .collect();
+        sort_itemsets(&mut next_level);
+        current = next_level.iter().map(|f| f.items.clone()).collect();
+        result.extend(next_level);
+    }
+
+    sort_itemsets(&mut result);
+    result
+}
+
+/// Joins frequent k-itemsets sharing a (k−1)-prefix and prunes candidates
+/// with an infrequent k-subset.
+fn generate_candidates(frequent: &[Itemset]) -> Vec<Itemset> {
+    use std::collections::HashSet;
+    let lookup: HashSet<&Itemset> = frequent.iter().collect();
+    let mut candidates = Vec::new();
+    for i in 0..frequent.len() {
+        for j in (i + 1)..frequent.len() {
+            let a = &frequent[i];
+            let b = &frequent[j];
+            let k = a.len();
+            // Join condition: identical prefix, differing last item.
+            if a[..k - 1] != b[..k - 1] {
+                continue;
+            }
+            let mut candidate = a.clone();
+            candidate.push(b[k - 1]);
+            candidate.sort_unstable();
+            // Apriori prune: every k-subset must be frequent.
+            let all_subsets_frequent = (0..candidate.len()).all(|skip| {
+                let subset: Itemset = candidate
+                    .iter()
+                    .enumerate()
+                    .filter(|&(idx, _)| idx != skip)
+                    .map(|(_, &v)| v)
+                    .collect();
+                lookup.contains(&subset)
+            });
+            if all_subsets_frequent {
+                candidates.push(candidate);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::market_basket;
+
+    #[test]
+    fn textbook_example() {
+        let t = market_basket();
+        let result = mine(&t, 2);
+        let find = |items: &[Item]| result.iter().find(|f| f.items == items).map(|f| f.support);
+        // Hand-checked supports on the 9-transaction basket.
+        assert_eq!(find(&[1]), Some(6));
+        assert_eq!(find(&[2]), Some(7));
+        assert_eq!(find(&[3]), Some(6));
+        assert_eq!(find(&[4]), Some(2));
+        assert_eq!(find(&[5]), Some(2));
+        assert_eq!(find(&[1, 2]), Some(4));
+        assert_eq!(find(&[1, 3]), Some(4));
+        assert_eq!(find(&[2, 3]), Some(4));
+        assert_eq!(find(&[1, 2, 3]), Some(2));
+        assert_eq!(find(&[1, 2, 5]), Some(2));
+        // Infrequent pairs absent.
+        assert_eq!(find(&[3, 4]), None);
+        assert_eq!(find(&[4, 5]), None);
+    }
+
+    #[test]
+    fn min_support_one_enumerates_everything_in_small_case() {
+        let t = vec![vec![1, 2], vec![1]];
+        let result = mine(&t, 1);
+        let sets: Vec<&[Item]> = result.iter().map(|f| f.items.as_slice()).collect();
+        assert_eq!(sets, vec![&[1][..], &[2][..], &[1, 2][..]]);
+    }
+
+    #[test]
+    fn high_support_returns_nothing() {
+        let t = market_basket();
+        assert!(mine(&t, 100).is_empty());
+    }
+
+    #[test]
+    fn empty_transactions() {
+        assert!(mine(&[], 1).is_empty());
+        let t = vec![vec![], vec![]];
+        assert!(mine(&t, 1).is_empty());
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let t = market_basket();
+        let result = mine(&t, 2);
+        use std::collections::HashMap;
+        let support: HashMap<&Itemset, usize> =
+            result.iter().map(|f| (&f.items, f.support)).collect();
+        for f in &result {
+            if f.items.len() < 2 {
+                continue;
+            }
+            for skip in 0..f.items.len() {
+                let subset: Itemset = f
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let sub_support = *support.get(&subset).expect("subset must be frequent");
+                assert!(sub_support >= f.support, "monotonicity violated");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn rejects_zero_support() {
+        let _ = mine(&[], 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Condensed pattern representations: closed and maximal itemsets.
+//!
+//! "With increasing input data volumes, the amount of extracted
+//! knowledge also potentially increases. Thus actionable knowledge may
+//! still be hidden in a growing volume of extracted knowledge." Closed
+//! itemsets (no superset with equal support) and maximal itemsets (no
+//! frequent superset at all) are the standard condensations the
+//! knowledge-navigation layer applies before presenting pattern items.
+
+use super::{is_subset, FrequentItemset};
+
+/// Filters a frequent-itemset collection down to the *closed* ones: an
+/// itemset is closed iff no proper superset has the same support.
+/// Closed itemsets preserve all support information (every frequent
+/// itemset's support equals that of its smallest closed superset).
+pub fn closed_itemsets(frequent: &[FrequentItemset]) -> Vec<FrequentItemset> {
+    frequent
+        .iter()
+        .filter(|f| {
+            !frequent.iter().any(|g| {
+                g.items.len() > f.items.len()
+                    && g.support == f.support
+                    && is_subset(&f.items, &g.items)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Filters a frequent-itemset collection down to the *maximal* ones: an
+/// itemset is maximal iff no proper superset is frequent. Maximal
+/// itemsets give the most compact frontier but lose exact sub-pattern
+/// supports.
+pub fn maximal_itemsets(frequent: &[FrequentItemset]) -> Vec<FrequentItemset> {
+    frequent
+        .iter()
+        .filter(|f| {
+            !frequent
+                .iter()
+                .any(|g| g.items.len() > f.items.len() && is_subset(&f.items, &g.items))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{fpgrowth, testutil::market_basket};
+
+    #[test]
+    fn closed_preserve_support_information() {
+        let t = market_basket();
+        let frequent = fpgrowth::mine(&t, 2);
+        let closed = closed_itemsets(&frequent);
+        // Every frequent itemset's support is recoverable as the max
+        // support among closed supersets.
+        for f in &frequent {
+            let recovered = closed
+                .iter()
+                .filter(|c| is_subset(&f.items, &c.items))
+                .map(|c| c.support)
+                .max();
+            assert_eq!(recovered, Some(f.support), "itemset {:?}", f.items);
+        }
+        assert!(closed.len() <= frequent.len());
+    }
+
+    #[test]
+    fn maximal_are_subset_of_closed() {
+        let t = market_basket();
+        let frequent = fpgrowth::mine(&t, 2);
+        let closed = closed_itemsets(&frequent);
+        let maximal = maximal_itemsets(&frequent);
+        for m in &maximal {
+            assert!(
+                closed.contains(m),
+                "maximal itemset {:?} must be closed",
+                m.items
+            );
+        }
+        assert!(maximal.len() <= closed.len());
+    }
+
+    #[test]
+    fn maximal_have_no_frequent_supersets() {
+        let t = market_basket();
+        let frequent = fpgrowth::mine(&t, 2);
+        let maximal = maximal_itemsets(&frequent);
+        for m in &maximal {
+            for f in &frequent {
+                if f.items.len() > m.items.len() {
+                    assert!(!is_subset(&m.items, &f.items));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_closed_set_on_textbook_data() {
+        // {2} has support 7; no superset of {2} reaches 7, so {2} is
+        // closed. {1,2,5} and {1,2,3} (support 2) are maximal.
+        let t = market_basket();
+        let frequent = fpgrowth::mine(&t, 2);
+        let closed = closed_itemsets(&frequent);
+        assert!(closed.iter().any(|f| f.items == vec![2] && f.support == 7));
+        let maximal = maximal_itemsets(&frequent);
+        assert!(maximal.iter().any(|f| f.items == vec![1, 2, 5]));
+        assert!(maximal.iter().any(|f| f.items == vec![1, 2, 3]));
+        assert!(!maximal.iter().any(|f| f.items == vec![1, 2]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(closed_itemsets(&[]).is_empty());
+        assert!(maximal_itemsets(&[]).is_empty());
+    }
+}

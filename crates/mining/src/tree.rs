@@ -1,0 +1,500 @@
+//! CART decision tree (binary splits on continuous features).
+//!
+//! The paper's optimizer "built a classifier … to assess the robustness
+//! of clustering results …, using the same input features of the
+//! clustering algorithm, and the class label assigned by the clustering
+//! algorithm itself as target. … In our first implementation, we used
+//! decision trees as classification model." This is that model: a
+//! depth-limited CART with gini or entropy impurity, midpoint thresholds
+//! and deterministic tie-breaking.
+
+use ada_vsm::dense::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Split impurity criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Gini impurity `1 − Σ pᵢ²` (CART default).
+    Gini,
+    /// Shannon entropy `−Σ pᵢ ln pᵢ`.
+    Entropy,
+}
+
+impl Criterion {
+    fn impurity(self, counts: &[usize], total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let t = total as f64;
+        match self {
+            Criterion::Gini => {
+                1.0 - counts
+                    .iter()
+                    .map(|&c| {
+                        let p = c as f64 / t;
+                        p * p
+                    })
+                    .sum::<f64>()
+            }
+            Criterion::Entropy => counts
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| {
+                    let p = c as f64 / t;
+                    -p * p.ln()
+                })
+                .sum(),
+        }
+    }
+}
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum impurity decrease a split must achieve.
+    pub min_gain: f64,
+    /// Impurity criterion.
+    pub criterion: Criterion,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 10,
+            min_samples_leaf: 2,
+            min_gain: 1e-7,
+            criterion: Criterion::Gini,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_classes: usize,
+    num_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on the rows of `matrix` with the given labels.
+    ///
+    /// # Panics
+    /// Panics on empty input, label/row count mismatch, or labels
+    /// ≥ `num_classes`.
+    pub fn fit(
+        matrix: &DenseMatrix,
+        labels: &[usize],
+        num_classes: usize,
+        config: &TreeConfig,
+    ) -> Self {
+        assert_eq!(matrix.num_rows(), labels.len(), "label count mismatch");
+        assert!(!labels.is_empty(), "cannot fit on empty data");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            num_classes,
+            num_features: matrix.num_cols(),
+        };
+        let mut indices: Vec<usize> = (0..matrix.num_rows()).collect();
+        tree.grow(matrix, labels, &mut indices, 0, config);
+        tree
+    }
+
+    /// Grows the subtree over `indices` (reordered in place), returning
+    /// its node id.
+    fn grow(
+        &mut self,
+        matrix: &DenseMatrix,
+        labels: &[usize],
+        indices: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+    ) -> usize {
+        let counts = self.class_counts(labels, indices);
+        let majority = argmax_counts(&counts);
+        let impurity = config.criterion.impurity(&counts, indices.len());
+
+        let make_leaf = |tree: &mut Self| {
+            tree.nodes.push(Node::Leaf { class: majority });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= config.max_depth
+            || indices.len() < 2 * config.min_samples_leaf
+            || impurity == 0.0
+        {
+            return make_leaf(self);
+        }
+
+        let Some((feature, threshold, gain)) =
+            self.best_split(matrix, labels, indices, impurity, config)
+        else {
+            return make_leaf(self);
+        };
+        if gain < config.min_gain {
+            return make_leaf(self);
+        }
+
+        // Partition indices in place: left = value <= threshold.
+        let mid = partition(indices, |&i| matrix.get(i, feature) <= threshold);
+        if mid == 0 || mid == indices.len() {
+            return make_leaf(self); // numerically degenerate split
+        }
+
+        // Reserve the node slot before recursing so the root ends up at 0
+        // only for a leaf; we instead build children first and push the
+        // split after, then return its id (children ids are stable).
+        let (left_slice, right_slice) = indices.split_at_mut(mid);
+        let left = self.grow(matrix, labels, left_slice, depth + 1, config);
+        let right = self.grow(matrix, labels, right_slice, depth + 1, config);
+        self.nodes.push(Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn class_counts(&self, labels: &[usize], indices: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &i in indices {
+            counts[labels[i]] += 1;
+        }
+        counts
+    }
+
+    /// Exhaustive best split: for every feature, sort the node's rows by
+    /// value and scan class-count prefixes, evaluating each boundary
+    /// between distinct values.
+    fn best_split(
+        &self,
+        matrix: &DenseMatrix,
+        labels: &[usize],
+        indices: &[usize],
+        parent_impurity: f64,
+        config: &TreeConfig,
+    ) -> Option<(usize, f64, f64)> {
+        let n = indices.len();
+        let total = n as f64;
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for feature in 0..self.num_features {
+            order.clear();
+            order.extend_from_slice(indices);
+            order.sort_unstable_by(|&a, &b| {
+                matrix
+                    .get(a, feature)
+                    .partial_cmp(&matrix.get(b, feature))
+                    .expect("finite feature values")
+            });
+
+            let mut left_counts = vec![0usize; self.num_classes];
+            let mut right_counts = self.class_counts(labels, indices);
+            for pos in 0..n - 1 {
+                let i = order[pos];
+                left_counts[labels[i]] += 1;
+                right_counts[labels[i]] -= 1;
+                let v = matrix.get(i, feature);
+                let v_next = matrix.get(order[pos + 1], feature);
+                if v == v_next {
+                    continue; // can't split between equal values
+                }
+                let left_n = pos + 1;
+                let right_n = n - left_n;
+                if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
+                    continue;
+                }
+                let gain = parent_impurity
+                    - (left_n as f64 / total) * config.criterion.impurity(&left_counts, left_n)
+                    - (right_n as f64 / total) * config.criterion.impurity(&right_counts, right_n);
+                let threshold = v + (v_next - v) / 2.0;
+                let better = match best {
+                    None => true,
+                    Some((bf, bt, bg)) => {
+                        gain > bg + 1e-12
+                            || ((gain - bg).abs() <= 1e-12 && (feature, threshold) < (bf, bt))
+                    }
+                };
+                if better {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts the class of a single feature row.
+    ///
+    /// # Panics
+    /// Panics when `row.len() != num_features`.
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.num_features, "feature count mismatch");
+        let mut node = self.nodes.len() - 1; // root is pushed last
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts classes for every row of `matrix`.
+    pub fn predict(&self, matrix: &DenseMatrix) -> Vec<usize> {
+        (0..matrix.num_rows())
+            .map(|i| self.predict_row(matrix.row(i)))
+            .collect()
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, self.nodes.len() - 1)
+    }
+}
+
+/// Stable partition: reorders `slice` so that all elements satisfying
+/// `pred` come first; returns the boundary.
+fn partition<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut kept: Vec<T> = Vec::with_capacity(slice.len());
+    let mut rest: Vec<T> = Vec::new();
+    for &x in slice.iter() {
+        if pred(&x) {
+            kept.push(x);
+        } else {
+            rest.push(x);
+        }
+    }
+    let mid = kept.len();
+    slice[..mid].copy_from_slice(&kept);
+    slice[mid..].copy_from_slice(&rest);
+    mid
+}
+
+fn argmax_counts(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-feature, three-class dataset needing two nested splits:
+    /// x ≈ 0 → class 0; x ≈ 1, y ≈ 0 → class 1; x ≈ 1, y ≈ 1 → class 2.
+    fn nested_data() -> (DenseMatrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for &(x, y, l) in &[
+            (0.0, 0.0, 0usize),
+            (0.0, 1.0, 0),
+            (1.0, 0.0, 1),
+            (1.0, 1.0, 2),
+        ] {
+            for jitter in 0..5 {
+                let e = jitter as f64 * 0.01;
+                rows.push(vec![x + e, y + e]);
+                labels.push(l);
+            }
+        }
+        (DenseMatrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn fits_nested_splits_exactly() {
+        let (m, labels) = nested_data();
+        let tree = DecisionTree::fit(&m, &labels, 3, &TreeConfig::default());
+        assert_eq!(tree.predict(&m), labels);
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.num_leaves(), 3);
+    }
+
+    #[test]
+    fn greedy_cart_cannot_split_pure_xor() {
+        // Known CART limitation: every single split of a balanced XOR has
+        // zero impurity decrease, so with a positive min_gain the root
+        // stays a leaf. Documents the expected greedy behaviour.
+        let m = DenseMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let labels = vec![0, 1, 1, 0];
+        let cfg = TreeConfig {
+            min_samples_leaf: 1,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&m, &labels, 2, &cfg);
+        assert_eq!(tree.num_leaves(), 1);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let m = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let labels = vec![1, 1, 1];
+        let tree = DecisionTree::fit(&m, &labels, 2, &TreeConfig::default());
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict_row(&[99.0]), 1);
+    }
+
+    #[test]
+    fn max_depth_zero_predicts_majority() {
+        let (m, labels) = nested_data();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&m, &labels, 3, &cfg);
+        assert_eq!(tree.num_leaves(), 1);
+        // Class 0 holds 10 of 20 samples: the unsplit root predicts it.
+        assert_eq!(tree.predict_row(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn min_samples_leaf_blocks_tiny_splits() {
+        let m = DenseMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let labels = vec![0, 0, 0, 1];
+        let cfg = TreeConfig {
+            min_samples_leaf: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&m, &labels, 2, &cfg);
+        // The clean split (isolating the single class-1 sample) is
+        // forbidden; only the balanced 2|2 split remains, whose impure
+        // right child cannot be refined further. x = 3 is therefore
+        // misclassified as the right child's majority (tie → class 0).
+        assert_eq!(tree.num_leaves(), 2);
+        assert_eq!(tree.predict_row(&[3.0]), 0);
+        assert_eq!(tree.predict_row(&[0.0]), 0);
+    }
+
+    #[test]
+    fn entropy_criterion_also_solves_separable_data() {
+        let m = DenseMatrix::from_rows(&[
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![5.0],
+            vec![5.1],
+            vec![5.2],
+        ]);
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let cfg = TreeConfig {
+            criterion: Criterion::Entropy,
+            min_samples_leaf: 1,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&m, &labels, 2, &cfg);
+        assert_eq!(tree.predict(&m), labels);
+        assert_eq!(tree.num_leaves(), 2);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn handles_constant_features() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 5.0], vec![1.0, 9.0]]);
+        let labels = vec![0, 1, 1];
+        let cfg = TreeConfig {
+            min_samples_leaf: 1,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&m, &labels, 2, &cfg);
+        // Constant feature 0 must be ignored; feature 1 separates.
+        assert_eq!(tree.predict(&m), labels);
+    }
+
+    #[test]
+    fn multiclass_separable() {
+        let m = DenseMatrix::from_rows(&[
+            vec![0.0],
+            vec![0.2],
+            vec![5.0],
+            vec![5.2],
+            vec![10.0],
+            vec![10.2],
+        ]);
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let cfg = TreeConfig {
+            min_samples_leaf: 1,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&m, &labels, 3, &cfg);
+        assert_eq!(tree.predict(&m), labels);
+        assert_eq!(tree.num_leaves(), 3);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (m, labels) = nested_data();
+        let a = DecisionTree::fit(&m, &labels, 3, &TreeConfig::default());
+        let b = DecisionTree::fit(&m, &labels, 3, &TreeConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impurity_functions() {
+        assert_eq!(Criterion::Gini.impurity(&[5, 0], 5), 0.0);
+        assert!((Criterion::Gini.impurity(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert_eq!(Criterion::Entropy.impurity(&[5, 0], 5), 0.0);
+        assert!((Criterion::Entropy.impurity(&[5, 5], 10) - 2f64.ln().abs()).abs() < 1e-12);
+        assert_eq!(Criterion::Gini.impurity(&[], 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let m = DenseMatrix::from_rows(&[vec![1.0]]);
+        let _ = DecisionTree::fit(&m, &[5], 2, &TreeConfig::default());
+    }
+}

@@ -1,0 +1,233 @@
+//! Property tests: miner equivalences and validation invariants.
+
+use ada_mining::kmeans::{init, KMeans, KMeansBackend, KMeansInit};
+use ada_mining::patterns::{apriori, fpgrowth, rules, Transaction};
+use ada_mining::validate::stratified_folds;
+use ada_vsm::DenseMatrix;
+use proptest::prelude::*;
+
+fn transactions() -> impl Strategy<Value = Vec<Transaction>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u32..12, 0..6).prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fpgrowth_equals_apriori(ts in transactions(), min_support in 1usize..6) {
+        let a = apriori::mine(&ts, min_support);
+        let f = fpgrowth::mine(&ts, min_support);
+        prop_assert_eq!(a, f);
+    }
+
+    #[test]
+    fn downward_closure(ts in transactions(), min_support in 1usize..5) {
+        use std::collections::HashMap;
+        let frequent = fpgrowth::mine(&ts, min_support);
+        let support: HashMap<&Vec<u32>, usize> =
+            frequent.iter().map(|f| (&f.items, f.support)).collect();
+        for f in &frequent {
+            prop_assert!(f.support >= min_support);
+            if f.items.len() >= 2 {
+                for skip in 0..f.items.len() {
+                    let sub: Vec<u32> = f.items.iter().enumerate()
+                        .filter(|&(i, _)| i != skip).map(|(_, &v)| v).collect();
+                    let s = support.get(&sub);
+                    prop_assert!(s.is_some(), "missing subset {:?}", sub);
+                    prop_assert!(*s.unwrap() >= f.support);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rules_respect_confidence_and_counts(
+        ts in transactions(),
+        conf in 0.0f64..1.0,
+    ) {
+        let frequent = fpgrowth::mine(&ts, 1);
+        let generated = rules::generate(&frequent, ts.len(), conf);
+        for r in &generated {
+            prop_assert!(r.confidence() >= conf - 1e-12);
+            // Recount the rule directly against the transactions.
+            let contains = |t: &Transaction, items: &[u32]|
+                items.iter().all(|i| t.binary_search(i).is_ok());
+            let count_ab = ts.iter()
+                .filter(|t| contains(t, &r.antecedent) && contains(t, &r.consequent))
+                .count();
+            prop_assert_eq!(count_ab, r.counts.count_ab);
+        }
+    }
+
+    #[test]
+    fn filtering_equals_lloyd(
+        rows in prop::collection::vec(
+            prop::collection::vec((-50i32..50).prop_map(|v| f64::from(v) / 5.0), 3),
+            4..50,
+        ),
+        k in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(k <= rows.len());
+        let m = DenseMatrix::from_rows(&rows);
+        let start = init::initial_centroids(&m, k, KMeansInit::Forgy, seed);
+        let lloyd = KMeans::new(k).fit_from(&m, start.clone());
+        let filtering = KMeans::new(k)
+            .backend(KMeansBackend::Filtering)
+            .fit_from(&m, start);
+        prop_assert_eq!(&lloyd.assignments, &filtering.assignments);
+        prop_assert!((lloyd.sse - filtering.sse).abs() < 1e-6 * (1.0 + lloyd.sse));
+    }
+
+    #[test]
+    fn kmeans_sse_never_worse_than_one_cluster(
+        rows in prop::collection::vec(
+            prop::collection::vec((-50i32..50).prop_map(|v| f64::from(v) / 5.0), 2),
+            3..40,
+        ),
+        k in 2usize..4,
+    ) {
+        prop_assume!(k <= rows.len());
+        let m = DenseMatrix::from_rows(&rows);
+        let multi = KMeans::new(k).seed(1).fit(&m);
+        let single = KMeans::new(1).seed(1).fit(&m);
+        prop_assert!(multi.sse <= single.sse + 1e-9);
+    }
+
+    #[test]
+    fn folds_partition_indices(
+        labels in prop::collection::vec(0usize..4, 5..60),
+        folds in 2usize..5,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(labels.len() >= folds);
+        let partition = stratified_folds(&labels, folds, seed);
+        prop_assert_eq!(partition.len(), folds);
+        let mut all: Vec<usize> = partition.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..labels.len()).collect();
+        prop_assert_eq!(all, expected);
+        // Stratification: fold class counts differ by at most... the
+        // round-robin guarantees within-class fold sizes differ by <= 1.
+        let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        for class in 0..num_classes {
+            let per_fold: Vec<usize> = partition.iter()
+                .map(|f| f.iter().filter(|&&i| labels[i] == class).count())
+                .collect();
+            let (lo, hi) = (per_fold.iter().min().unwrap(), per_fold.iter().max().unwrap());
+            prop_assert!(hi - lo <= 2, "class {} spread {:?}", class, per_fold);
+        }
+    }
+
+    #[test]
+    fn tree_is_perfect_on_training_data_without_limits(
+        rows in prop::collection::vec(
+            prop::collection::vec((-100i32..100).prop_map(f64::from), 2),
+            2..40,
+        ),
+        labels in prop::collection::vec(0usize..3, 2..40),
+    ) {
+        use ada_mining::tree::{DecisionTree, TreeConfig};
+        let n = rows.len().min(labels.len());
+        let rows = &rows[..n];
+        let labels = &labels[..n];
+        // Deduplicate identical feature rows with conflicting labels:
+        // keep the first occurrence.
+        let mut seen: Vec<&Vec<f64>> = Vec::new();
+        let mut keep_rows = Vec::new();
+        let mut keep_labels = Vec::new();
+        for (r, &l) in rows.iter().zip(labels) {
+            if !seen.contains(&r) {
+                seen.push(r);
+                keep_rows.push(r.clone());
+                keep_labels.push(l);
+            }
+        }
+        let m = DenseMatrix::from_rows(&keep_rows);
+        let cfg = TreeConfig {
+            max_depth: usize::MAX,
+            min_samples_leaf: 1,
+            min_gain: 0.0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&m, &keep_labels, 3, &cfg);
+        prop_assert_eq!(tree.predict(&m), keep_labels);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hierarchical_cut_yields_exactly_k_clusters(
+        rows in prop::collection::vec(
+            prop::collection::vec((-40i32..40).prop_map(|v| f64::from(v) / 4.0), 2),
+            2..25,
+        ),
+        k in 1usize..6,
+    ) {
+        use ada_mining::hierarchical::{agglomerative, Linkage};
+        prop_assume!(k <= rows.len());
+        let m = DenseMatrix::from_rows(&rows);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let labels = agglomerative(&m, linkage).cut(k);
+            prop_assert_eq!(labels.len(), rows.len());
+            let mut distinct = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), k, "{:?}", linkage);
+            // Labels are dense 0..k.
+            prop_assert_eq!(distinct, (0..k).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sequence_mining_respects_support(
+        timelines in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::btree_set(0u32..6, 0..3)
+                    .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+                0..5,
+            ),
+            1..20,
+        ),
+        min_support in 1usize..4,
+    ) {
+        use ada_mining::sequences::{contains_sequence, mine};
+        let found = mine(&timelines, min_support, 3);
+        for f in &found {
+            // Recount directly.
+            let support = timelines
+                .iter()
+                .filter(|t| contains_sequence(t, &f.sequence))
+                .count();
+            prop_assert_eq!(support, f.support);
+            prop_assert!(f.support >= min_support);
+        }
+    }
+
+    #[test]
+    fn closed_and_maximal_are_consistent(ts in transactions(), min_support in 1usize..5) {
+        use ada_mining::patterns::condense::{closed_itemsets, maximal_itemsets};
+        use ada_mining::patterns::is_subset;
+        let frequent = fpgrowth::mine(&ts, min_support);
+        let closed = closed_itemsets(&frequent);
+        let maximal = maximal_itemsets(&frequent);
+        // Every maximal itemset is closed.
+        for m in &maximal {
+            prop_assert!(closed.contains(m));
+        }
+        // Support recovery: every frequent itemset's support equals the
+        // max support of its closed supersets.
+        for f in &frequent {
+            let recovered = closed.iter()
+                .filter(|c| is_subset(&f.items, &c.items))
+                .map(|c| c.support)
+                .max();
+            prop_assert_eq!(recovered, Some(f.support));
+        }
+    }
+}

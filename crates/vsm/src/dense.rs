@@ -1,0 +1,282 @@
+//! Row-major dense matrix used as the clustering working set.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense `f64` matrix.
+///
+/// At paper scale the VSM matrix is 6,380 × 159 ≈ 8 MB of `f64`, so a
+/// flat dense buffer is both the simplest and the fastest representation
+/// for K-means' inner loops (contiguous rows, no indirection).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Panics
+    /// Panics when rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: n,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrowed view of row `r`.
+    ///
+    /// # Panics
+    /// Panics when `r` is out of range.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    /// Panics when `r` is out of range.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The value at (r, c).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the value at (r, c).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A new matrix containing only the selected rows, in the given order.
+    ///
+    /// # Panics
+    /// Panics when any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(indices.len(), self.cols);
+        for (new_r, &r) in indices.iter().enumerate() {
+            out.row_mut(new_r).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// A new matrix containing only the selected columns, in the given
+    /// order.
+    ///
+    /// # Panics
+    /// Panics when any index is out of range.
+    pub fn select_cols(&self, indices: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            let dst = out.row_mut(r);
+            for (new_c, &c) in indices.iter().enumerate() {
+                dst[new_c] = src[c];
+            }
+        }
+        out
+    }
+
+    /// L2-normalizes every row in place; zero rows are left untouched.
+    pub fn normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in row {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+
+    /// Per-column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return means;
+        }
+        for row in self.rows_iter() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics (in debug builds) on length mismatch.
+#[inline]
+pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity of two slices; 0.0 when either is a zero vector.
+#[inline]
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let denom = norm(a) * norm(b);
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.num_cols(), 3);
+    }
+
+    #[test]
+    fn from_rows_and_flat_agree() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let a = DenseMatrix::from_rows(&rows);
+        let b = DenseMatrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let r = m.select_rows(&[2, 0]);
+        assert_eq!(r.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(r.row(1), &[1.0, 2.0, 3.0]);
+        let c = m.select_cols(&[2, 1]);
+        assert_eq!(c.row(0), &[3.0, 2.0]);
+        assert_eq!(c.num_cols(), 2);
+    }
+
+    #[test]
+    fn normalize_rows_handles_zero_rows() {
+        let mut m = DenseMatrix::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]);
+        m.normalize_rows();
+        assert!((norm(m.row(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn col_means_average() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]);
+        assert_eq!(m.col_means(), vec![2.0, 20.0]);
+        assert_eq!(DenseMatrix::zeros(0, 2).col_means(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let a = [1.0, 2.0, 2.0];
+        let b = [0.0, 0.0, 2.0];
+        assert_eq!(distance_sq(&a, &b), 1.0 + 4.0);
+        assert_eq!(dot(&a, &b), 4.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&a, &[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn rows_iter_matches_row() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let collected: Vec<&[f64]> = m.rows_iter().collect();
+        assert_eq!(collected, vec![m.row(0), m.row(1)]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Dimensionality reduction: standardization and power-iteration PCA.
+//!
+//! The ADA-HEALTH architecture "includes several techniques to
+//! preprocess data and map them into different representation spaces …
+//! in order to reduce sparseness, and make the overall analysis problem
+//! more efficiently tractable". Besides the VSM weightings this crate
+//! provides column standardization and a from-scratch PCA (power
+//! iteration with deflation on the covariance operator — never
+//! materializing the d × d covariance for the thin case), yielding a
+//! compact representation space the clustering layer can run in.
+
+use crate::dense::{dot, DenseMatrix};
+
+/// Per-column standardization statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    /// Column means.
+    pub mean: Vec<f64>,
+    /// Column standard deviations (1.0 substituted for constant
+    /// columns so transforms stay finite).
+    pub std_dev: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on the rows of `matrix`.
+    ///
+    /// # Panics
+    /// Panics on an empty matrix.
+    pub fn fit(matrix: &DenseMatrix) -> Self {
+        let n = matrix.num_rows();
+        assert!(n > 0, "cannot standardize an empty matrix");
+        let mean = matrix.col_means();
+        let mut var = vec![0.0; matrix.num_cols()];
+        for row in matrix.rows_iter() {
+            for (v, (x, m)) in var.iter_mut().zip(row.iter().zip(&mean)) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let std_dev = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n as f64).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean, std_dev }
+    }
+
+    /// Returns the standardized copy of `matrix` (zero mean, unit
+    /// variance per column).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn transform(&self, matrix: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(matrix.num_cols(), self.mean.len(), "column mismatch");
+        let mut out = matrix.clone();
+        for r in 0..out.num_rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mean[c]) / self.std_dev[c];
+            }
+        }
+        out
+    }
+}
+
+/// A fitted PCA model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    /// Column means removed before projection.
+    pub mean: Vec<f64>,
+    /// Principal components, one row per component (orthonormal).
+    pub components: DenseMatrix,
+    /// Variance explained by each component.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `k` principal components by power iteration with deflation.
+    ///
+    /// Deterministic: iteration starts from a fixed pseudo-random unit
+    /// vector. Components whose eigenvalue underflows are dropped, so
+    /// the returned model may have fewer than `k` components on
+    /// degenerate data.
+    ///
+    /// # Panics
+    /// Panics when the matrix is empty or `k` is 0.
+    pub fn fit(matrix: &DenseMatrix, k: usize) -> Self {
+        let n = matrix.num_rows();
+        let d = matrix.num_cols();
+        assert!(n > 0 && d > 0, "cannot fit PCA on an empty matrix");
+        assert!(k >= 1, "need at least one component");
+        let k = k.min(d).min(n);
+
+        let mean = matrix.col_means();
+        // Centered copy.
+        let mut centered = matrix.clone();
+        for r in 0..n {
+            let row = centered.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v -= mean[c];
+            }
+        }
+
+        let mut components = Vec::with_capacity(k);
+        let mut explained = Vec::with_capacity(k);
+        for comp_idx in 0..k {
+            // Deterministic quasi-random start, orthogonalized against
+            // found components.
+            let mut v: Vec<f64> = (0..d)
+                .map(|i| {
+                    let x = ((i + 1) * (comp_idx + 3)) as f64;
+                    (x * 12.9898).sin()
+                })
+                .collect();
+            orthogonalize(&mut v, &components);
+            if normalize(&mut v) == 0.0 {
+                break;
+            }
+
+            let mut eigenvalue = 0.0;
+            for _ in 0..200 {
+                // w = (Xᵀ X / n) v  without forming XᵀX: first y = X v,
+                // then w = Xᵀ y / n.
+                let mut y = vec![0.0; n];
+                for (r, yr) in y.iter_mut().enumerate() {
+                    *yr = dot(centered.row(r), &v);
+                }
+                let mut w = vec![0.0; d];
+                for (r, yr) in y.iter().enumerate() {
+                    let row = centered.row(r);
+                    for (c, wc) in w.iter_mut().enumerate() {
+                        *wc += yr * row[c];
+                    }
+                }
+                for wc in &mut w {
+                    *wc /= n as f64;
+                }
+                orthogonalize(&mut w, &components);
+                let norm = normalize(&mut w);
+                let delta: f64 = w
+                    .iter()
+                    .zip(&v)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                v = w;
+                eigenvalue = norm;
+                if delta < 1e-10 {
+                    break;
+                }
+            }
+            if eigenvalue < 1e-12 {
+                break; // remaining directions carry no variance
+            }
+            components.push(v);
+            explained.push(eigenvalue);
+        }
+
+        Pca {
+            mean,
+            components: DenseMatrix::from_rows(&components),
+            explained_variance: explained,
+        }
+    }
+
+    /// Number of fitted components.
+    pub fn num_components(&self) -> usize {
+        self.components.num_rows()
+    }
+
+    #[allow(clippy::needless_range_loop)] // comp indexes components and target in lockstep
+    /// Projects rows into the component space (n × k).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn transform(&self, matrix: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(matrix.num_cols(), self.mean.len(), "column mismatch");
+        let k = self.num_components();
+        let mut out = DenseMatrix::zeros(matrix.num_rows(), k);
+        let mut centered_row = vec![0.0; self.mean.len()];
+        for r in 0..matrix.num_rows() {
+            let row = matrix.row(r);
+            for (c, v) in centered_row.iter_mut().enumerate() {
+                *v = row[c] - self.mean[c];
+            }
+            let target = out.row_mut(r);
+            for comp in 0..k {
+                target[comp] = dot(&centered_row, self.components.row(comp));
+            }
+        }
+        out
+    }
+
+    /// Reconstructs rows from their projection (inverse transform up to
+    /// the truncation error).
+    #[allow(clippy::needless_range_loop)] // lockstep multi-array indexing
+    pub fn inverse_transform(&self, projected: &DenseMatrix) -> DenseMatrix {
+        let d = self.mean.len();
+        let mut out = DenseMatrix::zeros(projected.num_rows(), d);
+        for r in 0..projected.num_rows() {
+            let coeffs = projected.row(r);
+            let target = out.row_mut(r);
+            target.copy_from_slice(&self.mean);
+            for (comp, &w) in coeffs.iter().enumerate() {
+                let direction = self.components.row(comp);
+                for c in 0..d {
+                    target[c] += w * direction[c];
+                }
+            }
+        }
+        out
+    }
+}
+
+fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let proj = dot(v, b);
+        for (x, y) in v.iter_mut().zip(b) {
+            *x -= proj * y;
+        }
+    }
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Data stretched along a known direction.
+    fn anisotropic(seed: u64) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let direction = [3.0f64 / 5.0, 4.0 / 5.0, 0.0];
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| {
+                let major: f64 = rng.gen_range(-10.0..10.0);
+                let minor: f64 = rng.gen_range(-0.5..0.5);
+                vec![
+                    5.0 + major * direction[0] - minor * direction[1],
+                    -2.0 + major * direction[1] + minor * direction[0],
+                    rng.gen_range(-0.1..0.1),
+                ]
+            })
+            .collect();
+        DenseMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn first_component_finds_major_axis() {
+        let m = anisotropic(1);
+        let pca = Pca::fit(&m, 2);
+        let c0 = pca.components.row(0);
+        // Up to sign, c0 ≈ (0.6, 0.8, 0).
+        let alignment = (c0[0] * 0.6 + c0[1] * 0.8).abs();
+        assert!(alignment > 0.999, "alignment = {alignment}, c0 = {c0:?}");
+        assert!(
+            pca.explained_variance[0] > 10.0 * pca.explained_variance[1],
+            "major axis must dominate: {:?}",
+            pca.explained_variance
+        );
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let m = anisotropic(2);
+        let pca = Pca::fit(&m, 3);
+        for i in 0..pca.num_components() {
+            for j in 0..pca.num_components() {
+                let d = dot(pca.components.row(i), pca.components.row(j));
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expected).abs() < 1e-6, "<c{i}, c{j}> = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_shrinks_with_more_components() {
+        let m = anisotropic(3);
+        let err = |k: usize| -> f64 {
+            let pca = Pca::fit(&m, k);
+            let rec = pca.inverse_transform(&pca.transform(&m));
+            (0..m.num_rows())
+                .map(|r| crate::dense::distance_sq(m.row(r), rec.row(r)))
+                .sum::<f64>()
+        };
+        let e1 = err(1);
+        let e2 = err(2);
+        let e3 = err(3);
+        assert!(e2 < e1);
+        assert!(e3 <= e2 + 1e-9);
+        assert!(e3 < 1e-6, "full-rank reconstruction must be exact: {e3}");
+    }
+
+    #[test]
+    fn explained_variance_is_decreasing() {
+        let m = anisotropic(4);
+        let pca = Pca::fit(&m, 3);
+        for w in pca.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "{:?}", pca.explained_variance);
+        }
+    }
+
+    #[test]
+    fn degenerate_rank_returns_fewer_components() {
+        // Rank-1 data: only one direction carries variance.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let m = DenseMatrix::from_rows(&rows);
+        let pca = Pca::fit(&m, 2);
+        assert_eq!(pca.num_components(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = anisotropic(5);
+        assert_eq!(Pca::fit(&m, 2), Pca::fit(&m, 2));
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_variance() {
+        let m = anisotropic(6);
+        let st = Standardizer::fit(&m);
+        let z = st.transform(&m);
+        let means = z.col_means();
+        for m in &means {
+            assert!(m.abs() < 1e-9, "mean {m}");
+        }
+        let n = z.num_rows() as f64;
+        for c in 0..z.num_cols() {
+            let var: f64 = (0..z.num_rows()).map(|r| z.get(r, c).powi(2)).sum::<f64>() / n;
+            assert!((var - 1.0).abs() < 1e-9, "var {var}");
+        }
+    }
+
+    #[test]
+    fn standardizer_tolerates_constant_columns() {
+        let m = DenseMatrix::from_rows(&[vec![7.0, 1.0], vec![7.0, 3.0]]);
+        let st = Standardizer::fit(&m);
+        let z = st.transform(&m);
+        assert_eq!(z.get(0, 0), 0.0);
+        assert_eq!(z.get(1, 0), 0.0);
+        assert!(z.get(1, 1).is_finite());
+    }
+}

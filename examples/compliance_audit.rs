@@ -1,0 +1,118 @@
+//! Guideline-compliance audit plus follow-up sequence analysis.
+//!
+//! The paper motivates ADA-HEALTH with, among others, "(ii) assessing
+//! the adherence of medical prescriptions and treatments to relevant
+//! clinical guidelines". This example audits the synthetic diabetic
+//! cohort against a standard follow-up guideline set, profiles the
+//! cohort's visit cadence, and mines the frequent *ordered* examination
+//! sequences that show which follow-ups actually happen after which
+//! exams.
+//!
+//! ```text
+//! cargo run --release --example compliance_audit
+//! ```
+
+use ada_health::dataset::synthetic::{generate_with_truth, SyntheticConfig};
+use ada_health::dataset::timeline::{gap_summary, monthly_volume, timelines};
+use ada_health::engine::compliance::{assess, diabetes_guidelines, Verdict};
+use ada_health::mining::sequences;
+
+fn main() {
+    let data = generate_with_truth(&SyntheticConfig::small(), 42);
+    let log = &data.log;
+
+    // --- visit cadence ---
+    println!("== visit cadence ==");
+    if let Some(gaps) = gap_summary(log) {
+        println!(
+            "{} inter-visit gaps: mean {:.0} days, median {:.0}, max {}",
+            gaps.count, gaps.mean_days, gaps.median_days, gaps.max_days
+        );
+    }
+    let monthly = monthly_volume(log, 2015);
+    let peak = monthly.iter().enumerate().max_by_key(|&(_, c)| *c).unwrap();
+    println!(
+        "monthly record volume: min {}, max {} (month {})",
+        monthly.iter().min().unwrap(),
+        peak.1,
+        peak.0 + 1
+    );
+
+    // --- guideline audit ---
+    println!("\n== guideline compliance ==");
+    let guidelines = diabetes_guidelines(log);
+    let report = assess(log, &guidelines);
+    for r in &report.results {
+        println!(
+            "{:<52} {:>5.1}%  ({}/{} eligible)",
+            r.name,
+            r.rate() * 100.0,
+            r.compliant,
+            r.eligible
+        );
+    }
+    println!("overall compliance: {:.1}%", report.overall_rate() * 100.0);
+
+    // Who drives non-compliance? Cross-reference the latent cohort.
+    let hba1c = &report.results[0];
+    let episodic_offenders = hba1c
+        .offenders
+        .iter()
+        .filter(|(p, _)| data.episodic[p.index()])
+        .count();
+    println!(
+        "worst offenders of \"{}\": {} sampled, {} of them episodic patients",
+        hba1c.name,
+        hba1c.offenders.len(),
+        episodic_offenders
+    );
+    for (patient, verdict) in hba1c.offenders.iter().take(3) {
+        let text = match verdict {
+            Verdict::TooFew { observed } => format!("only {observed} exam(s)"),
+            Verdict::GapExceeded { worst_gap } => format!("{worst_gap}-day gap"),
+            _ => "ok".into(),
+        };
+        println!(
+            "  {patient}: {text} (profile {})",
+            data.profile_names[data.true_profile[patient.index()]]
+        );
+    }
+
+    // --- ordered follow-up sequences ---
+    println!("\n== frequent examination sequences (ordered, distinct visits) ==");
+    let cohort_timelines = timelines(log);
+    let visit_sequences: Vec<Vec<Vec<u32>>> = cohort_timelines
+        .iter()
+        .map(|t| {
+            t.visits
+                .iter()
+                .map(|v| v.exams.iter().map(|e| e.0).collect())
+                .collect()
+        })
+        .collect();
+    let min_support = (log.num_patients() / 10).max(2); // 10% of patients
+    let mined = sequences::mine(&visit_sequences, min_support, 3);
+    let mut pairs: Vec<_> = mined.iter().filter(|s| s.sequence.len() == 2).collect();
+    pairs.sort_by_key(|s| std::cmp::Reverse(s.support));
+    for seq in pairs.iter().take(6) {
+        let names: Vec<&str> = seq
+            .sequence
+            .iter()
+            .map(|&i| log.catalog()[i as usize].name.as_str())
+            .collect();
+        let confidence =
+            sequences::sequence_confidence(&visit_sequences, &seq.sequence[..1], seq.sequence[1]);
+        println!(
+            "  {}  ->  {}   ({} patients, follow-up confidence {:.0}%)",
+            names[0],
+            names[1],
+            seq.support,
+            confidence * 100.0
+        );
+    }
+    println!(
+        "{} frequent sequences total (max length 3, support >= {} patients)",
+        mined.len(),
+        min_support
+    );
+}

@@ -1,0 +1,109 @@
+//! Outlier screening: find patients with atypical examination histories.
+//!
+//! The paper notes that rarely-prescribed exams "could affect other
+//! types of analyses such as outlier detection". This example runs
+//! DBSCAN on normalized examination-history vectors: density clusters
+//! recover the care-profile structure while the noise label surfaces
+//! patients whose exam mix matches nobody — here, dominated by the
+//! generator's *episodic* specialist-only patients, which the example
+//! verifies against the latent ground truth.
+//!
+//! ```text
+//! cargo run --release --example outlier_screening
+//! ```
+
+use ada_health::dataset::synthetic::{generate_with_truth, SyntheticConfig};
+use ada_health::mining::dbscan::{Dbscan, DbscanLabel};
+use ada_health::vsm::VsmBuilder;
+
+fn main() {
+    let data = generate_with_truth(&SyntheticConfig::small(), 42);
+    let log = &data.log;
+    let pv = VsmBuilder::new().normalize(true).build(log);
+
+    // eps swept coarsely; min_points 5 ~ smallest clinically meaningful
+    // group in a 400-patient cohort.
+    println!("eps sweep (min_points = 5):");
+    let mut chosen = None;
+    for eps in [0.5, 0.7, 0.9, 1.1] {
+        let result = Dbscan::new(eps, 5).fit(&pv.matrix);
+        let noise = result.noise_points().len();
+        println!(
+            "  eps {eps:.1}: {} clusters, {} noise patients",
+            result.num_clusters, noise
+        );
+        // Pick the sweep point with a useful cluster count and a noise
+        // rate that actually screens (flagging most of the cohort is
+        // not screening).
+        if result.num_clusters >= 3 && noise * 3 < log.num_patients() && chosen.is_none() {
+            chosen = Some((eps, result));
+        }
+    }
+    let (eps, result) = chosen.expect("some eps yields clusters");
+    println!("\nusing eps = {eps}");
+
+    // Who are the outliers?
+    let noise = result.noise_points();
+    let episodic_among_noise = noise.iter().filter(|&&i| data.episodic[i]).count();
+    let episodic_total = data.episodic.iter().filter(|&&e| e).count();
+    println!(
+        "{} noise patients; {} of them are latent episodic patients \
+         ({} episodic in the cohort)",
+        noise.len(),
+        episodic_among_noise,
+        episodic_total
+    );
+
+    // Inspect a few flagged patients: their record counts and top exams.
+    println!("\nsample flagged patients:");
+    let counts = log.patient_exam_counts();
+    for &i in noise.iter().take(5) {
+        let total: u32 = counts[i].iter().sum();
+        let mut top: Vec<(usize, u32)> = counts[i]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(e, &c)| (e, c))
+            .collect();
+        top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let exams: Vec<String> = top
+            .iter()
+            .take(3)
+            .map(|&(e, c)| format!("{} x{}", log.catalog()[e].name, c))
+            .collect();
+        println!(
+            "  patient {i}: {total} records, age {}, profile {}, episodic {}: {}",
+            log.patients()[i].age,
+            data.profile_names[data.true_profile[i]],
+            data.episodic[i],
+            exams.join("; ")
+        );
+    }
+
+    // Cluster composition vs latent profiles.
+    println!("\ndensity clusters vs latent profiles:");
+    for cluster in 0..result.num_clusters {
+        let members: Vec<usize> = result
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == DbscanLabel::Cluster(cluster))
+            .map(|(i, _)| i)
+            .collect();
+        let mut profile_counts = vec![0usize; data.profile_names.len()];
+        for &i in &members {
+            profile_counts[data.true_profile[i]] += 1;
+        }
+        let (best, count) = profile_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .expect("profiles exist");
+        println!(
+            "  cluster {cluster}: {:>4} patients, majority profile {} ({:.0}%)",
+            members.len(),
+            data.profile_names[best],
+            100.0 * *count as f64 / members.len().max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: run the whole ADA-HEALTH pipeline on a small synthetic
+//! cohort with three lines of setup.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ada_health::dataset::synthetic::{generate, SyntheticConfig};
+use ada_health::engine::pipeline::{AdaHealth, AdaHealthConfig};
+
+fn main() {
+    // 1. A dataset. Here: a seeded synthetic diabetic-patient cohort
+    //    (use `ada_health::dataset::io::load_dir` for your own CSVs).
+    let log = generate(&SyntheticConfig::small(), 42);
+    println!(
+        "dataset: {} patients, {} exam types, {} records",
+        log.num_patients(),
+        log.num_exam_types(),
+        log.num_records()
+    );
+
+    // 2. An engine. `quick` trades sweep breadth for speed; use
+    //    `AdaHealthConfig::paper` for the full Table-I protocol.
+    let mut engine = AdaHealth::new(AdaHealthConfig::quick("quickstart"));
+
+    // 3. Run. One call executes every architecture box of the paper's
+    //    Figure 1 and returns the full session report.
+    let report = engine.run(&log);
+
+    println!(
+        "transformation: {} (selected automatically from {:?})",
+        report.transform.best(),
+        report
+            .transform
+            .ranked
+            .iter()
+            .map(|s| s.weighting.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "partial mining: {:.0}% of exam types kept ({:.0}% of rows)",
+        report.partial.selected_step().fraction * 100.0,
+        report.partial.selected_step().row_coverage * 100.0
+    );
+    println!("optimizer: K = {} selected", report.optimizer.selected_k);
+    println!(
+        "knowledge: {} clusters + {} association rules extracted",
+        report.clusters.len(),
+        report.rules.len()
+    );
+    println!(
+        "suggested end-goal: {}",
+        report
+            .goals
+            .first()
+            .map(|(g, _, _)| g.name())
+            .unwrap_or("-")
+    );
+    println!();
+    println!("top 3 knowledge items after feedback adaptation:");
+    for item in report.ranked_items.iter().take(3) {
+        println!("  - {item}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Pattern-based knowledge discovery: which examinations are commonly
+//! prescribed together, at which abstraction level?
+//!
+//! Exercises the paper's second exploratory family (its reference [2],
+//! MeTA): FP-growth over visit transactions, association-rule generation
+//! with the full interestingness battery, and taxonomy-aware multi-level
+//! mining that surfaces patterns at the condition-group level when
+//! leaf-level exams are too rare.
+//!
+//! ```text
+//! cargo run --release --example treatment_patterns
+//! ```
+
+use ada_health::dataset::synthetic::{generate, SyntheticConfig};
+use ada_health::dataset::taxonomy::{ConditionGroup, Domain};
+use ada_health::dataset::ExamTypeId;
+use ada_health::mining::patterns::taxonomy_mine::{self, ItemHierarchy};
+use ada_health::mining::patterns::{fpgrowth, relative_min_support, rules};
+
+fn main() {
+    let log = generate(&SyntheticConfig::small(), 42);
+    let visits = log.visits();
+    let transactions: Vec<Vec<u32>> = visits
+        .iter()
+        .map(|v| v.exams.iter().map(|e| e.0).collect())
+        .collect();
+    println!(
+        "{} visits from {} patients ({} exam types)",
+        transactions.len(),
+        log.num_patients(),
+        log.num_exam_types()
+    );
+
+    let name_of = |i: u32| -> String {
+        let n_leaf = log.num_exam_types() as u32;
+        let n_groups = ConditionGroup::ALL.len() as u32;
+        if i < n_leaf {
+            log.catalog()[i as usize].name.clone()
+        } else if i < n_leaf + n_groups {
+            format!("[group: {}]", ConditionGroup::ALL[(i - n_leaf) as usize])
+        } else {
+            format!(
+                "[domain: {}]",
+                Domain::ALL[(i - n_leaf - n_groups) as usize]
+            )
+        }
+    };
+
+    // --- flat mining: frequent visit-level exam combinations ---
+    let min_support = relative_min_support(transactions.len(), 0.04);
+    let frequent = fpgrowth::mine(&transactions, min_support);
+    println!(
+        "\n[fp-growth] {} frequent itemsets at 4% visit support; largest:",
+        frequent.len()
+    );
+    let mut by_size = frequent.clone();
+    by_size.sort_by_key(|f| std::cmp::Reverse((f.items.len(), f.support)));
+    for f in by_size.iter().take(5) {
+        let names: Vec<String> = f.items.iter().map(|&i| name_of(i)).collect();
+        println!(
+            "  {{{}}}  support {:.1}%",
+            names.join(", "),
+            100.0 * f.support as f64 / transactions.len() as f64
+        );
+    }
+
+    // --- association rules: co-prescription knowledge items ---
+    let mined = rules::generate(&frequent, transactions.len(), 0.6);
+    println!("\n[rules] top co-prescription rules (confidence >= 60%):");
+    for rule in mined.iter().take(8) {
+        println!("  {}", rules::format_rule(rule, name_of));
+        println!(
+            "      leverage {:+.4}  conviction {:.2}  jaccard {:.3}",
+            rule.counts.leverage(),
+            rule.counts.conviction(),
+            rule.counts.jaccard()
+        );
+    }
+
+    // --- multi-level mining over the exam taxonomy ---
+    let taxonomy = log.taxonomy();
+    let n_leaf = log.num_exam_types() as u32;
+    let n_groups = ConditionGroup::ALL.len() as u32;
+    let mut parent: Vec<Option<u32>> = (0..n_leaf)
+        .map(|e| {
+            taxonomy
+                .group_of(ExamTypeId(e))
+                .map(|g| n_leaf + g.index() as u32)
+        })
+        .collect();
+    for g in ConditionGroup::ALL {
+        parent.push(Some(n_leaf + n_groups + g.domain().index() as u32));
+    }
+    for _ in Domain::ALL {
+        parent.push(None);
+    }
+    let hierarchy = ItemHierarchy::new(parent);
+
+    // A support level that leaf-level rare exams cannot clear.
+    let strict_support = relative_min_support(transactions.len(), 0.15);
+    let flat_strict = fpgrowth::mine(&transactions, strict_support);
+    let multi = taxonomy_mine::mine(&transactions, &hierarchy, strict_support);
+    let generalized = multi
+        .iter()
+        .filter(|f| f.items.iter().any(|&i| i >= n_leaf))
+        .count();
+    println!(
+        "\n[multi-level] at 15% support: {} leaf-only itemsets, {} multi-level \
+         ({} involving generalized taxonomy nodes)",
+        flat_strict.len(),
+        multi.len(),
+        generalized
+    );
+    println!("  examples of generalized patterns:");
+    for f in multi
+        .iter()
+        .filter(|f| f.items.iter().any(|&i| i >= n_leaf) && f.items.len() >= 2)
+        .take(5)
+    {
+        let names: Vec<String> = f.items.iter().map(|&i| name_of(i)).collect();
+        println!(
+            "  {{{}}}  support {:.1}%",
+            names.join(", "),
+            100.0 * f.support as f64 / transactions.len() as f64
+        );
+    }
+}

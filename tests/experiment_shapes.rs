@@ -1,0 +1,97 @@
+//! Fast shape checks of the two paper experiments, at reduced scale.
+//!
+//! The release-mode reproduction binaries (`table1`, `partial_mining`)
+//! validate the paper-scale behaviour; these tests guard the same
+//! qualitative shapes in CI at a size debug builds can afford.
+
+use ada_health::dataset::stats;
+use ada_health::dataset::synthetic::{generate, SyntheticConfig};
+use ada_health::engine::optimize::Optimizer;
+use ada_health::engine::partial::HorizontalPartialMiner;
+use ada_health::vsm::VsmBuilder;
+
+#[test]
+fn table1_shape_holds_at_reduced_scale() {
+    let log = generate(&SyntheticConfig::small(), 42);
+    let pv = VsmBuilder::new().top_features(&log, 24).build(&log);
+    let report = Optimizer::quick(vec![6, 8, 12, 20]).run(&pv.matrix);
+
+    // SSE strictly decreasing in K.
+    let sse: Vec<f64> = report.evaluations.iter().map(|e| e.sse).collect();
+    assert!(
+        sse.windows(2).all(|w| w[1] < w[0]),
+        "SSE must decrease: {sse:?}"
+    );
+    // Classification metrics degrade at large K.
+    let first = &report.evaluations[0];
+    let last = report.evaluations.last().unwrap();
+    assert!(
+        last.classification_score() < first.classification_score(),
+        "K = 20 must score below K = 6"
+    );
+    // Auto-selection lands on a small K.
+    assert!(report.selected_k <= 12, "selected {}", report.selected_k);
+}
+
+#[test]
+fn partial_mining_crossover_holds_at_reduced_scale() {
+    // At 400 patients the similarity estimate carries a few percent of
+    // clustering noise, so this guards the robust half of the paper's
+    // crossover — the 20%-of-types step always falls outside the 5%
+    // tolerance — and leaves the exact 40%-step selection to the
+    // paper-scale `partial_mining` binary (and the seed-pinned unit
+    // test in `ada-core`).
+    let log = generate(&SyntheticConfig::small(), 42);
+    let report = HorizontalPartialMiner::default().run(&log);
+    let sims: Vec<f64> = report.steps.iter().map(|s| s.mean_similarity()).collect();
+
+    // Similarity decreases as exam types are dropped.
+    assert!(sims[0] < sims[2], "direction inverted: {sims:?}");
+    // The smallest subset is never acceptable…
+    assert!(report.difference_vs_full(0) > report.epsilon);
+    assert!(report.selected >= 1);
+    // …and the selected subset genuinely satisfies the tolerance.
+    assert!(report.difference_vs_full(report.selected) <= report.epsilon);
+}
+
+#[test]
+fn coverage_points_match_generator_calibration() {
+    let log = generate(&SyntheticConfig::small(), 42);
+    let c20 = stats::coverage_at_fraction(&log, 0.20);
+    let c40 = stats::coverage_at_fraction(&log, 0.40);
+    assert!(c20 < c40 && c40 < 1.0);
+    // The long-tail property the paper's experiment rests on.
+    assert!(
+        c20 > 2.5 * 0.20,
+        "top 20% of types must be over-represented"
+    );
+}
+
+#[test]
+fn ablation_naive_bayes_also_degrades_with_k() {
+    use ada_health::engine::optimize::RobustnessClassifier;
+    let log = generate(&SyntheticConfig::small(), 42);
+    let pv = VsmBuilder::new().top_features(&log, 24).build(&log);
+    let mut opt = Optimizer::quick(vec![6, 20]);
+    opt.classifier = RobustnessClassifier::NaiveBayes;
+    let report = opt.run(&pv.matrix);
+    assert!(
+        report.evaluations[1].classification_score() < report.evaluations[0].classification_score(),
+        "robustness degradation must be classifier-independent"
+    );
+}
+
+#[test]
+fn ablation_filtering_backend_reproduces_table_shape() {
+    use ada_health::mining::kmeans::KMeansBackend;
+    let log = generate(&SyntheticConfig::small(), 42);
+    let pv = VsmBuilder::new().top_features(&log, 24).build(&log);
+    let mut opt = Optimizer::quick(vec![6, 12]);
+    opt.backend = KMeansBackend::Filtering;
+    let report = opt.run(&pv.matrix);
+    let lloyd = Optimizer::quick(vec![6, 12]).run(&pv.matrix);
+    for (a, b) in report.evaluations.iter().zip(&lloyd.evaluations) {
+        assert!((a.sse - b.sse).abs() < 1e-6 * (1.0 + b.sse));
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+}

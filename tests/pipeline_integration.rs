@@ -1,0 +1,121 @@
+//! Cross-crate integration: the full ADA-HEALTH pipeline over the
+//! synthetic substrate, checked end to end.
+
+use ada_health::dataset::io;
+use ada_health::dataset::synthetic::{generate, SyntheticConfig};
+use ada_health::engine::pipeline::{AdaHealth, AdaHealthConfig};
+use ada_health::kdb::schema::names;
+use ada_health::kdb::Filter;
+
+fn small_cfg() -> SyntheticConfig {
+    SyntheticConfig {
+        num_patients: 160,
+        num_exam_types: 30,
+        target_records: 2_400,
+        ..SyntheticConfig::small()
+    }
+}
+
+#[test]
+fn pipeline_populates_every_architecture_box() {
+    let log = generate(&small_cfg(), 7);
+    let mut engine = AdaHealth::new(AdaHealthConfig::quick("integration"));
+    let report = engine.run(&log);
+
+    // [1] characterization feeds [6] goals.
+    assert!(report.descriptor.sparsity() > 0.0);
+    assert!(report.goals.iter().any(|(_, _, v)| v.viable));
+
+    // [2] transformation ranked every candidate.
+    assert_eq!(report.transform.ranked.len(), 4);
+
+    // [3] partial mining produced the full reference step.
+    assert!((report.partial.steps.last().unwrap().fraction - 1.0).abs() < 1e-12);
+
+    // [4] optimizer selected a probed K within its SSE window.
+    assert!(report
+        .optimizer
+        .evaluations
+        .iter()
+        .any(|e| e.k == report.optimizer.selected_k));
+    assert!(report.optimizer.selected_k >= report.optimizer.sse_window_start);
+
+    // [5] knowledge extracted and [7] ranked, with feedback recorded.
+    assert!(!report.clusters.is_empty());
+    assert_eq!(
+        report.ranked_items.len(),
+        report.clusters.len() + report.rules.len()
+    );
+    assert!(report.feedback_recorded > 0);
+}
+
+#[test]
+fn kdb_documents_are_queryable_after_run() {
+    let log = generate(&small_cfg(), 9);
+    let mut engine = AdaHealth::new(AdaHealthConfig::quick("kdbq"));
+    let report = engine.run(&log);
+    let db = engine.kdb();
+
+    // All six paper collections exist and are populated.
+    for name in names::ALL {
+        assert!(db.collection(name).is_some(), "missing {name}");
+    }
+    // Cluster knowledge carries the optimizer's K.
+    let clusters = db
+        .find(
+            names::CLUSTER_KNOWLEDGE,
+            &Filter::eq("k", report.optimizer.selected_k as i64),
+        )
+        .unwrap();
+    assert_eq!(clusters.len(), report.clusters.len());
+    // Pattern items expose support/confidence fields for ranking;
+    // compliance items expose rates. Both share the collection.
+    for (_, doc) in db.find(names::PATTERN_KNOWLEDGE, &Filter::True).unwrap() {
+        match doc.get("kind").unwrap().as_str().unwrap() {
+            "pattern" => {
+                assert!(doc.get("support").unwrap().as_f64().unwrap() > 0.0);
+                assert!(doc.get("confidence").unwrap().as_f64().unwrap() >= 0.6);
+            }
+            "compliance" => {
+                let rate = doc.get("score").unwrap().as_f64().unwrap();
+                assert!((0.0..=1.0).contains(&rate));
+            }
+            other => panic!("unexpected knowledge kind {other:?}"),
+        }
+    }
+    // Feedback references existing items.
+    for (_, doc) in db.find(names::FEEDBACK, &Filter::True).unwrap() {
+        let coll = doc.get("item_collection").unwrap().as_str().unwrap();
+        let item = doc.get("item_id").unwrap().as_i64().unwrap() as u64;
+        assert!(
+            db.collection(coll).unwrap().get(item).is_some(),
+            "dangling feedback reference"
+        );
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_pipeline_results() {
+    let log = generate(&small_cfg(), 11);
+    let dir = std::env::temp_dir().join(format!("ada_it_csv_{}", std::process::id()));
+    io::save_dir(&log, &dir).unwrap();
+    let reloaded = io::load_dir(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(reloaded, log);
+
+    let a = AdaHealth::new(AdaHealthConfig::quick("csv")).run(&log);
+    let b = AdaHealth::new(AdaHealthConfig::quick("csv")).run(&reloaded);
+    assert_eq!(a.optimizer, b.optimizer);
+    assert_eq!(a.ranked_items, b.ranked_items);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let log = generate(&small_cfg(), 13);
+    let a = AdaHealth::new(AdaHealthConfig::quick("det")).run(&log);
+    let b = AdaHealth::new(AdaHealthConfig::quick("det")).run(&log);
+    assert_eq!(a.optimizer, b.optimizer);
+    assert_eq!(a.partial, b.partial);
+    assert_eq!(a.ranked_items, b.ranked_items);
+    assert_eq!(a.feedback_recorded, b.feedback_recorded);
+}
