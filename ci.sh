@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — run before pushing. Mirrors the tier-1 verify plus the
+# full workspace suite and style gates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt (check) =="
+cargo fmt --check
+
+echo "CI green."

@@ -1,0 +1,327 @@
+//! Run control for pipeline executions: cooperative cancellation,
+//! deadlines, and stage-level observability.
+//!
+//! The ADA-HEALTH vision is an *automated* analysis service: sessions
+//! are long-running, so an operator (or the `ada-service` front-end)
+//! needs to watch progress, abort a session that is no longer wanted,
+//! and bound how long any one session may hold resources. This module
+//! provides the engine-side half of that contract:
+//!
+//! - [`RunControl`] is passed into
+//!   [`AdaHealth::run_controlled`](crate::pipeline::AdaHealth::run_controlled)
+//!   and carries a shared cancel flag, an optional deadline, and an
+//!   optional [`PipelineObserver`];
+//! - the pipeline (and the expensive inner loops of partial mining and
+//!   the K-sweep) call [`RunControl::checkpoint`] at stage boundaries,
+//!   which returns a [`PipelineError`] as soon as the run should stop;
+//! - observers receive `on_stage_start` / `on_stage_end` events with
+//!   wall-clock stage latency.
+//!
+//! Cancellation is *cooperative*: a checkpoint between stages observes
+//! the flag, so a cancel request takes effect at the next boundary and
+//! the K-DB is never left mid-write.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The architecture boxes a session moves through (Figure 1 of the
+/// paper), in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PipelineStage {
+    /// Step 1: dataset characterization.
+    Characterize,
+    /// Step 2: data-transformation selection.
+    Transform,
+    /// Step 3: adaptive partial mining.
+    PartialMining,
+    /// Step 4: algorithm optimization (the K sweep).
+    Optimize,
+    /// Step 5: knowledge extraction (final clustering, patterns,
+    /// compliance audit).
+    KnowledgeExtraction,
+    /// Step 6: end-goal identification.
+    GoalIdentification,
+    /// Step 7: knowledge navigation (ranking + feedback).
+    Navigation,
+}
+
+impl PipelineStage {
+    /// All stages in execution order.
+    pub const ALL: [PipelineStage; 7] = [
+        PipelineStage::Characterize,
+        PipelineStage::Transform,
+        PipelineStage::PartialMining,
+        PipelineStage::Optimize,
+        PipelineStage::KnowledgeExtraction,
+        PipelineStage::GoalIdentification,
+        PipelineStage::Navigation,
+    ];
+
+    /// Stable lowercase name (used in logs and metrics keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineStage::Characterize => "characterize",
+            PipelineStage::Transform => "transform",
+            PipelineStage::PartialMining => "partial-mining",
+            PipelineStage::Optimize => "optimize",
+            PipelineStage::KnowledgeExtraction => "knowledge-extraction",
+            PipelineStage::GoalIdentification => "goal-identification",
+            PipelineStage::Navigation => "navigation",
+        }
+    }
+}
+
+impl fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a controlled run stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The cancel flag was observed set at a stage boundary.
+    Cancelled {
+        /// The stage whose checkpoint observed the cancellation.
+        stage: PipelineStage,
+    },
+    /// The deadline passed before the run completed.
+    DeadlineExceeded {
+        /// The stage whose checkpoint observed the expiry.
+        stage: PipelineStage,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Cancelled { stage } => {
+                write!(f, "pipeline run cancelled at stage {stage}")
+            }
+            PipelineError::DeadlineExceeded { stage } => {
+                write!(f, "pipeline run exceeded its deadline at stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Receives stage-boundary events from a controlled pipeline run.
+///
+/// Implementations must be `Send + Sync`: the service layer shares one
+/// observer across worker threads. Callbacks run on the thread that
+/// executes the pipeline and should return quickly.
+pub trait PipelineObserver: Send + Sync {
+    /// A stage is about to run for `session`.
+    fn on_stage_start(&self, session: &str, stage: PipelineStage) {
+        let _ = (session, stage);
+    }
+
+    /// A stage finished for `session` after `elapsed` wall-clock time.
+    fn on_stage_end(&self, session: &str, stage: PipelineStage, elapsed: Duration) {
+        let _ = (session, stage, elapsed);
+    }
+}
+
+/// An observer that ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl PipelineObserver for NullObserver {}
+
+/// Shared control handle for one pipeline run.
+#[derive(Clone, Default)]
+pub struct RunControl {
+    cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+    observer: Option<Arc<dyn PipelineObserver>>,
+}
+
+impl fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.deadline)
+            .field("has_observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl RunControl {
+    /// A control that never cancels, never expires, and observes nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a shared cancel flag (set it from any thread to request
+    /// cooperative cancellation).
+    #[must_use]
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Attaches an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a stage observer.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn PipelineObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Acquire))
+    }
+
+    /// Polls the cancel flag and deadline; `stage` names the work that
+    /// would run next and is reported in the error.
+    pub fn checkpoint(&self, stage: PipelineStage) -> Result<(), PipelineError> {
+        if self.is_cancelled() {
+            return Err(PipelineError::Cancelled { stage });
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(PipelineError::DeadlineExceeded { stage });
+        }
+        Ok(())
+    }
+
+    /// Runs `work` as stage `stage`: checkpoints first, then brackets the
+    /// work with observer events.
+    pub fn stage<T>(
+        &self,
+        session: &str,
+        stage: PipelineStage,
+        work: impl FnOnce() -> Result<T, PipelineError>,
+    ) -> Result<T, PipelineError> {
+        self.checkpoint(stage)?;
+        if let Some(obs) = &self.observer {
+            obs.on_stage_start(session, stage);
+        }
+        let started = Instant::now();
+        let result = work()?;
+        if let Some(obs) = &self.observer {
+            obs.on_stage_end(session, stage, started.elapsed());
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn default_control_always_passes_checkpoints() {
+        let control = RunControl::new();
+        for stage in PipelineStage::ALL {
+            assert_eq!(control.checkpoint(stage), Ok(()));
+        }
+    }
+
+    #[test]
+    fn cancel_flag_stops_the_next_checkpoint() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let control = RunControl::new().with_cancel_flag(Arc::clone(&flag));
+        assert_eq!(control.checkpoint(PipelineStage::Optimize), Ok(()));
+        flag.store(true, Ordering::Release);
+        assert_eq!(
+            control.checkpoint(PipelineStage::Optimize),
+            Err(PipelineError::Cancelled {
+                stage: PipelineStage::Optimize
+            })
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_checkpoints() {
+        let control = RunControl::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(
+            control.checkpoint(PipelineStage::Transform),
+            Err(PipelineError::DeadlineExceeded {
+                stage: PipelineStage::Transform
+            })
+        );
+    }
+
+    #[test]
+    fn stage_brackets_work_with_observer_events() {
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<String>>);
+        impl PipelineObserver for Recorder {
+            fn on_stage_start(&self, session: &str, stage: PipelineStage) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("start {session} {stage}"));
+            }
+            fn on_stage_end(&self, session: &str, stage: PipelineStage, _elapsed: Duration) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("end {session} {stage}"));
+            }
+        }
+        let recorder = Arc::new(Recorder::default());
+        let control =
+            RunControl::new().with_observer(recorder.clone() as Arc<dyn PipelineObserver>);
+        let out = control
+            .stage("s", PipelineStage::Characterize, || Ok(41 + 1))
+            .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(
+            *recorder.0.lock().unwrap(),
+            vec!["start s characterize", "end s characterize"]
+        );
+    }
+
+    #[test]
+    fn cancelled_stage_skips_work_and_events() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let control = RunControl::new().with_cancel_flag(flag);
+        let ran = std::cell::Cell::new(false);
+        let result = control.stage("s", PipelineStage::Navigation, || {
+            ran.set(true);
+            Ok(())
+        });
+        assert!(matches!(result, Err(PipelineError::Cancelled { .. })));
+        assert!(!ran.get(), "work must not start after cancellation");
+    }
+
+    #[test]
+    fn errors_format_for_operators() {
+        let cancelled = PipelineError::Cancelled {
+            stage: PipelineStage::PartialMining,
+        };
+        assert_eq!(
+            cancelled.to_string(),
+            "pipeline run cancelled at stage partial-mining"
+        );
+        let expired = PipelineError::DeadlineExceeded {
+            stage: PipelineStage::Optimize,
+        };
+        assert!(expired.to_string().contains("deadline"));
+        let _: &dyn std::error::Error = &cancelled;
+    }
+
+    #[test]
+    fn stage_names_are_stable_and_ordered() {
+        assert_eq!(PipelineStage::ALL.len(), 7);
+        let names: Vec<_> = PipelineStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names[0], "characterize");
+        assert_eq!(names[6], "navigation");
+        assert!(PipelineStage::Characterize < PipelineStage::Navigation);
+    }
+}

@@ -24,6 +24,8 @@
 //!   items, re-ordered adaptively from user feedback;
 //! * [`annotator`] — the simulated physician standing in for the paper's
 //!   domain expert (documented substitution, see DESIGN.md);
+//! * [`control`] — run control: cooperative cancellation, deadlines, and
+//!   stage-level observability for long-running sessions;
 //! * [`pipeline`] — the end-to-end orchestrator ([`AdaHealth`]).
 
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@
 pub mod annotator;
 pub mod characterize;
 pub mod compliance;
+pub mod control;
 pub mod goals;
 pub mod optimize;
 pub mod partial;
@@ -40,6 +43,7 @@ pub mod report;
 pub mod transform;
 
 pub use characterize::DatasetDescriptor;
+pub use control::{NullObserver, PipelineError, PipelineObserver, PipelineStage, RunControl};
 pub use optimize::{KEvaluation, Optimizer, OptimizerReport};
 pub use partial::{HorizontalPartialMiner, PartialMiningReport};
 pub use pipeline::{AdaHealth, AdaHealthConfig, SessionReport};

@@ -24,6 +24,8 @@ use ada_mining::validate;
 use ada_vsm::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
+use crate::control::{PipelineError, PipelineStage, RunControl};
+
 /// Which classifier scores clustering robustness.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RobustnessClassifier {
@@ -219,26 +221,65 @@ impl Optimizer {
     /// # Panics
     /// Panics when `ks` is empty or any K exceeds the row count.
     pub fn run(&self, matrix: &DenseMatrix) -> OptimizerReport {
+        self.run_with_control(matrix, &RunControl::new())
+            .expect("a default RunControl never cancels or expires")
+    }
+
+    /// Runs the sweep under `control`: serial sweeps poll the cancel
+    /// flag and deadline before each K evaluation; parallel sweeps poll
+    /// before spawning and each worker re-checks the cancel flag before
+    /// starting its evaluation (one in-flight evaluation per worker is
+    /// the cancellation granularity).
+    ///
+    /// # Panics
+    /// Panics when `ks` is empty or any K exceeds the row count.
+    pub fn run_with_control(
+        &self,
+        matrix: &DenseMatrix,
+        control: &RunControl,
+    ) -> Result<OptimizerReport, PipelineError> {
         assert!(!self.ks.is_empty(), "no K values to evaluate");
         let evaluations: Vec<KEvaluation> = if self.parallel && self.ks.len() > 1 {
+            control.checkpoint(PipelineStage::Optimize)?;
             let mut slots: Vec<Option<KEvaluation>> = vec![None; self.ks.len()];
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .ks
                     .iter()
-                    .map(|&k| scope.spawn(move |_| self.evaluate_k(matrix, k)))
+                    .map(|&k| {
+                        scope.spawn(move |_| {
+                            if control.is_cancelled() {
+                                return None;
+                            }
+                            Some(self.evaluate_k(matrix, k))
+                        })
+                    })
                     .collect();
                 for (slot, handle) in slots.iter_mut().zip(handles) {
-                    *slot = Some(handle.join().expect("worker panicked"));
+                    *slot = handle.join().expect("worker panicked");
                 }
             })
             .expect("scope panicked");
-            slots.into_iter().map(|s| s.expect("slot filled")).collect()
+            control.checkpoint(PipelineStage::Optimize)?;
+            slots
+                .into_iter()
+                .map(|s| {
+                    // A worker only skips its evaluation after observing
+                    // the (one-way) cancel flag, which the checkpoint
+                    // above already turned into an error.
+                    s.ok_or(PipelineError::Cancelled {
+                        stage: PipelineStage::Optimize,
+                    })
+                })
+                .collect::<Result<_, _>>()?
         } else {
             self.ks
                 .iter()
-                .map(|&k| self.evaluate_k(matrix, k))
-                .collect()
+                .map(|&k| {
+                    control.checkpoint(PipelineStage::Optimize)?;
+                    Ok(self.evaluate_k(matrix, k))
+                })
+                .collect::<Result<_, _>>()?
         };
 
         // Two-stage selection mirroring the paper's Section IV-B logic:
@@ -280,11 +321,11 @@ impl Optimizer {
             .expect("window always contains the largest K")
             .k;
 
-        OptimizerReport {
+        Ok(OptimizerReport {
             evaluations,
             selected_k,
             sse_window_start,
-        }
+        })
     }
 }
 

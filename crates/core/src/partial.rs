@@ -23,6 +23,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::control::{PipelineError, PipelineStage, RunControl};
+
 /// Result of one partial-mining step (one subset size).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepResult {
@@ -153,8 +155,24 @@ impl HorizontalPartialMiner {
     /// # Panics
     /// Panics when the log has no records or `ks` is empty/exceeds the
     /// patient count.
-    #[allow(clippy::needless_range_loop)] // restart-paired reference partitions
     pub fn run(&self, log: &ExamLog) -> PartialMiningReport {
+        self.run_with_control(log, &RunControl::new())
+            .expect("a default RunControl never cancels or expires")
+    }
+
+    /// Runs the adaptive strategy under `control`, polling the cancel
+    /// flag and deadline before the reference clustering and before
+    /// each growth step (the expensive units of work).
+    ///
+    /// # Panics
+    /// Panics when the log has no records or `ks` is empty/exceeds the
+    /// patient count.
+    #[allow(clippy::needless_range_loop)] // restart-paired reference partitions
+    pub fn run_with_control(
+        &self,
+        log: &ExamLog,
+        control: &RunControl,
+    ) -> Result<PartialMiningReport, PipelineError> {
         assert!(log.num_records() > 0, "cannot partial-mine an empty log");
         assert!(!self.ks.is_empty(), "need at least one K to probe");
         let mut fractions = self.fractions.clone();
@@ -189,17 +207,19 @@ impl HorizontalPartialMiner {
             .iter()
             .map(|&k| {
                 (0..restarts)
-                    .map(|r| {
+                    .map(|r| -> Result<Vec<usize>, PipelineError> {
+                        control.checkpoint(PipelineStage::PartialMining)?;
                         let seed = self.seed.wrapping_add(1_000 * r as u64);
-                        KMeans::new(k).seed(seed).fit(&full.matrix).assignments
+                        Ok(KMeans::new(k).seed(seed).fit(&full.matrix).assignments)
                     })
                     .collect()
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         let steps: Vec<StepResult> = fractions
             .iter()
-            .map(|&fraction| {
+            .map(|&fraction| -> Result<StepResult, PipelineError> {
+                control.checkpoint(PipelineStage::PartialMining)?;
                 let included = ((fraction * n_types as f64).ceil() as usize).clamp(1, n_types);
                 let features = order[..included].to_vec();
                 let covered: usize = features.iter().map(|e| freq[e.index()]).sum();
@@ -237,22 +257,22 @@ impl HorizontalPartialMiner {
                     per_k.push((k, sim_acc / restarts as f64));
                     agreement.push((k, ari_acc / restarts as f64));
                 }
-                StepResult {
+                Ok(StepResult {
                     fraction,
                     included,
                     row_coverage: covered as f64 / total_records as f64,
                     per_k,
                     agreement_vs_full: agreement,
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         let selected = select_step(&steps, self.epsilon);
-        PartialMiningReport {
+        Ok(PartialMiningReport {
             steps,
             selected,
             epsilon: self.epsilon,
-        }
+        })
     }
 }
 

@@ -18,20 +18,24 @@
 //! 7. **Knowledge navigation** — rank items, gather simulated-physician
 //!    feedback (collection 6), adapt, re-rank.
 
+use std::sync::Arc;
+
 use ada_dataset::taxonomy::ConditionGroup;
 use ada_dataset::ExamLog;
 use ada_kdb::schema::{self, names};
-use ada_kdb::{Document, Kdb};
+use ada_kdb::{Document, Kdb, SharedKdb};
 use ada_metrics::cluster;
 use ada_mining::kmeans::KMeans;
 use ada_mining::patterns::rules::{format_rule, Rule};
 use ada_mining::patterns::{fpgrowth, relative_min_support, rules};
 use ada_vsm::VsmBuilder;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use crate::annotator::SimulatedPhysician;
 use crate::characterize::DatasetDescriptor;
 use crate::compliance::{self, ComplianceReport};
+use crate::control::{PipelineError, PipelineStage, RunControl};
 use crate::goals::{self, EndGoal, GoalInterestModel, GoalViability, SessionExample};
 use crate::optimize::{Optimizer, OptimizerReport};
 use crate::partial::{HorizontalPartialMiner, PartialMiningReport};
@@ -113,7 +117,11 @@ pub struct ClusterSummary {
 }
 
 /// Everything one pipeline run produced.
-#[derive(Debug)]
+///
+/// Derives `PartialEq` so callers (the service determinism tests in
+/// particular) can assert that a concurrent run reproduced its serial
+/// counterpart exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// Step 1: the dataset descriptor.
     pub descriptor: DatasetDescriptor,
@@ -141,7 +149,7 @@ pub struct SessionReport {
 /// The ADA-HEALTH engine instance: configuration + K-DB.
 pub struct AdaHealth {
     config: AdaHealthConfig,
-    kdb: Kdb,
+    kdb: SharedKdb,
     goal_model: Option<GoalInterestModel>,
     goal_history: Vec<SessionExample>,
     /// The knowledge ranker, persistent across sessions: its feedback
@@ -159,39 +167,85 @@ impl AdaHealth {
         Self::with_kdb(config, Kdb::in_memory())
     }
 
-    /// Creates an engine over an existing (possibly persistent) K-DB.
+    /// Creates an engine over an existing (possibly persistent) K-DB,
+    /// taking sole ownership of it.
     ///
     /// # Panics
     /// Panics when the schema cannot be initialized (journal I/O).
-    pub fn with_kdb(config: AdaHealthConfig, mut kdb: Kdb) -> Self {
-        schema::init_schema(&mut kdb).expect("K-DB schema initialization failed");
+    pub fn with_kdb(config: AdaHealthConfig, kdb: Kdb) -> Self {
+        Self::with_shared_kdb(config, Arc::new(RwLock::new(kdb)))
+    }
+
+    /// Creates an engine over a K-DB shared with other engines or
+    /// readers (the multi-session service case). Every K-DB operation
+    /// the engine performs takes the lock for just that operation, so
+    /// concurrent engines interleave at document granularity.
+    ///
+    /// # Panics
+    /// Panics when the schema cannot be initialized (journal I/O).
+    pub fn with_shared_kdb(config: AdaHealthConfig, kdb: SharedKdb) -> Self {
+        {
+            let mut db = kdb.write();
+            schema::init_schema(&mut db).expect("K-DB schema initialization failed");
+        }
         // Reload past-session interactions: every descriptor document
         // carrying both a feature vector and a chosen goal becomes a
         // training example for the end-goal interest model.
         let mut goal_history = Vec::new();
-        if let Some(coll) = kdb.collection(names::DESCRIPTORS) {
-            for (_, doc) in coll.iter() {
-                let features: Option<Vec<f64>> = doc.get("features").and_then(|v| {
-                    v.as_array()
-                        .map(|a| a.iter().filter_map(ada_kdb::Value::as_f64).collect())
-                });
-                let goal = doc
-                    .get("chosen_goal")
-                    .and_then(ada_kdb::Value::as_str)
-                    .and_then(EndGoal::parse);
-                if let (Some(features), Some(goal)) = (features, goal) {
-                    goal_history.push(SessionExample { features, goal });
+        let (goal_model, ranker) = {
+            let db = kdb.read();
+            if let Some(coll) = db.collection(names::DESCRIPTORS) {
+                for (_, doc) in coll.iter() {
+                    let features: Option<Vec<f64>> = doc.get("features").and_then(|v| {
+                        v.as_array()
+                            .map(|a| a.iter().filter_map(ada_kdb::Value::as_f64).collect())
+                    });
+                    let goal = doc
+                        .get("chosen_goal")
+                        .and_then(ada_kdb::Value::as_str)
+                        .and_then(EndGoal::parse);
+                    if let (Some(features), Some(goal)) = (features, goal) {
+                        goal_history.push(SessionExample { features, goal });
+                    }
                 }
             }
-        }
-        let goal_model = GoalInterestModel::train(&goal_history);
-        let ranker = Self::rebuild_ranker(&kdb);
+            (
+                GoalInterestModel::train(&goal_history),
+                Self::rebuild_ranker(&db),
+            )
+        };
         Self {
             config,
             kdb,
             goal_model,
             goal_history,
             ranker,
+        }
+    }
+
+    /// Creates an engine over a shared K-DB *without* absorbing the
+    /// store's accumulated history: the goal model and ranker start
+    /// fresh, exactly as on an empty store.
+    ///
+    /// This is the constructor the analysis service uses for concurrent
+    /// sessions — each session's [`SessionReport`] then depends only on
+    /// its own config, seed, and input log, so it is byte-identical to a
+    /// serial run of the same session on an empty K-DB, no matter how
+    /// sessions interleave on the shared store.
+    ///
+    /// # Panics
+    /// Panics when the schema cannot be initialized (journal I/O).
+    pub fn with_shared_kdb_isolated(config: AdaHealthConfig, kdb: SharedKdb) -> Self {
+        {
+            let mut db = kdb.write();
+            schema::init_schema(&mut db).expect("K-DB schema initialization failed");
+        }
+        Self {
+            config,
+            kdb,
+            goal_model: None,
+            goal_history: Vec::new(),
+            ranker: KnowledgeRanker::new(),
         }
     }
 
@@ -265,9 +319,18 @@ impl AdaHealth {
         self.ranker.feedback_count()
     }
 
-    /// Borrow the underlying K-DB (for inspection and tests).
-    pub fn kdb(&self) -> &Kdb {
-        &self.kdb
+    /// Borrow the underlying K-DB for reading (inspection and tests).
+    ///
+    /// The returned guard holds the shared store's read lock; drop it
+    /// before running pipelines on engines sharing the same K-DB.
+    pub fn kdb(&self) -> impl std::ops::Deref<Target = Kdb> + '_ {
+        self.kdb.read()
+    }
+
+    /// A clone of the shared K-DB handle (for concurrent readers or
+    /// further engines over the same store).
+    pub fn shared_kdb(&self) -> SharedKdb {
+        Arc::clone(&self.kdb)
     }
 
     /// Feeds past session history into the end-goal interest model
@@ -286,287 +349,340 @@ impl AdaHealth {
     ///
     /// # Panics
     /// Panics on degenerate inputs (empty log) or K-DB journal failures.
-    #[allow(clippy::needless_range_loop)] // lockstep multi-array indexing
     pub fn run(&mut self, log: &ExamLog) -> SessionReport {
+        self.run_controlled(log, &RunControl::new())
+            .expect("a default RunControl never cancels or expires")
+    }
+
+    /// Runs the full pipeline under `control`: checkpoints at every
+    /// stage boundary (and inside the partial-mining and K-sweep loops)
+    /// poll the cancel flag and deadline, and an attached observer
+    /// receives per-stage start/end events with wall-clock latency.
+    ///
+    /// On early exit the K-DB keeps the documents of the stages that
+    /// completed — every insert is individually journaled and atomic —
+    /// so the store stays consistent and its journal replayable; only
+    /// the report is withheld.
+    ///
+    /// # Panics
+    /// Panics on degenerate inputs (empty log) or K-DB journal failures.
+    #[allow(clippy::needless_range_loop)] // lockstep multi-array indexing
+    pub fn run_controlled(
+        &mut self,
+        log: &ExamLog,
+        control: &RunControl,
+    ) -> Result<SessionReport, PipelineError> {
         let session = self.config.session.clone();
         let taxonomy = log.taxonomy();
 
         // 1. Characterization. The descriptor document also carries the
         // raw feature vector so future sessions can retrain the
         // end-goal interest model straight from the K-DB.
-        let descriptor = DatasetDescriptor::compute(log);
-        let descriptor_doc = descriptor
-            .to_document()
-            .with("features", descriptor.feature_vector());
-        let descriptor_id = schema::insert_descriptors(&mut self.kdb, &session, descriptor_doc)
-            .expect("K-DB insert failed");
-        self.kdb
-            .insert(
-                names::RAW_DATA,
-                Document::new()
-                    .with("session", session.as_str())
-                    .with("patients", log.num_patients() as i64)
-                    .with("exam_types", log.num_exam_types() as i64)
-                    .with("records", log.num_records() as i64),
-            )
-            .expect("K-DB insert failed");
+        let (descriptor, descriptor_id) =
+            control.stage(&session, PipelineStage::Characterize, || {
+                let descriptor = DatasetDescriptor::compute(log);
+                let descriptor_doc = descriptor
+                    .to_document()
+                    .with("features", descriptor.feature_vector());
+                let descriptor_id =
+                    schema::insert_descriptors(&mut self.kdb.write(), &session, descriptor_doc)
+                        .expect("K-DB insert failed");
+                self.kdb
+                    .write()
+                    .insert(
+                        names::RAW_DATA,
+                        Document::new()
+                            .with("session", session.as_str())
+                            .with("patients", log.num_patients() as i64)
+                            .with("exam_types", log.num_exam_types() as i64)
+                            .with("records", log.num_records() as i64),
+                    )
+                    .expect("K-DB insert failed");
+                Ok((descriptor, descriptor_id))
+            })?;
 
         // 2. Transformation selection.
-        let transform = self.config.transform.select(log);
+        let transform = control.stage(&session, PipelineStage::Transform, || {
+            let transform = self.config.transform.select(log);
+            self.kdb
+                .write()
+                .insert(
+                    names::TRANSFORMED_DATA,
+                    Document::new()
+                        .with("session", session.as_str())
+                        .with("weighting", transform.best().to_string())
+                        .with(
+                            "candidates",
+                            transform
+                                .ranked
+                                .iter()
+                                .map(|s| s.weighting.to_string())
+                                .collect::<Vec<_>>(),
+                        ),
+                )
+                .expect("K-DB insert failed");
+            Ok(transform)
+        })?;
         let weighting = transform.best();
-        self.kdb
-            .insert(
-                names::TRANSFORMED_DATA,
-                Document::new()
-                    .with("session", session.as_str())
-                    .with("weighting", weighting.to_string())
-                    .with(
-                        "candidates",
-                        transform
-                            .ranked
-                            .iter()
-                            .map(|s| s.weighting.to_string())
-                            .collect::<Vec<_>>(),
-                    ),
-            )
-            .expect("K-DB insert failed");
 
         // 3. Adaptive partial mining (on the chosen weighting).
-        let mut partial_cfg = self.config.partial.clone();
-        partial_cfg.weighting = weighting;
-        let partial = partial_cfg.run(log);
+        let partial = control.stage(&session, PipelineStage::PartialMining, || {
+            let mut partial_cfg = self.config.partial.clone();
+            partial_cfg.weighting = weighting;
+            partial_cfg.run_with_control(log, control)
+        })?;
 
         // 4. Optimization on the selected subset.
-        let selected_types = partial.selected_step().included;
-        let pv = VsmBuilder::new()
-            .weighting(weighting)
-            .top_features(log, selected_types)
-            .build(log);
-        let optimizer = self.config.optimizer.run(&pv.matrix);
+        let (optimizer, pv) = control.stage(&session, PipelineStage::Optimize, || {
+            let selected_types = partial.selected_step().included;
+            let pv = VsmBuilder::new()
+                .weighting(weighting)
+                .top_features(log, selected_types)
+                .build(log);
+            let optimizer = self
+                .config
+                .optimizer
+                .run_with_control(&pv.matrix, control)?;
+            Ok((optimizer, pv))
+        })?;
         let k = optimizer.selected_k;
 
-        // 5a. Final clustering at the selected K -> cluster knowledge.
-        let final_clustering = KMeans::new(k)
-            .seed(self.config.optimizer.seed)
-            .fit(&pv.matrix);
-        let mut clusters = Vec::with_capacity(k);
-        let mut items: Vec<KnowledgeItem> = Vec::new();
-        let sizes = final_clustering.cluster_sizes();
-        for cluster_idx in 0..k {
-            let members: Vec<usize> = (0..pv.matrix.num_rows())
-                .filter(|&i| final_clustering.assignments[i] == cluster_idx)
-                .collect();
-            if members.is_empty() {
-                continue;
-            }
-            let sub = pv.matrix.select_rows(&members);
-            let cohesion = cluster::overall_similarity(&sub, &vec![0; members.len()], 1);
-            // Over-represented condition groups: mean feature mass per group.
-            let mut group_mass = vec![0.0f64; ConditionGroup::ALL.len()];
-            for row in sub.rows_iter() {
-                for (c, &v) in row.iter().enumerate() {
-                    if let Some(g) = taxonomy.group_of(pv.features[c]) {
-                        group_mass[g.index()] += v;
+        // 5. Knowledge extraction: final clustering + pattern mining.
+        let (clusters, mined_rules, items) =
+            control.stage(&session, PipelineStage::KnowledgeExtraction, || {
+                // 5a. Final clustering at the selected K -> cluster knowledge.
+                let final_clustering = KMeans::new(k)
+                    .seed(self.config.optimizer.seed)
+                    .fit(&pv.matrix);
+                let mut clusters = Vec::with_capacity(k);
+                let mut items: Vec<KnowledgeItem> = Vec::new();
+                let sizes = final_clustering.cluster_sizes();
+                for cluster_idx in 0..k {
+                    let members: Vec<usize> = (0..pv.matrix.num_rows())
+                        .filter(|&i| final_clustering.assignments[i] == cluster_idx)
+                        .collect();
+                    if members.is_empty() {
+                        continue;
                     }
+                    let sub = pv.matrix.select_rows(&members);
+                    let cohesion = cluster::overall_similarity(&sub, &vec![0; members.len()], 1);
+                    // Over-represented condition groups: mean feature mass per group.
+                    let mut group_mass = vec![0.0f64; ConditionGroup::ALL.len()];
+                    for row in sub.rows_iter() {
+                        for (c, &v) in row.iter().enumerate() {
+                            if let Some(g) = taxonomy.group_of(pv.features[c]) {
+                                group_mass[g.index()] += v;
+                            }
+                        }
+                    }
+                    let mut order: Vec<usize> = (0..group_mass.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        group_mass[b]
+                            .partial_cmp(&group_mass[a])
+                            .expect("finite mass")
+                    });
+                    let top_groups: Vec<ConditionGroup> = order
+                        .into_iter()
+                        .take(3)
+                        .map(|i| ConditionGroup::ALL[i])
+                        .collect();
+                    let size = sizes[cluster_idx];
+                    let description = format!(
+                        "cluster {cluster_idx}/{k}: {size} patients, cohesion {cohesion:.3}, dominant groups {}",
+                        top_groups
+                            .iter()
+                            .map(|g| g.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    let doc_id = schema::insert_cluster_item(
+                        &mut self.kdb.write(),
+                        &session,
+                        k,
+                        cluster_idx,
+                        size,
+                        cohesion,
+                        &description,
+                    )
+                    .expect("K-DB insert failed");
+                    let size_fraction = size as f64 / pv.matrix.num_rows() as f64;
+                    items.push(KnowledgeItem::cluster(
+                        doc_id,
+                        description.clone(),
+                        size_fraction,
+                        cohesion,
+                    ));
+                    clusters.push(ClusterSummary {
+                        cluster: cluster_idx,
+                        size,
+                        cohesion,
+                        top_groups,
+                    });
                 }
-            }
-            let mut order: Vec<usize> = (0..group_mass.len()).collect();
-            order.sort_by(|&a, &b| {
-                group_mass[b]
-                    .partial_cmp(&group_mass[a])
-                    .expect("finite mass")
-            });
-            let top_groups: Vec<ConditionGroup> = order
-                .into_iter()
-                .take(3)
-                .map(|i| ConditionGroup::ALL[i])
-                .collect();
-            let size = sizes[cluster_idx];
-            let description = format!(
-                "cluster {cluster_idx}/{k}: {size} patients, cohesion {cohesion:.3}, dominant groups {}",
-                top_groups
+
+                // 5b. Pattern mining over visits -> pattern knowledge.
+                let visits = log.visits();
+                let transactions: Vec<Vec<u32>> = visits
                     .iter()
-                    .map(|g| g.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            let doc_id = schema::insert_cluster_item(
-                &mut self.kdb,
-                &session,
-                k,
-                cluster_idx,
-                size,
-                cohesion,
-                &description,
-            )
-            .expect("K-DB insert failed");
-            let size_fraction = size as f64 / pv.matrix.num_rows() as f64;
-            items.push(KnowledgeItem::cluster(
-                doc_id,
-                description.clone(),
-                size_fraction,
-                cohesion,
-            ));
-            clusters.push(ClusterSummary {
-                cluster: cluster_idx,
-                size,
-                cohesion,
-                top_groups,
-            });
-        }
-
-        // 5b. Pattern mining over visits -> pattern knowledge.
-        let visits = log.visits();
-        let transactions: Vec<Vec<u32>> = visits
-            .iter()
-            .map(|v| v.exams.iter().map(|e| e.0).collect())
-            .collect();
-        let min_support = relative_min_support(transactions.len(), self.config.min_support);
-        let frequent = fpgrowth::mine(&transactions, min_support);
-        let mut mined_rules =
-            rules::generate(&frequent, transactions.len(), self.config.min_confidence);
-        mined_rules.truncate(self.config.max_pattern_items);
-        for rule in &mined_rules {
-            let description = format_rule(rule, |i| {
-                log.catalog()
-                    .get(i as usize)
-                    .map(|e| e.name.clone())
-                    .unwrap_or_else(|| format!("exam-{i}"))
-            });
-            let items_flat: Vec<u32> = rule
-                .antecedent
-                .iter()
-                .chain(rule.consequent.iter())
-                .copied()
-                .collect();
-            let doc_id = schema::insert_pattern_item(
-                &mut self.kdb,
-                &session,
-                &items_flat,
-                rule.support(),
-                rule.confidence(),
-                rule.lift(),
-                &description,
-            )
-            .expect("K-DB insert failed");
-            items.push(KnowledgeItem::pattern(
-                doc_id,
-                description,
-                rule.support(),
-                rule.confidence(),
-                rule.lift(),
-            ));
-        }
-
-        // 6. End-goal identification.
-        let goals = goals::rank_goals(&descriptor, self.goal_model.as_ref());
-
-        // 5c. Guideline-compliance audit — only when the dataset makes
-        // the compliance goal viable (longitudinal signal present).
-        let compliance_viable = goals
-            .iter()
-            .any(|(g, _, v)| *g == EndGoal::TreatmentCompliance && v.viable);
-        let compliance_report = if compliance_viable {
-            let guidelines = compliance::diabetes_guidelines(log);
-            if guidelines.is_empty() {
-                None
-            } else {
-                let audit = compliance::assess(log, &guidelines);
-                for result in &audit.results {
-                    self.kdb
-                        .insert(
-                            names::PATTERN_KNOWLEDGE,
-                            Document::new()
-                                .with("session", session.as_str())
-                                .with("kind", "compliance")
-                                .with("guideline", result.name.as_str())
-                                .with("eligible", result.eligible as i64)
-                                .with("compliant", result.compliant as i64)
-                                .with("score", result.rate())
-                                .with(
-                                    "description",
-                                    format!(
-                                        "guideline \"{}\": {:.1}% compliant",
-                                        result.name,
-                                        result.rate() * 100.0
-                                    ),
-                                ),
-                        )
-                        .expect("K-DB insert failed");
+                    .map(|v| v.exams.iter().map(|e| e.0).collect())
+                    .collect();
+                let min_support = relative_min_support(transactions.len(), self.config.min_support);
+                let frequent = fpgrowth::mine(&transactions, min_support);
+                let mut mined_rules =
+                    rules::generate(&frequent, transactions.len(), self.config.min_confidence);
+                mined_rules.truncate(self.config.max_pattern_items);
+                for rule in &mined_rules {
+                    let description = format_rule(rule, |i| {
+                        log.catalog()
+                            .get(i as usize)
+                            .map(|e| e.name.clone())
+                            .unwrap_or_else(|| format!("exam-{i}"))
+                    });
+                    let items_flat: Vec<u32> = rule
+                        .antecedent
+                        .iter()
+                        .chain(rule.consequent.iter())
+                        .copied()
+                        .collect();
+                    let doc_id = schema::insert_pattern_item(
+                        &mut self.kdb.write(),
+                        &session,
+                        &items_flat,
+                        rule.support(),
+                        rule.confidence(),
+                        rule.lift(),
+                        &description,
+                    )
+                    .expect("K-DB insert failed");
+                    items.push(KnowledgeItem::pattern(
+                        doc_id,
+                        description,
+                        rule.support(),
+                        rule.confidence(),
+                        rule.lift(),
+                    ));
                 }
-                Some(audit)
-            }
-        } else {
-            None
-        };
+                Ok((clusters, mined_rules, items))
+            })?;
+
+        // 6. End-goal identification, plus the goal-gated compliance
+        // audit (step 5c of the architecture; it needs the goal ranking
+        // to decide whether the compliance goal is viable).
+        let (goals, compliance_report) =
+            control.stage(&session, PipelineStage::GoalIdentification, || {
+                let goals = goals::rank_goals(&descriptor, self.goal_model.as_ref());
+                let compliance_viable = goals
+                    .iter()
+                    .any(|(g, _, v)| *g == EndGoal::TreatmentCompliance && v.viable);
+                let compliance_report = if compliance_viable {
+                    let guidelines = compliance::diabetes_guidelines(log);
+                    if guidelines.is_empty() {
+                        None
+                    } else {
+                        let audit = compliance::assess(log, &guidelines);
+                        for result in &audit.results {
+                            self.kdb
+                                .write()
+                                .insert(
+                                    names::PATTERN_KNOWLEDGE,
+                                    Document::new()
+                                        .with("session", session.as_str())
+                                        .with("kind", "compliance")
+                                        .with("guideline", result.name.as_str())
+                                        .with("eligible", result.eligible as i64)
+                                        .with("compliant", result.compliant as i64)
+                                        .with("score", result.rate())
+                                        .with(
+                                            "description",
+                                            format!(
+                                                "guideline \"{}\": {:.1}% compliant",
+                                                result.name,
+                                                result.rate() * 100.0
+                                            ),
+                                        ),
+                                )
+                                .expect("K-DB insert failed");
+                        }
+                        Some(audit)
+                    }
+                } else {
+                    None
+                };
+                Ok((goals, compliance_report))
+            })?;
 
         // 7. Knowledge navigation with simulated feedback. The ranker
         // persists across sessions (and K-DB reopens), so this session's
         // initial ordering already reflects earlier feedback.
-        let ranker = &mut self.ranker;
-        let mut physician = SimulatedPhysician::new(
-            self.config.seed,
-            self.config.annotator_noise,
-            self.config.annotator_specialty,
-        );
-        let initial_order: Vec<u64> = ranker.rank(&items).iter().map(|i| i.id).collect();
-        let mut feedback_recorded = 0usize;
-        for &item_id in initial_order.iter().take(self.config.feedback_budget) {
-            let item = items
-                .iter()
-                .find(|i| i.id == item_id)
-                .expect("ranked id comes from items");
-            let label = match item.kind {
-                crate::rank::ItemKind::Cluster => {
-                    physician.label_cluster(item.features[5], item.features[6], &[])
+        let (ranked_items, feedback_recorded) =
+            control.stage(&session, PipelineStage::Navigation, || {
+                let ranker = &mut self.ranker;
+                let mut physician = SimulatedPhysician::new(
+                    self.config.seed,
+                    self.config.annotator_noise,
+                    self.config.annotator_specialty,
+                );
+                // Item ids are per-collection document ids, so a cluster
+                // and a pattern may share an id — iterate the ranked
+                // references themselves rather than looking items up by id.
+                let initial_order = ranker.rank(&items);
+                let mut feedback_recorded = 0usize;
+                for &item in initial_order.iter().take(self.config.feedback_budget) {
+                    let label = match item.kind {
+                        crate::rank::ItemKind::Cluster => {
+                            physician.label_cluster(item.features[5], item.features[6], &[])
+                        }
+                        crate::rank::ItemKind::Pattern => physician.label_pattern(
+                            item.features[2],
+                            item.features[3],
+                            item.features[4] / (1.0 - item.features[4]).max(1e-9),
+                            &[],
+                        ),
+                    };
+                    let coll = match item.kind {
+                        crate::rank::ItemKind::Cluster => names::CLUSTER_KNOWLEDGE,
+                        crate::rank::ItemKind::Pattern => names::PATTERN_KNOWLEDGE,
+                    };
+                    schema::insert_feedback(&mut self.kdb.write(), &session, coll, item.id, label)
+                        .expect("K-DB insert failed");
+                    ranker.record_feedback(item, label);
+                    feedback_recorded += 1;
                 }
-                crate::rank::ItemKind::Pattern => physician.label_pattern(
-                    item.features[2],
-                    item.features[3],
-                    item.features[4] / (1.0 - item.features[4]).max(1e-9),
-                    &[],
-                ),
-            };
-            let coll = match item.kind {
-                crate::rank::ItemKind::Cluster => names::CLUSTER_KNOWLEDGE,
-                crate::rank::ItemKind::Pattern => names::PATTERN_KNOWLEDGE,
-            };
-            schema::insert_feedback(&mut self.kdb, &session, coll, item.id, label)
-                .expect("K-DB insert failed");
-            ranker.record_feedback(item, label);
-            feedback_recorded += 1;
-        }
-        let ranked_items: Vec<String> = ranker
-            .rank(&items)
-            .iter()
-            .map(|i| i.description.clone())
-            .collect();
+                let ranked_items: Vec<String> = ranker
+                    .rank(&items)
+                    .iter()
+                    .map(|i| i.description.clone())
+                    .collect();
 
-        // Remember this session for future goal-interest training: treat
-        // the top-ranked viable goal as the goal the user pursued. The
-        // choice is persisted into the session's descriptor document, so
-        // a store reopened later reloads the full interaction history
-        // ("the K-DB will be continuously enriched with new … feedbacks").
-        if let Some((chosen, _, _)) = goals.iter().find(|(_, _, v)| v.viable) {
-            self.goal_history.push(SessionExample {
-                features: descriptor.feature_vector(),
-                goal: *chosen,
-            });
-            self.goal_model = GoalInterestModel::train(&self.goal_history);
-            let updated = self
-                .kdb
-                .collection(names::DESCRIPTORS)
-                .expect("schema initialized")
-                .get(descriptor_id)
-                .expect("descriptor just inserted")
-                .clone()
-                .with("chosen_goal", chosen.name());
-            self.kdb
-                .update(names::DESCRIPTORS, descriptor_id, updated)
-                .expect("K-DB update failed");
-        }
+                // Remember this session for future goal-interest training:
+                // treat the top-ranked viable goal as the goal the user
+                // pursued. The choice is persisted into the session's
+                // descriptor document, so a store reopened later reloads the
+                // full interaction history ("the K-DB will be continuously
+                // enriched with new … feedbacks"). Read-modify-write under
+                // one write lock so concurrent sessions cannot interleave
+                // between the read and the update.
+                if let Some((chosen, _, _)) = goals.iter().find(|(_, _, v)| v.viable) {
+                    self.goal_history.push(SessionExample {
+                        features: descriptor.feature_vector(),
+                        goal: *chosen,
+                    });
+                    self.goal_model = GoalInterestModel::train(&self.goal_history);
+                    let mut db = self.kdb.write();
+                    let updated = db
+                        .collection(names::DESCRIPTORS)
+                        .expect("schema initialized")
+                        .get(descriptor_id)
+                        .expect("descriptor just inserted")
+                        .clone()
+                        .with("chosen_goal", chosen.name());
+                    db.update(names::DESCRIPTORS, descriptor_id, updated)
+                        .expect("K-DB update failed");
+                }
+                Ok((ranked_items, feedback_recorded))
+            })?;
 
-        SessionReport {
+        Ok(SessionReport {
             descriptor,
             transform,
             partial,
@@ -577,7 +693,7 @@ impl AdaHealth {
             goals,
             ranked_items,
             feedback_recorded,
-        }
+        })
     }
 }
 

@@ -201,15 +201,16 @@ impl KnowledgeRanker {
         base * self.kind_weight[item.kind.index()]
     }
 
-    /// Returns the items sorted most-interesting-first (stable, ties by
-    /// id for determinism).
+    /// Returns the items sorted most-interesting-first (stable; ties
+    /// break by kind then id for determinism — ids are per-collection,
+    /// so a cluster and a pattern may share one).
     pub fn rank<'a>(&self, items: &'a [KnowledgeItem]) -> Vec<&'a KnowledgeItem> {
         let mut ranked: Vec<&KnowledgeItem> = items.iter().collect();
         ranked.sort_by(|a, b| {
             self.score(b)
                 .partial_cmp(&self.score(a))
                 .expect("finite scores")
-                .then_with(|| a.id.cmp(&b.id))
+                .then_with(|| (a.kind.index(), a.id).cmp(&(b.kind.index(), b.id)))
         });
         ranked
     }

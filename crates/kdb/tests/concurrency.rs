@@ -96,3 +96,147 @@ fn writers_interleave_on_a_persistent_store() {
     assert_eq!(reopened.collection("items").unwrap().len(), 300);
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn journaled_multi_writer_stress_with_updates_deletes_and_compaction() {
+    let path = std::env::temp_dir().join(format!("ada_kdb_stress_{}.journal", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(path.with_extension("snapshot")).ok();
+
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 120;
+    {
+        let mut db = Kdb::open(&path).unwrap();
+        db.create_collection("items").unwrap();
+        db.create_index("items", "writer").unwrap();
+        let db: SharedKdb = Arc::new(parking_lot::RwLock::new(db));
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..PER_WRITER {
+                        let id = db
+                            .write()
+                            .insert(
+                                "items",
+                                Document::new().with("writer", w as i64).with("i", i as i64),
+                            )
+                            .unwrap();
+                        mine.push(id);
+                        // Interleave mutations with inserts: rewrite an
+                        // earlier doc every 3rd insert, drop one every 5th.
+                        if i % 3 == 0 && mine.len() > 1 {
+                            let victim = mine[mine.len() / 2];
+                            let doc = Document::new()
+                                .with("writer", w as i64)
+                                .with("i", i as i64)
+                                .with("updated", true);
+                            db.write().update("items", victim, doc).unwrap();
+                        }
+                        if i % 5 == 0 && mine.len() > 2 {
+                            let victim = mine.remove(0);
+                            db.write().delete("items", victim).unwrap();
+                        }
+                    }
+                    mine
+                });
+            }
+        });
+        // Compact mid-life: the snapshot plus tail journal must still
+        // replay to the same state.
+        db.write().snapshot().unwrap();
+        let db_guard = db.read();
+        let live = db_guard.collection("items").unwrap().len();
+        drop(db_guard);
+        db.write()
+            .insert("items", Document::new().with("writer", -1i64))
+            .unwrap();
+        assert_eq!(db.read().collection("items").unwrap().len(), live + 1);
+    }
+
+    let reopened = Kdb::open(&path).unwrap();
+    let coll = reopened.collection("items").unwrap();
+    // Every writer deleted floor((PER_WRITER - 1) / 5) docs (i = 5, 10, …;
+    // i = 0 is skipped by the mine.len() > 2 guard), plus the post-snapshot
+    // marker doc survives.
+    let deleted_per_writer = (PER_WRITER - 1) / 5;
+    assert_eq!(coll.len(), WRITERS * (PER_WRITER - deleted_per_writer) + 1);
+    for w in 0..WRITERS {
+        let n = coll.find(&Filter::eq("writer", w as i64)).len();
+        assert_eq!(n, PER_WRITER - deleted_per_writer, "writer {w}");
+    }
+    assert_eq!(coll.find(&Filter::eq("writer", -1i64)).len(), 1);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(path.with_extension("snapshot")).ok();
+}
+
+/// Cancelling an analysis session mid-run must leave the shared store
+/// consistent: the journal replays cleanly and concurrent surviving
+/// sessions' artifacts are intact (the service-level counterpart lives in
+/// `ada-service`'s own tests; this one watches the store).
+#[test]
+fn service_cancellation_mid_run_leaves_replayable_store() {
+    use ada_core::{AdaHealthConfig, PipelineObserver, PipelineStage};
+    use ada_dataset::synthetic::{generate, SyntheticConfig};
+    use ada_service::{AnalysisService, CancelToken, JobSpec, ServiceConfig, SessionState};
+
+    struct CancelOnFirstStage {
+        target: &'static str,
+        token: CancelToken,
+    }
+    impl PipelineObserver for CancelOnFirstStage {
+        fn on_stage_start(&self, session: &str, _stage: PipelineStage) {
+            if session == self.target {
+                self.token.cancel();
+            }
+        }
+    }
+
+    let path = std::env::temp_dir().join(format!("ada_kdb_svc_{}.journal", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let token = CancelToken::new();
+    let service = AnalysisService::with_kdb(
+        ServiceConfig {
+            workers: 2,
+            observer: Some(Arc::new(CancelOnFirstStage {
+                target: "doomed",
+                token: token.clone(),
+            })),
+            ..ServiceConfig::default()
+        },
+        Kdb::open(&path).unwrap(),
+    );
+    let log = Arc::new(generate(
+        &SyntheticConfig {
+            num_patients: 80,
+            target_records: 1_000,
+            ..SyntheticConfig::small()
+        },
+        5,
+    ));
+    let doomed = service
+        .submit(
+            JobSpec::new(AdaHealthConfig::quick("doomed"), Arc::clone(&log)).cancel_token(token),
+        )
+        .unwrap();
+    let survivor = service
+        .submit(JobSpec::new(AdaHealthConfig::quick("survivor"), log))
+        .unwrap();
+    assert_eq!(service.wait(doomed).unwrap(), SessionState::Cancelled);
+    assert!(matches!(
+        service.wait(survivor).unwrap(),
+        SessionState::Completed(_)
+    ));
+    service.shutdown();
+
+    // Replay after an interleaved, partially-cancelled run: the store
+    // opens, schema collections exist, and only the survivor produced
+    // knowledge items.
+    let reopened = Kdb::open(&path).unwrap();
+    let clusters = reopened.collection("cluster_knowledge").unwrap();
+    assert!(!clusters.find(&Filter::eq("session", "survivor")).is_empty());
+    assert!(clusters.find(&Filter::eq("session", "doomed")).is_empty());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,53 @@
+//! Service-level errors.
+
+use std::fmt;
+
+use crate::registry::SessionId;
+
+/// Why a service operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded job queue is at capacity — backpressure: the caller
+    /// should retry later or shed load.
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// No session with that id was ever registered.
+    UnknownSession(SessionId),
+    /// The service is shutting down and no longer accepts submissions.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "job queue is full (capacity {capacity})")
+            }
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_implement_error() {
+        let full = ServiceError::QueueFull { capacity: 8 };
+        assert_eq!(full.to_string(), "job queue is full (capacity 8)");
+        assert!(ServiceError::UnknownSession(SessionId(3))
+            .to_string()
+            .contains('3'));
+        assert_eq!(
+            ServiceError::ShuttingDown.to_string(),
+            "service is shutting down"
+        );
+        let _: &dyn std::error::Error = &full;
+    }
+}

@@ -1,0 +1,139 @@
+//! Job specifications submitted to the analysis service.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ada_core::AdaHealthConfig;
+use ada_dataset::ExamLog;
+
+use crate::cancel::CancelToken;
+
+/// Scheduling priority of a job. Higher priorities are dequeued first;
+/// within a priority, jobs run in submission order (FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work (bulk re-analysis, speculative sweeps).
+    Low,
+    /// The default.
+    Normal,
+    /// Interactive sessions a user is waiting on.
+    High,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        })
+    }
+}
+
+/// One analysis session to run: a pipeline configuration plus its input
+/// log and scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The pipeline configuration (its `session` string names the
+    /// session in K-DB documents and observer events).
+    pub config: AdaHealthConfig,
+    /// The examination log to analyze; `Arc` so a fleet of jobs can
+    /// share one cohort without copying it.
+    pub log: Arc<ExamLog>,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Per-attempt wall-clock budget; exceeding it fails the session.
+    pub timeout: Option<Duration>,
+    /// How many times a panicking attempt is retried before the session
+    /// is marked failed.
+    pub max_retries: u32,
+    /// Test/chaos hook: the first `inject_failures` attempts panic
+    /// artificially, exercising the retry path deterministically.
+    pub inject_failures: u32,
+    /// Optional caller-provided cancellation token, so the submitter can
+    /// hold a cancel handle that exists before the job is enqueued.
+    pub cancel: Option<CancelToken>,
+}
+
+impl JobSpec {
+    /// A job with default scheduling: normal priority, no timeout, two
+    /// retries, no injected failures.
+    pub fn new(config: AdaHealthConfig, log: impl Into<Arc<ExamLog>>) -> Self {
+        Self {
+            config,
+            log: log.into(),
+            priority: Priority::Normal,
+            timeout: None,
+            max_retries: 2,
+            inject_failures: 0,
+            cancel: None,
+        }
+    }
+
+    /// Sets the scheduling priority.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the per-attempt deadline.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the retry budget.
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Makes the first `n` attempts panic (test/chaos hook).
+    #[must_use]
+    pub fn inject_failures(mut self, n: u32) -> Self {
+        self.inject_failures = n;
+        self
+    }
+
+    /// Attaches a caller-held cancellation token.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_dataset::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn priorities_order_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::High.to_string(), "high");
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let log = generate(&SyntheticConfig::small(), 1);
+        let token = CancelToken::new();
+        let spec = JobSpec::new(AdaHealthConfig::quick("s"), log)
+            .priority(Priority::High)
+            .timeout(Duration::from_secs(5))
+            .max_retries(7)
+            .inject_failures(1)
+            .cancel_token(token.clone());
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.timeout, Some(Duration::from_secs(5)));
+        assert_eq!(spec.max_retries, 7);
+        assert_eq!(spec.inject_failures, 1);
+        token.cancel();
+        assert!(spec.cancel.as_ref().unwrap().is_cancelled());
+    }
+}

@@ -1,0 +1,197 @@
+//! Service-side observers: metrics aggregation and observer fan-out.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ada_core::{PipelineObserver, PipelineStage};
+
+/// Aggregates service-level counters and per-stage latencies.
+///
+/// All counters are lock-free; the per-stage latency table takes a short
+/// mutex on stage completion only.
+#[derive(Debug, Default)]
+pub struct MetricsObserver {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    retried: AtomicU64,
+    rejected: AtomicU64,
+    max_queue_depth: AtomicUsize,
+    stages: Mutex<BTreeMap<&'static str, StageStat>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct StageStat {
+    runs: u64,
+    total: Duration,
+}
+
+impl MetricsObserver {
+    /// A fresh, zeroed metrics collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn job_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn job_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn job_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn job_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn job_retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn job_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> ServiceMetrics {
+        let stages = self
+            .stages
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, stat)| {
+                let mean = if stat.runs > 0 {
+                    stat.total / u32::try_from(stat.runs).unwrap_or(u32::MAX)
+                } else {
+                    Duration::ZERO
+                };
+                (
+                    *name,
+                    StageMetrics {
+                        runs: stat.runs,
+                        total: stat.total,
+                        mean,
+                    },
+                )
+            })
+            .collect();
+        ServiceMetrics {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            stages,
+        }
+    }
+}
+
+impl PipelineObserver for MetricsObserver {
+    fn on_stage_end(&self, _session: &str, stage: PipelineStage, elapsed: Duration) {
+        let mut stages = self.stages.lock().expect("metrics lock");
+        let stat = stages.entry(stage.name()).or_default();
+        stat.runs += 1;
+        stat.total += elapsed;
+    }
+}
+
+/// Latency statistics for one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// How many times the stage ran to completion.
+    pub runs: u64,
+    /// Total wall-clock time across runs.
+    pub total: Duration,
+    /// `total / runs` (zero when the stage never ran).
+    pub mean: Duration,
+}
+
+/// A frozen snapshot of service metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Sessions that produced a report.
+    pub completed: u64,
+    /// Sessions that exhausted retries or hit their deadline.
+    pub failed: u64,
+    /// Sessions cancelled before or during execution.
+    pub cancelled: u64,
+    /// Individual retry attempts across all sessions.
+    pub retried: u64,
+    /// Submissions refused with `QueueFull`.
+    pub rejected: u64,
+    /// High-water mark of the job queue depth.
+    pub max_queue_depth: usize,
+    /// Per-stage latency statistics, keyed by stage name.
+    pub stages: BTreeMap<&'static str, StageMetrics>,
+}
+
+/// Forwards pipeline events to several observers in order.
+pub struct FanoutObserver {
+    targets: Vec<Arc<dyn PipelineObserver>>,
+}
+
+impl FanoutObserver {
+    /// An observer broadcasting to `targets`.
+    pub fn new(targets: Vec<Arc<dyn PipelineObserver>>) -> Self {
+        Self { targets }
+    }
+}
+
+impl PipelineObserver for FanoutObserver {
+    fn on_stage_start(&self, session: &str, stage: PipelineStage) {
+        for t in &self.targets {
+            t.on_stage_start(session, stage);
+        }
+    }
+    fn on_stage_end(&self, session: &str, stage: PipelineStage, elapsed: Duration) {
+        for t in &self.targets {
+            t.on_stage_end(session, stage, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_stage_latency_aggregate() {
+        let m = MetricsObserver::new();
+        m.job_submitted();
+        m.job_submitted();
+        m.job_completed();
+        m.job_retried();
+        m.observe_queue_depth(3);
+        m.observe_queue_depth(1);
+        m.on_stage_end("s", PipelineStage::Transform, Duration::from_millis(10));
+        m.on_stage_end("s", PipelineStage::Transform, Duration::from_millis(30));
+        let snap = m.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.retried, 1);
+        assert_eq!(snap.max_queue_depth, 3);
+        let t = &snap.stages["transform"];
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.mean, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn fanout_reaches_every_target() {
+        let a = Arc::new(MetricsObserver::new());
+        let b = Arc::new(MetricsObserver::new());
+        let fan = FanoutObserver::new(vec![a.clone(), b.clone()]);
+        fan.on_stage_end("s", PipelineStage::Optimize, Duration::from_millis(5));
+        assert_eq!(a.snapshot().stages["optimize"].runs, 1);
+        assert_eq!(b.snapshot().stages["optimize"].runs, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! The bounded, prioritized job queue feeding the worker pool.
+//!
+//! Storage is a binary heap ordered by `(priority, submission order)`;
+//! a crossbeam channel carries wake-up tokens so workers block cheaply
+//! instead of spinning. The channel is strictly FIFO, which gives
+//! graceful shutdown for free: shutdown tokens sent after the last job
+//! token are only seen once every queued job has been drained.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::ServiceError;
+use crate::job::Priority;
+
+/// What a worker wakes up to do.
+#[derive(Debug)]
+pub(crate) enum Token {
+    /// One job is available in the heap.
+    Job,
+    /// Stop after draining: the sender guarantees no Job token follows.
+    Shutdown,
+}
+
+struct QueuedJob<T> {
+    priority: Priority,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for QueuedJob<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for QueuedJob<T> {}
+impl<T> PartialOrd for QueuedJob<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for QueuedJob<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority first, then lower seq (FIFO within
+        // a priority class).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A bounded priority queue with channel-based worker wake-up.
+pub(crate) struct JobQueue<T> {
+    heap: Mutex<Heap<T>>,
+    capacity: usize,
+    wake_tx: Sender<Token>,
+    wake_rx: Receiver<Token>,
+}
+
+struct Heap<T> {
+    jobs: BinaryHeap<QueuedJob<T>>,
+    next_seq: u64,
+}
+
+impl<T> JobQueue<T> {
+    pub(crate) fn bounded(capacity: usize) -> Self {
+        let (wake_tx, wake_rx) = unbounded();
+        Self {
+            heap: Mutex::new(Heap {
+                jobs: BinaryHeap::new(),
+                next_seq: 0,
+            }),
+            capacity,
+            wake_tx,
+            wake_rx,
+        }
+    }
+
+    /// Enqueues a job, or refuses with `QueueFull` (backpressure).
+    pub(crate) fn push(&self, priority: Priority, payload: T) -> Result<(), ServiceError> {
+        let mut heap = self.heap.lock().expect("queue lock");
+        if heap.jobs.len() >= self.capacity {
+            return Err(ServiceError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let seq = heap.next_seq;
+        heap.next_seq += 1;
+        heap.jobs.push(QueuedJob {
+            priority,
+            seq,
+            payload,
+        });
+        drop(heap);
+        self.wake_tx.send(Token::Job).expect("wake channel closed");
+        Ok(())
+    }
+
+    /// Pops the highest-priority job, if any.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut heap = self.heap.lock().expect("queue lock");
+        heap.jobs.pop().map(|j| j.payload)
+    }
+
+    /// Current queue depth.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Blocks until a wake-up token arrives.
+    pub(crate) fn recv(&self) -> Token {
+        // The sender half lives in the same struct, so recv can only
+        // fail if the queue itself is being dropped mid-recv.
+        self.wake_rx.recv().unwrap_or(Token::Shutdown)
+    }
+
+    /// Tells `workers` workers to stop once the queue is drained.
+    pub(crate) fn send_shutdown(&self, workers: usize) {
+        for _ in 0..workers {
+            let _ = self.wake_tx.send(Token::Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_priority_then_fifo() {
+        let q = JobQueue::bounded(8);
+        q.push(Priority::Low, "low-1").unwrap();
+        q.push(Priority::High, "high-1").unwrap();
+        q.push(Priority::Normal, "norm-1").unwrap();
+        q.push(Priority::High, "high-2").unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec!["high-1", "high-2", "norm-1", "low-1"]);
+    }
+
+    #[test]
+    fn refuses_beyond_capacity() {
+        let q = JobQueue::bounded(2);
+        q.push(Priority::Normal, 1).unwrap();
+        q.push(Priority::Normal, 2).unwrap();
+        assert_eq!(
+            q.push(Priority::Normal, 3),
+            Err(ServiceError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.push(Priority::Normal, 3).unwrap();
+    }
+
+    #[test]
+    fn shutdown_tokens_arrive_after_job_tokens() {
+        let q = JobQueue::bounded(4);
+        q.push(Priority::Normal, ()).unwrap();
+        q.send_shutdown(1);
+        assert!(matches!(q.recv(), Token::Job));
+        assert!(matches!(q.recv(), Token::Shutdown));
+    }
+}

@@ -1,0 +1,345 @@
+//! The analysis service: a fixed worker pool draining the prioritized
+//! job queue against one shared K-DB.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ada_core::{AdaHealth, PipelineError, PipelineObserver, RunControl};
+use ada_kdb::{Kdb, SharedKdb};
+use parking_lot::RwLock;
+
+use crate::cancel::CancelToken;
+use crate::error::ServiceError;
+use crate::job::JobSpec;
+use crate::observer::{FanoutObserver, MetricsObserver, ServiceMetrics};
+use crate::queue::{JobQueue, Token};
+use crate::registry::{SessionId, SessionRegistry, SessionState};
+
+/// Deterministic capped exponential backoff for retried attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Seed for the jitter mix — same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed: 0x5eed_0fad_a0c1_d0c5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based) of `session`.
+    ///
+    /// Exponential in `attempt`, capped at `cap`, with deterministic
+    /// jitter in `[0, base)` derived from `(seed, session, attempt)` via
+    /// a SplitMix64 mix so concurrent retries de-synchronize without a
+    /// shared RNG.
+    pub fn backoff(&self, session: SessionId, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16).saturating_sub(1));
+        let capped = exp.min(self.cap);
+        let mut z = self
+            .seed
+            .wrapping_add(session.0.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(u64::from(attempt));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter_nanos = (self.base.as_nanos() as u64).max(1);
+        capped + Duration::from_nanos(z % jitter_nanos)
+    }
+}
+
+/// Tuning knobs for [`AnalysisService`].
+pub struct ServiceConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it get `QueueFull`.
+    pub queue_capacity: usize,
+    /// Retry schedule for panicking attempts.
+    pub retry: RetryPolicy,
+    /// Optional extra observer receiving every stage event in addition
+    /// to the built-in metrics collector.
+    pub observer: Option<Arc<dyn PipelineObserver>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            retry: RetryPolicy::default(),
+            observer: None,
+        }
+    }
+}
+
+struct ServiceInner {
+    kdb: SharedKdb,
+    queue: JobQueue<(SessionId, JobSpec)>,
+    registry: SessionRegistry,
+    metrics: Arc<MetricsObserver>,
+    extra_observer: Option<Arc<dyn PipelineObserver>>,
+    retry: RetryPolicy,
+    shutting_down: AtomicBool,
+}
+
+/// An in-process analysis server: submit [`JobSpec`]s, await their
+/// [`SessionState`]s, share one journaled K-DB across all sessions.
+///
+/// Sessions run through [`AdaHealth::with_shared_kdb_isolated`], so each
+/// concurrent session's `SessionReport` is identical to a serial run of
+/// the same configuration and seed.
+pub struct AnalysisService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl AnalysisService {
+    /// Starts the worker pool over `kdb` (wrap an owned [`Kdb`] with
+    /// [`AnalysisService::with_kdb`]).
+    pub fn new(config: ServiceConfig, kdb: SharedKdb) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(ServiceInner {
+            kdb,
+            queue: JobQueue::bounded(config.queue_capacity.max(1)),
+            registry: SessionRegistry::new(),
+            metrics: Arc::new(MetricsObserver::new()),
+            extra_observer: config.observer,
+            retry: config.retry,
+            shutting_down: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ada-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Convenience: takes ownership of a `Kdb` and shares it.
+    pub fn with_kdb(config: ServiceConfig, kdb: Kdb) -> Self {
+        Self::new(config, Arc::new(RwLock::new(kdb)))
+    }
+
+    /// The shared K-DB handle all sessions write into.
+    pub fn kdb(&self) -> SharedKdb {
+        Arc::clone(&self.inner.kdb)
+    }
+
+    /// Submits a job; returns its session id, or refuses with
+    /// `QueueFull` (backpressure) / `ShuttingDown`.
+    pub fn submit(&self, spec: JobSpec) -> Result<SessionId, ServiceError> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let token = spec.cancel.clone().unwrap_or_default();
+        let id = self.inner.registry.register(&spec.config.session, token);
+        let priority = spec.priority;
+        if let Err(err) = self.inner.queue.push(priority, (id, spec)) {
+            self.inner.registry.remove(id);
+            self.inner.metrics.job_rejected();
+            return Err(err);
+        }
+        self.inner.metrics.job_submitted();
+        self.inner
+            .metrics
+            .observe_queue_depth(self.inner.queue.len());
+        Ok(id)
+    }
+
+    /// Requests cooperative cancellation of a session. Takes effect at
+    /// the session's next pipeline checkpoint, or immediately if it is
+    /// still queued.
+    pub fn cancel(&self, id: SessionId) -> Result<(), ServiceError> {
+        let token = self.inner.registry.cancel_token(id)?;
+        token.cancel();
+        Ok(())
+    }
+
+    /// The current state of a session.
+    pub fn state(&self, id: SessionId) -> Result<SessionState, ServiceError> {
+        self.inner.registry.state(id)
+    }
+
+    /// Blocks until the session reaches a terminal state.
+    pub fn wait(&self, id: SessionId) -> Result<SessionState, ServiceError> {
+        self.inner.registry.wait(id)
+    }
+
+    /// Every session as `(id, name, state)`, in submission order.
+    pub fn sessions(&self) -> Vec<(SessionId, String, SessionState)> {
+        self.inner.registry.sessions()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Stops accepting jobs, drains the queue, joins the workers, and
+    /// returns the final metrics.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        self.stop();
+        self.inner.metrics.snapshot()
+    }
+
+    fn stop(&mut self) {
+        if self.inner.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The wake channel is FIFO, so these land after every queued
+        // job's token: workers drain the backlog before stopping.
+        self.inner.queue.send_shutdown(self.workers.len());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AnalysisService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    loop {
+        match inner.queue.recv() {
+            Token::Shutdown => break,
+            Token::Job => {
+                if let Some((id, spec)) = inner.queue.pop() {
+                    run_job(inner, id, spec);
+                }
+            }
+        }
+    }
+}
+
+fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec) {
+    let token = inner
+        .registry
+        .cancel_token(id)
+        .unwrap_or_else(|_| CancelToken::new());
+    if token.is_cancelled() {
+        inner.registry.transition(id, SessionState::Cancelled);
+        inner.metrics.job_cancelled();
+        return;
+    }
+
+    let observer: Arc<dyn PipelineObserver> = match &inner.extra_observer {
+        Some(extra) => Arc::new(FanoutObserver::new(vec![
+            inner.metrics.clone() as Arc<dyn PipelineObserver>,
+            Arc::clone(extra),
+        ])),
+        None => inner.metrics.clone(),
+    };
+
+    let mut attempt = 0u32;
+    loop {
+        inner
+            .registry
+            .transition(id, SessionState::Running { attempt });
+        let mut control = RunControl::new()
+            .with_cancel_flag(token.flag())
+            .with_observer(Arc::clone(&observer));
+        if let Some(timeout) = spec.timeout {
+            control = control.with_deadline(Instant::now() + timeout);
+        }
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if attempt < spec.inject_failures {
+                panic!("injected failure on attempt {attempt}");
+            }
+            let mut pipeline =
+                AdaHealth::with_shared_kdb_isolated(spec.config.clone(), inner.kdb.clone());
+            pipeline.run_controlled(&spec.log, &control)
+        }));
+
+        match outcome {
+            Ok(Ok(report)) => {
+                inner
+                    .registry
+                    .transition(id, SessionState::Completed(Box::new(report)));
+                inner.metrics.job_completed();
+                return;
+            }
+            Ok(Err(PipelineError::Cancelled { .. })) => {
+                inner.registry.transition(id, SessionState::Cancelled);
+                inner.metrics.job_cancelled();
+                return;
+            }
+            Ok(Err(err @ PipelineError::DeadlineExceeded { .. })) => {
+                // A blown deadline would blow it again on retry.
+                inner.registry.transition(
+                    id,
+                    SessionState::Failed {
+                        reason: err.to_string(),
+                    },
+                );
+                inner.metrics.job_failed();
+                return;
+            }
+            Err(panic) => {
+                if attempt < spec.max_retries {
+                    attempt += 1;
+                    inner.metrics.job_retried();
+                    std::thread::sleep(inner.retry.backoff(id, attempt));
+                } else {
+                    let reason = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "attempt panicked".to_string());
+                    inner.registry.transition(
+                        id,
+                        SessionState::Failed {
+                            reason: format!("failed after {} attempts: {reason}", attempt + 1),
+                        },
+                    );
+                    inner.metrics.job_failed();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let policy = RetryPolicy::default();
+        let a1 = policy.backoff(SessionId(1), 1);
+        let a1_again = policy.backoff(SessionId(1), 1);
+        assert_eq!(a1, a1_again);
+        // Different sessions de-synchronize.
+        assert_ne!(a1, policy.backoff(SessionId(2), 1));
+        // Monotone-ish growth until the cap, never past cap + base jitter.
+        let late = policy.backoff(SessionId(1), 12);
+        assert!(late <= policy.cap + policy.base);
+        assert!(policy.backoff(SessionId(1), 5) >= policy.base);
+    }
+}

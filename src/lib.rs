@@ -3,8 +3,9 @@
 //! Re-exports the whole ADA-HEALTH workspace behind a single dependency:
 //! the [`dataset`] substrate, the [`vsm`] linear-algebra layer, the
 //! [`metrics`] and [`mining`] algorithm crates, the [`kdb`] document
-//! store, and the [`engine`] (the paper's contribution) that wires them
-//! together.
+//! store, the [`engine`] (the paper's contribution) that wires them
+//! together, and the [`service`] layer that runs many concurrent
+//! analysis sessions over one shared K-DB.
 //!
 //! ## End-to-end usage
 //!
@@ -44,4 +45,5 @@ pub use ada_dataset as dataset;
 pub use ada_kdb as kdb;
 pub use ada_metrics as metrics;
 pub use ada_mining as mining;
+pub use ada_service as service;
 pub use ada_vsm as vsm;

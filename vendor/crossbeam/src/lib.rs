@@ -1,0 +1,10 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//!
+//! * [`thread::scope`] — crossbeam-utils-style scoped threads, layered
+//!   over `std::thread::scope` (the closure passed to `spawn` receives
+//!   the scope, as in crossbeam, enabling nested spawns);
+//! * [`channel`] — MPMC bounded/unbounded channels layered over
+//!   `std::sync::mpsc`, with cloneable receivers.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,72 @@
+//! Scoped threads with crossbeam's API shape over `std::thread::scope`.
+
+use std::thread::Result as ThreadResult;
+
+/// A scope handle; spawned closures receive it, enabling nested spawns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread, returning its result (`Err` on panic).
+    pub fn join(self) -> ThreadResult<T> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to `'env` borrows.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+    }
+}
+
+/// Runs `f` with a scope; all spawned threads are joined before return.
+///
+/// Unlike crossbeam (which collects panics of unjoined threads into the
+/// `Err` variant), a panic in an unjoined thread propagates as a panic
+/// from the underlying `std::thread::scope`; callers joining every
+/// handle — as this workspace does — observe identical behavior.
+#[allow(clippy::needless_pass_by_value)]
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

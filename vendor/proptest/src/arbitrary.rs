@@ -1,0 +1,71 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait backing it.
+
+use crate::strategy::{Strategy, TestRng};
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    /// Draws one value covering the whole domain of the type.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T`: `any::<bool>()`, `any::<i64>()`, ...
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::from_name("any-bool");
+        let s = any::<bool>();
+        let trues: usize = (0..200).filter(|_| s.new_value(&mut rng)).count();
+        assert!((50..150).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn any_i64_spans_signs() {
+        let mut rng = TestRng::from_name("any-i64");
+        let s = any::<i64>();
+        let mut saw_neg = false;
+        let mut saw_pos = false;
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            saw_neg |= v < 0;
+            saw_pos |= v > 0;
+        }
+        assert!(saw_neg && saw_pos);
+    }
+}

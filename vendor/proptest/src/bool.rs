@@ -1,0 +1,18 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Fair coin-flip strategy over `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Either boolean with equal probability.
+pub const ANY: BoolAny = BoolAny;

@@ -1,0 +1,190 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::{Strategy, TestRng};
+
+/// A target size or size range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        if self.min >= self.max {
+            return self.min;
+        }
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Vectors of values from `element`, sized by `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Ordered sets of values from `element`.
+///
+/// When `element` cannot supply enough distinct values, the set may come
+/// out smaller than the sampled target (upstream proptest retries with
+/// the same practical caveat); the minimum of the range is honored on a
+/// best-effort basis.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        for _ in 0..(target * 10 + 20) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.new_value(rng));
+        }
+        set
+    }
+}
+
+/// Ordered maps with keys from `key` and values from `value`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut map = BTreeMap::new();
+        for _ in 0..(target * 10 + 20) {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.key.new_value(rng), self.value.new_value(rng));
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_stay_in_range() {
+        let mut rng = TestRng::from_name("vec");
+        let s = vec(0u32..5, 2..7);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let mut rng = TestRng::from_name("vec-exact");
+        let s = vec(0u32..5, 4usize);
+        assert_eq!(s.new_value(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn set_and_map_respect_bounds() {
+        let mut rng = TestRng::from_name("setmap");
+        let s = btree_set(0u32..100, 0..8);
+        let m = btree_map(0u32..100, 0i64..4, 0..8);
+        for _ in 0..100 {
+            assert!(s.new_value(&mut rng).len() < 8);
+            assert!(m.new_value(&mut rng).len() < 8);
+        }
+    }
+}

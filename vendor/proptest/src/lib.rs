@@ -1,0 +1,158 @@
+//! Offline mini-proptest.
+//!
+//! The build container cannot reach a crates registry, so the real
+//! `proptest` is unavailable. This crate reimplements the subset of its
+//! API that this workspace's property tests use — the [`proptest!`]
+//! macro, `prop_assert*`/`prop_assume`, strategy combinators
+//! (`prop_map`, `prop_flat_map`, `prop_filter_map`, `prop_recursive`,
+//! `prop_oneof!`), range/tuple/string-pattern strategies, and the
+//! `prop::collection` generators — with deterministic per-test seeding.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case index only), `prop_assume` skips the case instead of resampling,
+//! and regex string strategies support only character classes, `\PC`,
+//! and `{m,n}` repetition (the forms used in this repository).
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod config;
+pub mod num;
+pub mod strategy;
+pub mod string;
+
+pub mod prelude;
+
+pub use arbitrary::any;
+pub use config::ProptestConfig;
+pub use strategy::{BoxedStrategy, Just, Strategy, TestRng, Union};
+
+use std::fmt;
+
+/// A failed (or rejected) property-test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies: `proptest! { #[test] fn name(x in strategy) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(#[$meta:meta] fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[$meta]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::new_value(&$strat, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}",
+                            stringify!($name), case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError(
+                        format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                                stringify!($left), stringify!($right), l, r),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError(
+                        format!("assertion failed: {} == {}: {}\n  left: {:?}\n right: {:?}",
+                                stringify!($left), stringify!($right), format!($($fmt)+), l, r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when the precondition does not hold.
+///
+/// Upstream proptest resamples rejected cases; this mini-runner simply
+/// counts the case as passed, which preserves soundness (no false
+/// failures) at some cost in effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Weighted union of strategies with a common value type:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 2 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,27 @@
+//! Numeric strategies.
+//!
+//! Plain `Range`/`RangeInclusive` expressions implement
+//! [`Strategy`](crate::Strategy) directly (see `strategy.rs`), which
+//! covers every numeric strategy this workspace uses; this module exists
+//! for path compatibility with upstream `prop::num`.
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Finite, non-NaN `f64` values spanning several orders of magnitude.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let magnitude = (rng.unit() * 2.0 - 1.0) * 1e6;
+            magnitude * rng.unit()
+        }
+    }
+
+    /// Finite `f64` values (no NaN or infinities).
+    pub const NORMAL: Normal = Normal;
+}

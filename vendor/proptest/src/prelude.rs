@@ -1,0 +1,10 @@
+//! The conventional `use proptest::prelude::*;` import surface.
+
+/// Upstream re-exports the crate as `prop` so tests can write
+/// `prop::collection::vec(...)`, `prop::bool::ANY`, etc.
+pub use crate as prop;
+
+pub use crate::arbitrary::any;
+pub use crate::config::ProptestConfig;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, TestRng, Union};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

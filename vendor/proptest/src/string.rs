@@ -1,0 +1,187 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&'static str` is itself a strategy, mirroring upstream proptest's
+//! regex string strategies. Only the pattern forms used in this
+//! workspace are supported:
+//!
+//! - character classes with literals and ranges: `[a-z_]`, `[ -~:;]`
+//! - the printable-character escape `\PC`
+//! - bounded repetition `{n}` and `{m,n}` after an atom
+//! - bare literal characters
+//!
+//! Unsupported regex syntax panics at generation time so a typo fails
+//! loudly instead of silently generating the wrong language.
+
+use crate::strategy::{Strategy, TestRng};
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate characters (expanded from a class or literal).
+    Class(Vec<char>),
+    /// `\PC`: any printable character (sampled from a broad pool).
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                Atom::Printable
+            }
+            c => {
+                assert!(
+                    !matches!(c, '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$'),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let bounds = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            bounds
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable, with occasional Latin-1/Greek to exercise
+    // multi-byte UTF-8 paths.
+    match rng.below(8) {
+        0 => char::from_u32(0x00A1 + rng.below(0x00FF - 0x00A1) as u32).unwrap_or('¡'),
+        1 => char::from_u32(0x0391 + rng.below(25) as u32).unwrap_or('Α'),
+        _ => (b' ' + rng.below(95) as u8) as char,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+            };
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::Printable => out.push(printable(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercase_class_with_repetition() {
+        let mut rng = TestRng::from_name("str-lower");
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".new_value(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_mixing_range_and_literals() {
+        let mut rng = TestRng::from_name("str-mixed");
+        for _ in 0..200 {
+            let s = "[ -~:;]{0,12}".new_value(&mut rng);
+            assert!(s.chars().count() <= 12, "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn underscore_class() {
+        let mut rng = TestRng::from_name("str-under");
+        for _ in 0..200 {
+            let s = "[a-z_]{1,8}".new_value(&mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_escape_repeats() {
+        let mut rng = TestRng::from_name("str-pc");
+        for _ in 0..200 {
+            let s = "\\PC{0,6}".new_value(&mut rng);
+            assert!(s.chars().count() <= 6, "{s:?}");
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn unsupported_syntax_panics() {
+        let mut rng = TestRng::from_name("str-bad");
+        let _ = "(a|b)+".new_value(&mut rng);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace decorates its data types with
+//! `#[derive(Serialize, Deserialize)]` for downstream interoperability,
+//! but no code path actually serializes through serde (the K-DB journal
+//! uses its own canonical encoding). With no registry access in the
+//! build container, this crate supplies the trait names and inert
+//! derive macros so those annotations keep compiling; the derives
+//! expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the inert derive does not implement it.
+pub trait Serialize {}
+
+/// Marker trait; the inert derive does not implement it.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker, mirroring serde's blanket relation.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

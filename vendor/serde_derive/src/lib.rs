@@ -1,0 +1,20 @@
+//! Inert `Serialize`/`Deserialize` derives.
+//!
+//! Each derive accepts any item (including `#[serde(...)]` attributes)
+//! and expands to nothing: the annotations exist for downstream
+//! interoperability, and nothing in this workspace serializes through
+//! serde at runtime.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
