@@ -10,6 +10,11 @@ cargo build --release
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
+echo "== kmeans kernel perf gate (quick) =="
+# Fails on any kernel/pruning/threading mismatch or when the pruned
+# kernel regresses past 2x the seed reference on the reduced cohort.
+cargo run -q -p ada-bench --release --bin kmeans_perf -- --quick
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

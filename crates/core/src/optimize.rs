@@ -10,10 +10,31 @@
 //! clustering algorithm, and the class label assigned by the clustering
 //! algorithm itself as target."
 //!
-//! [`Optimizer::run`] evaluates every K in parallel (the stand-in for
+//! [`Optimizer::run`] sweeps the candidate K values (the stand-in for
 //! the paper's "online cloud-based services for automatic
 //! configuration"), reports the Table I columns, and auto-selects the K
 //! with the best overall classification results (K = 8 in the paper).
+//!
+//! # Parallelism
+//!
+//! The sweep has two nested parallelism levels, both governed by the
+//! single [`Optimizer::thread_budget`] knob:
+//!
+//! * **K level** — with [`Optimizer::parallel`] set, each candidate K
+//!   is evaluated on its own worker thread; each worker drives its
+//!   K-means runs with an equal share (`budget / #K`, at least 1) of
+//!   the thread budget.
+//! * **Row level** — each K-means run hands its share to the Lloyd
+//!   kernel's chunked assign/update passes as row-level worker threads.
+//!
+//! With [`Optimizer::parallel`] unset the sweep falls back to a serial
+//! loop over K, and every evaluation gets the *whole* budget at the row
+//! level instead.
+//!
+//! Determinism: the kernel reduces per-chunk partials in a fixed chunk
+//! order, so the report is byte-identical for every `thread_budget`
+//! value and for the serial fallback — the knob (like `parallel`
+//! itself) trades latency only, never results.
 
 use ada_metrics::cluster;
 use ada_mining::bayes::GaussianNb;
@@ -135,6 +156,13 @@ pub struct Optimizer {
     pub sse_elbow_tol: f64,
     /// Evaluate K values on worker threads (the cloud-services stand-in).
     pub parallel: bool,
+    /// Total worker-thread budget shared by the two parallelism levels
+    /// (0 = one per available core). A parallel sweep gives each
+    /// K-level worker `budget / ks.len()` (at least 1) row-level kernel
+    /// threads; a serial sweep gives every evaluation the whole budget.
+    /// Every value yields a byte-identical report — purely a latency
+    /// knob (see the module docs).
+    pub thread_budget: usize,
 }
 
 impl Optimizer {
@@ -152,6 +180,7 @@ impl Optimizer {
             }),
             sse_elbow_tol: 0.03,
             parallel: true,
+            thread_budget: 0,
         }
     }
 
@@ -165,11 +194,36 @@ impl Optimizer {
         }
     }
 
-    /// Evaluates one K value.
+    /// The thread budget with 0 resolved to the available core count.
+    fn resolved_budget(&self) -> usize {
+        if self.thread_budget != 0 {
+            self.thread_budget
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Evaluates one K value with the full thread budget at the row
+    /// level (a standalone evaluation has no sibling workers to share
+    /// with).
     pub fn evaluate_k(&self, matrix: &DenseMatrix, k: usize) -> KEvaluation {
+        self.evaluate_k_with_threads(matrix, k, self.resolved_budget())
+    }
+
+    /// Evaluates one K value driving the Lloyd kernel with `row_threads`
+    /// worker threads (identical output for every value).
+    fn evaluate_k_with_threads(
+        &self,
+        matrix: &DenseMatrix,
+        k: usize,
+        row_threads: usize,
+    ) -> KEvaluation {
         let result = KMeans::new(k)
             .seed(self.seed)
             .backend(self.backend)
+            .threads(row_threads)
             .fit(matrix);
         let overall_similarity = cluster::overall_similarity(matrix, &result.assignments, k);
         let cm = match &self.classifier {
@@ -241,6 +295,9 @@ impl Optimizer {
         assert!(!self.ks.is_empty(), "no K values to evaluate");
         let evaluations: Vec<KEvaluation> = if self.parallel && self.ks.len() > 1 {
             control.checkpoint(PipelineStage::Optimize)?;
+            // Split the budget across the K-level workers; each worker
+            // drives the row-parallel kernel with its share.
+            let row_threads = (self.resolved_budget() / self.ks.len()).max(1);
             let mut slots: Vec<Option<KEvaluation>> = vec![None; self.ks.len()];
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = self
@@ -251,7 +308,7 @@ impl Optimizer {
                             if control.is_cancelled() {
                                 return None;
                             }
-                            Some(self.evaluate_k(matrix, k))
+                            Some(self.evaluate_k_with_threads(matrix, k, row_threads))
                         })
                     })
                     .collect();
@@ -420,6 +477,19 @@ mod tests {
         opt.parallel = true;
         let parallel = opt.run(&m);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn thread_budget_values_are_byte_identical() {
+        let m = small_matrix();
+        let base = Optimizer::quick(vec![3, 5]);
+        let serial = base.run(&m);
+        for budget in [1usize, 2, 5, 0] {
+            let mut opt = base.clone();
+            opt.parallel = true;
+            opt.thread_budget = budget;
+            assert_eq!(serial, opt.run(&m), "budget = {budget}");
+        }
     }
 
     #[test]

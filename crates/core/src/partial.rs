@@ -13,11 +13,32 @@
 //! The paper also names a second axis ("partial mining can reduce the
 //! dataset along any dimension (vertical mining)"): the
 //! [`VerticalPartialMiner`] grows a *patient* sample instead.
+//!
+//! Both miners can run their steps as a **warm-started ladder**
+//! (`warm_start: true`): the growth steps are nested (feature prefixes
+//! horizontally, patient-sample prefixes vertically), so each
+//! `(K, restart)` chain seeds the next step's K-means from the previous
+//! step's settled centroids — zero-padded into the wider feature space
+//! on the horizontal axis — instead of re-initializing from scratch.
+//! The full-data run becomes the last rung of the chain, and the total
+//! Lloyd iterations typically drop substantially (the cheap subsets
+//! pre-position the centroids).
+//!
+//! Warm starting is **off by default**: chaining initializations
+//! correlates consecutive rungs' partitions, which biases the
+//! similarity-vs-full estimate slightly upward and can admit a subset
+//! that an *independent* clustering would reject. The cold default
+//! reproduces the paper's experiment faithfully; enable `warm_start`
+//! when throughput matters and validate that the selection is
+//! unchanged (the `warm_start` integration tests assert exactly this
+//! property). Every K-means run is driven through the row-parallel
+//! Lloyd kernel (`threads`; 0 = one per core, byte-identical output
+//! either way).
 
 use ada_dataset::ExamLog;
 use ada_metrics::cluster;
 use ada_mining::kmeans::KMeans;
-use ada_vsm::{VsmBuilder, Weighting};
+use ada_vsm::{DenseMatrix, VsmBuilder, Weighting};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -42,6 +63,9 @@ pub struct StepResult {
     /// the full step by construction. Empty when not computed (the
     /// vertical miner's samples have incomparable supports).
     pub agreement_vs_full: Vec<(usize, f64)>,
+    /// Total K-means iterations spent on this step, summed over every
+    /// `(K, restart)` run — the cost side of the warm-start ledger.
+    pub kmeans_iterations: usize,
 }
 
 impl StepResult {
@@ -133,6 +157,15 @@ pub struct HorizontalPartialMiner {
     pub restarts: usize,
     /// Clustering seed.
     pub seed: u64,
+    /// Seed each step's K-means from the previous step's settled
+    /// centroids (zero-padded into the wider feature space) instead of
+    /// re-initializing; the full-data run becomes the last rung of the
+    /// chain. Off by default — see the module docs for the estimator
+    /// bias this trades away.
+    pub warm_start: bool,
+    /// Row-level worker threads for every K-means run (0 = one per
+    /// available core); output is byte-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for HorizontalPartialMiner {
@@ -145,6 +178,8 @@ impl Default for HorizontalPartialMiner {
             normalize: true,
             restarts: 3,
             seed: 0,
+            warm_start: false,
+            threads: 0,
         }
     }
 }
@@ -199,73 +234,116 @@ impl HorizontalPartialMiner {
             .normalize(self.normalize)
             .build(log);
 
-        // Reference partitions: the full-data clustering per (K, restart),
-        // used both as the last step and as the agreement baseline.
+        // The ladder: steps run in ascending-fraction order. With warm
+        // starting, each (K, restart) chain seeds the next step from the
+        // previous step's settled centroids — feature subsets are
+        // frequency-order prefixes of one another, so prior centroid
+        // coordinates keep their columns and newly added exam types
+        // enter at zero. Assignments are collected per step so
+        // agreement can be scored against the full-data partition once
+        // the ladder tops out.
         let restarts = self.restarts.max(1);
-        let full_partitions: Vec<Vec<Vec<usize>>> = self
-            .ks
-            .iter()
-            .map(|&k| {
-                (0..restarts)
-                    .map(|r| -> Result<Vec<usize>, PipelineError> {
-                        control.checkpoint(PipelineStage::PartialMining)?;
-                        let seed = self.seed.wrapping_add(1_000 * r as u64);
-                        Ok(KMeans::new(k).seed(seed).fit(&full.matrix).assignments)
-                    })
-                    .collect()
-            })
-            .collect::<Result<_, _>>()?;
-
-        let steps: Vec<StepResult> = fractions
-            .iter()
-            .map(|&fraction| -> Result<StepResult, PipelineError> {
-                control.checkpoint(PipelineStage::PartialMining)?;
-                let included = ((fraction * n_types as f64).ceil() as usize).clamp(1, n_types);
-                let features = order[..included].to_vec();
-                let covered: usize = features.iter().map(|e| freq[e.index()]).sum();
-                let is_full = included == n_types;
-                let pv = if is_full {
-                    None // reuse the reference partitions
-                } else {
-                    Some(
-                        VsmBuilder::new()
-                            .weighting(self.weighting)
-                            .normalize(self.normalize)
-                            .features(features)
-                            .build(log),
-                    )
-                };
-                let mut per_k = Vec::with_capacity(self.ks.len());
-                let mut agreement = Vec::with_capacity(self.ks.len());
-                for (ki, &k) in self.ks.iter().enumerate() {
-                    let mut sim_acc = 0.0;
-                    let mut ari_acc = 0.0;
-                    for r in 0..restarts {
-                        let owned;
-                        let assignments: &[usize] = match &pv {
-                            None => &full_partitions[ki][r],
-                            Some(pv) => {
-                                let seed = self.seed.wrapping_add(1_000 * r as u64);
-                                owned = KMeans::new(k).seed(seed).fit(&pv.matrix).assignments;
-                                &owned
-                            }
-                        };
-                        sim_acc += cluster::overall_similarity(&full.matrix, assignments, k);
-                        ari_acc +=
-                            ada_metrics::adjusted_rand_index(assignments, &full_partitions[ki][r]);
+        let mut carried: Vec<Vec<Option<DenseMatrix>>> = vec![vec![None; restarts]; self.ks.len()];
+        struct RawStep {
+            fraction: f64,
+            included: usize,
+            covered: usize,
+            kmeans_iterations: usize,
+            per_k: Vec<(usize, f64)>,
+            /// `[ki][restart]` -> assignments.
+            partitions: Vec<Vec<Vec<usize>>>,
+        }
+        let mut raw: Vec<RawStep> = Vec::with_capacity(fractions.len());
+        for &fraction in &fractions {
+            control.checkpoint(PipelineStage::PartialMining)?;
+            let included = ((fraction * n_types as f64).ceil() as usize).clamp(1, n_types);
+            let features = order[..included].to_vec();
+            let covered: usize = features.iter().map(|e| freq[e.index()]).sum();
+            let is_full = included == n_types;
+            // A cold full step reuses the id-order reference matrix; a
+            // warm chain needs the frequency-order build so the carried
+            // centroids stay column-aligned. Similarity scoring is
+            // column-permutation invariant either way.
+            let owned_pv;
+            let matrix: &DenseMatrix = if is_full && !self.warm_start {
+                &full.matrix
+            } else {
+                owned_pv = VsmBuilder::new()
+                    .weighting(self.weighting)
+                    .normalize(self.normalize)
+                    .features(features)
+                    .build(log);
+                &owned_pv.matrix
+            };
+            let mut per_k = Vec::with_capacity(self.ks.len());
+            let mut partitions = Vec::with_capacity(self.ks.len());
+            let mut kmeans_iterations = 0usize;
+            for (ki, &k) in self.ks.iter().enumerate() {
+                let mut sim_acc = 0.0;
+                let mut k_parts = Vec::with_capacity(restarts);
+                for r in 0..restarts {
+                    control.checkpoint(PipelineStage::PartialMining)?;
+                    let seed = self.seed.wrapping_add(1_000 * r as u64);
+                    let config = KMeans::new(k).seed(seed).threads(self.threads);
+                    let result = match carried[ki][r].take() {
+                        Some(prev) => {
+                            config.fit_from(matrix, pad_centroids(&prev, matrix.num_cols()))
+                        }
+                        None => config.fit(matrix),
+                    };
+                    kmeans_iterations += result.iterations;
+                    sim_acc += cluster::overall_similarity(&full.matrix, &result.assignments, k);
+                    if self.warm_start {
+                        carried[ki][r] = Some(result.centroids);
                     }
-                    per_k.push((k, sim_acc / restarts as f64));
-                    agreement.push((k, ari_acc / restarts as f64));
+                    k_parts.push(result.assignments);
                 }
-                Ok(StepResult {
-                    fraction,
-                    included,
-                    row_coverage: covered as f64 / total_records as f64,
-                    per_k,
+                per_k.push((k, sim_acc / restarts as f64));
+                partitions.push(k_parts);
+            }
+            raw.push(RawStep {
+                fraction,
+                included,
+                covered,
+                kmeans_iterations,
+                per_k,
+                partitions,
+            });
+        }
+
+        // Agreement: restart-paired adjusted Rand index against the
+        // ladder's own full-data partitions (the last rung).
+        let full_partitions = &raw.last().expect("full step always runs").partitions;
+        let steps: Vec<StepResult> = raw
+            .iter()
+            .map(|step| {
+                let agreement = self
+                    .ks
+                    .iter()
+                    .enumerate()
+                    .map(|(ki, &k)| {
+                        let mean = (0..restarts)
+                            .map(|r| {
+                                ada_metrics::adjusted_rand_index(
+                                    &step.partitions[ki][r],
+                                    &full_partitions[ki][r],
+                                )
+                            })
+                            .sum::<f64>()
+                            / restarts as f64;
+                        (k, mean)
+                    })
+                    .collect();
+                StepResult {
+                    fraction: step.fraction,
+                    included: step.included,
+                    row_coverage: step.covered as f64 / total_records as f64,
+                    per_k: step.per_k.clone(),
                     agreement_vs_full: agreement,
-                })
+                    kmeans_iterations: step.kmeans_iterations,
+                }
             })
-            .collect::<Result<_, _>>()?;
+            .collect();
 
         let selected = select_step(&steps, self.epsilon);
         Ok(PartialMiningReport {
@@ -274,6 +352,22 @@ impl HorizontalPartialMiner {
             epsilon: self.epsilon,
         })
     }
+}
+
+/// Zero-pads `prev` (k × d_prev) into `dim` columns (`d_prev <= dim`):
+/// the horizontal ladder's feature sets are frequency-order prefixes of
+/// one another, so carried centroid coordinates keep their columns and
+/// newly added exam types start at zero.
+fn pad_centroids(prev: &DenseMatrix, dim: usize) -> DenseMatrix {
+    debug_assert!(prev.num_cols() <= dim, "ladder steps only grow");
+    if prev.num_cols() == dim {
+        return prev.clone();
+    }
+    let mut out = DenseMatrix::zeros(prev.num_rows(), dim);
+    for c in 0..prev.num_rows() {
+        out.row_mut(c)[..prev.num_cols()].copy_from_slice(prev.row(c));
+    }
+    out
 }
 
 /// Vertical partial miner: grows a seeded random *patient* sample.
@@ -289,6 +383,14 @@ pub struct VerticalPartialMiner {
     pub weighting: Weighting,
     /// Sampling + clustering seed.
     pub seed: u64,
+    /// Seed each step's K-means from the previous step's settled
+    /// centroids (the feature space is constant along the patient axis,
+    /// so no padding is needed). Off by default — see the module docs
+    /// for the estimator bias this trades away.
+    pub warm_start: bool,
+    /// Row-level worker threads for every K-means run (0 = one per
+    /// available core); output is byte-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for VerticalPartialMiner {
@@ -299,6 +401,8 @@ impl Default for VerticalPartialMiner {
             epsilon: 0.05,
             weighting: Weighting::Count,
             seed: 0,
+            warm_start: false,
+            threads: 0,
         }
     }
 }
@@ -334,6 +438,10 @@ impl VerticalPartialMiner {
             _ => log.num_records() as f64,
         };
 
+        // Warm-start carry per probed K: samples are nested prefixes of
+        // one permutation, so a smaller sample's centroids pre-position
+        // the next rung (the feature space never changes on this axis).
+        let mut carried: Vec<Option<DenseMatrix>> = vec![None; self.ks.len()];
         let steps: Vec<StepResult> = fractions
             .iter()
             .map(|&fraction| {
@@ -348,13 +456,23 @@ impl VerticalPartialMiner {
                     }
                     _ => included as f64 / log.num_patients() as f64,
                 };
+                let mut kmeans_iterations = 0usize;
                 let per_k = self
                     .ks
                     .iter()
-                    .filter(|&&k| k <= matrix.num_rows())
-                    .map(|&k| {
-                        let result = KMeans::new(k).seed(self.seed).fit(&matrix);
+                    .enumerate()
+                    .filter(|&(_, &k)| k <= matrix.num_rows())
+                    .map(|(ki, &k)| {
+                        let config = KMeans::new(k).seed(self.seed).threads(self.threads);
+                        let result = match carried[ki].take() {
+                            Some(prev) => config.fit_from(&matrix, prev),
+                            None => config.fit(&matrix),
+                        };
+                        kmeans_iterations += result.iterations;
                         let sim = cluster::overall_similarity(&matrix, &result.assignments, k);
+                        if self.warm_start {
+                            carried[ki] = Some(result.centroids);
+                        }
                         (k, sim)
                     })
                     .collect();
@@ -364,6 +482,7 @@ impl VerticalPartialMiner {
                     row_coverage,
                     per_k,
                     agreement_vs_full: Vec::new(),
+                    kmeans_iterations,
                 }
             })
             .collect();

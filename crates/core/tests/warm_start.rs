@@ -1,0 +1,63 @@
+//! Warm-started partial-mining ladders: same selection, fewer Lloyd
+//! iterations than the cold default (the ISSUE's acceptance property
+//! for centroid carrying across nested subsets).
+
+use ada_core::partial::{HorizontalPartialMiner, VerticalPartialMiner};
+use ada_dataset::synthetic::{generate, SyntheticConfig};
+
+#[test]
+fn horizontal_warm_ladder_spends_fewer_total_iterations_with_same_selection() {
+    let log = generate(&SyntheticConfig::small(), 11);
+    let warm = HorizontalPartialMiner {
+        warm_start: true,
+        ..Default::default()
+    }
+    .run(&log);
+    let cold = HorizontalPartialMiner::default().run(&log);
+
+    // Same adaptive outcome under the same 5% ε: the warm ladder must
+    // not change which subset the strategy settles on.
+    assert_eq!(warm.epsilon, 0.05);
+    assert_eq!(warm.selected, cold.selected, "subset selection changed");
+    assert_eq!(warm.selected_step().included, cold.selected_step().included);
+
+    // The first rung is cold in both ladders (nothing to carry yet).
+    assert_eq!(
+        warm.steps[0].kmeans_iterations,
+        cold.steps[0].kmeans_iterations
+    );
+
+    // Carried centroids must pay for themselves: strictly fewer Lloyd
+    // iterations over the whole ladder.
+    let total = |r: &ada_core::partial::PartialMiningReport| -> usize {
+        r.steps.iter().map(|s| s.kmeans_iterations).sum()
+    };
+    let (warm_iters, cold_iters) = (total(&warm), total(&cold));
+    assert!(
+        warm_iters < cold_iters,
+        "warm ladder must converge in fewer total iterations: warm = {warm_iters}, cold = {cold_iters}"
+    );
+
+    // And the cheap runs must still honour the ε guarantee.
+    assert!(warm.difference_vs_full(warm.selected) <= warm.epsilon + 1e-12);
+}
+
+#[test]
+fn vertical_warm_ladder_spends_fewer_total_iterations() {
+    let log = generate(&SyntheticConfig::small(), 11);
+    let warm = VerticalPartialMiner {
+        warm_start: true,
+        ..Default::default()
+    }
+    .run(&log);
+    let cold = VerticalPartialMiner::default().run(&log);
+    let total = |r: &ada_core::partial::PartialMiningReport| -> usize {
+        r.steps.iter().map(|s| s.kmeans_iterations).sum()
+    };
+    assert!(
+        total(&warm) < total(&cold),
+        "warm = {}, cold = {}",
+        total(&warm),
+        total(&cold)
+    );
+}

@@ -35,6 +35,13 @@ impl Bisecting {
         self
     }
 
+    /// Sets the row-level thread budget of the inner 2-means runs
+    /// (0 = one per available core; output is identical either way).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.inner.threads = threads;
+        self
+    }
+
     /// Runs bisecting K-means on the rows of `matrix`.
     ///
     /// # Panics

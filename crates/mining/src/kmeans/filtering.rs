@@ -21,6 +21,7 @@
 use ada_vsm::dense::{distance_sq, DenseMatrix};
 use ada_vsm::kdtree::{KdTree, NodeId};
 
+use super::kernel;
 use super::{update_centroids, KMeansResult};
 
 /// True when candidate `z` is provably no closer than `z_star` for every
@@ -124,26 +125,39 @@ fn filter_node(
 }
 
 /// Runs filtering K-means from the given initial centroids.
+///
+/// The tree walk itself is serial (its pruning is per-cell, not
+/// per-row); `threads` drives the kernel's chunked final SSE pass.
+/// When the loop settles with zero centroid movement the last in-loop
+/// assignment is already the argmin of the final centroids and no
+/// extra tree walk runs.
 pub(crate) fn run(
     matrix: &DenseMatrix,
     mut centroids: DenseMatrix,
     max_iters: usize,
     tol: f64,
+    threads: usize,
 ) -> KMeansResult {
     let tree = KdTree::build(matrix);
     let mut assignments = vec![0usize; matrix.num_rows()];
     let mut converged = false;
     let mut iterations = 0;
+    let mut zero_movement = false;
     while iterations < max_iters {
         assign(&tree, &centroids, &mut assignments);
         let movement = update_centroids(matrix, &mut assignments, &mut centroids);
         iterations += 1;
         if movement <= tol {
             converged = true;
+            zero_movement = movement == 0.0;
             break;
         }
     }
-    let sse = assign(&tree, &centroids, &mut assignments);
+    if !(converged && zero_movement) {
+        assign(&tree, &centroids, &mut assignments);
+    }
+    let threads = kernel::effective_threads(threads, matrix.num_rows());
+    let sse = kernel::sse_pass(matrix, &centroids, &assignments, threads);
     KMeansResult {
         assignments,
         centroids,
@@ -207,7 +221,7 @@ mod tests {
     fn full_run_recovers_blobs() {
         let m = gaussian_blobs(3, 40, 4, 23);
         let start = init::initial_centroids(&m, 3, KMeansInit::KMeansPlusPlus, 1);
-        let result = run(&m, start, 100, 1e-9);
+        let result = run(&m, start, 100, 1e-9, 1);
         assert!(result.converged);
         for b in 0..3 {
             let first = result.assignments[b * 40];

@@ -1,7 +1,15 @@
-//! Classic Lloyd K-means: full point scan per iteration.
+//! Classic Lloyd K-means.
+//!
+//! The production entry point ([`run`]) executes on the shared
+//! [`kernel`](super::kernel): dot-product distances over cached row
+//! norms, optional Hamerly bound pruning, and a deterministic chunked
+//! parallel reduction. The seed full-scan implementation is retained as
+//! [`run_reference`] — the baseline the perf gate and the equivalence
+//! property tests compare against.
 
 use ada_vsm::dense::{distance_sq, DenseMatrix};
 
+use super::kernel::{self, KernelOpts, KernelStats};
 use super::{update_centroids, KMeansResult};
 
 /// Assigns every row to its nearest centroid (ties to the lowest centroid
@@ -30,8 +38,24 @@ pub(crate) fn assign(
     sse
 }
 
-/// Runs Lloyd iterations from the given initial centroids.
+/// Runs Lloyd iterations from the given initial centroids on the
+/// shared kernel (bound pruning and thread budget per `opts`).
 pub(crate) fn run(
+    matrix: &DenseMatrix,
+    centroids: DenseMatrix,
+    max_iters: usize,
+    tol: f64,
+    opts: KernelOpts,
+) -> (KMeansResult, KernelStats) {
+    kernel::run(matrix, centroids, max_iters, tol, opts)
+}
+
+/// The seed full-scan Lloyd loop, kept as the plain reference
+/// implementation: single-threaded, no pruning, `distance_sq` per
+/// point-centroid pair, and an unconditional final re-assignment. The
+/// `kmeans_perf` benchmark measures the kernel against this baseline,
+/// and the property suite checks the kernel's output against it.
+pub fn run_reference(
     matrix: &DenseMatrix,
     mut centroids: DenseMatrix,
     max_iters: usize,
@@ -83,6 +107,32 @@ mod tests {
         let mut a = vec![9];
         assign(&m, &c, &mut a);
         assert_eq!(a, vec![0]);
+    }
+
+    #[test]
+    fn kernel_matches_reference_trajectory() {
+        let m = gaussian_blobs(4, 50, 4, 11);
+        let start = crate::kmeans::init::initial_centroids(
+            &m,
+            4,
+            crate::kmeans::KMeansInit::KMeansPlusPlus,
+            2,
+        );
+        let reference = run_reference(&m, start.clone(), 100, 1e-6);
+        let (kernel, _) = run(
+            &m,
+            start,
+            100,
+            1e-6,
+            KernelOpts {
+                threads: 1,
+                prune: true,
+            },
+        );
+        assert_eq!(reference.assignments, kernel.assignments);
+        assert_eq!(reference.iterations, kernel.iterations);
+        assert_eq!(reference.converged, kernel.converged);
+        assert!((reference.sse - kernel.sse).abs() < 1e-9 * (1.0 + reference.sse));
     }
 
     #[test]

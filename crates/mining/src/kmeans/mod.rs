@@ -14,10 +14,17 @@
 //! initial centroids they walk the same trajectory (a property the test
 //! suite checks); the filtering backend just touches far fewer points
 //! per iteration on clustered data.
+//!
+//! The Lloyd backend executes on the shared [`kernel`]: dot-product
+//! distances over the matrix's cached row norms, Hamerly bound pruning
+//! ([`KMeans::prune`]), and a chunk-ordered parallel reduction
+//! ([`KMeans::threads`]) whose output is byte-identical to the serial
+//! path for every thread count.
 
 pub mod bisecting;
 pub mod filtering;
 pub mod init;
+pub(crate) mod kernel;
 pub mod lloyd;
 pub mod spherical;
 
@@ -25,6 +32,7 @@ use ada_vsm::dense::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
 pub use init::KMeansInit;
+pub use kernel::KernelStats;
 
 /// Which K-means backend executes the iterations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,11 +71,20 @@ pub struct KMeans {
     pub seed: u64,
     /// Iteration backend.
     pub backend: KMeansBackend,
+    /// Row-level worker threads of the Lloyd kernel (0 = one per
+    /// available core). Every value produces byte-identical output —
+    /// the kernel reduces per-chunk partial sums in a fixed chunk
+    /// order — so this is purely a latency knob.
+    pub threads: usize,
+    /// Hamerly bound pruning (Lloyd kernel only). Exact: pruned runs
+    /// return the same assignments, centroids, SSE, and iteration
+    /// count as unpruned ones, with far fewer distance evaluations.
+    pub prune: bool,
 }
 
 impl KMeans {
     /// A sensible default configuration: k-means++ init, Lloyd backend,
-    /// 100 iterations, tolerance 1e-6.
+    /// 100 iterations, tolerance 1e-6, serial with bound pruning on.
     pub fn new(k: usize) -> Self {
         Self {
             k,
@@ -76,6 +93,8 @@ impl KMeans {
             init: KMeansInit::KMeansPlusPlus,
             seed: 0,
             backend: KMeansBackend::Lloyd,
+            threads: 1,
+            prune: true,
         }
     }
 
@@ -103,6 +122,18 @@ impl KMeans {
         self
     }
 
+    /// Sets the row-level thread budget (0 = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables Hamerly bound pruning.
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
     /// Runs the configured backend on the rows of `matrix`.
     ///
     /// # Panics
@@ -127,11 +158,43 @@ impl KMeans {
     /// # Panics
     /// Panics on shape mismatch between `matrix` and `centroids`.
     pub fn fit_from(&self, matrix: &DenseMatrix, centroids: DenseMatrix) -> KMeansResult {
+        self.fit_from_with_stats(matrix, centroids).0
+    }
+
+    /// Runs the configured backend and additionally reports the
+    /// kernel's instrumentation counters (distance evaluations, bound
+    /// skips). The filtering backend reports zeroed counters — its
+    /// pruning works on tree cells, not per-point bounds.
+    pub fn fit_with_stats(&self, matrix: &DenseMatrix) -> (KMeansResult, KernelStats) {
+        assert!(self.k > 0, "k must be positive");
+        assert!(matrix.num_rows() > 0, "cannot cluster an empty matrix");
+        assert!(
+            self.k <= matrix.num_rows(),
+            "k = {} exceeds {} points",
+            self.k,
+            matrix.num_rows()
+        );
+        let centroids = init::initial_centroids(matrix, self.k, self.init, self.seed);
+        self.fit_from_with_stats(matrix, centroids)
+    }
+
+    fn fit_from_with_stats(
+        &self,
+        matrix: &DenseMatrix,
+        centroids: DenseMatrix,
+    ) -> (KMeansResult, KernelStats) {
         assert_eq!(centroids.num_rows(), self.k, "centroid count");
         assert_eq!(centroids.num_cols(), matrix.num_cols(), "dim mismatch");
+        let opts = kernel::KernelOpts {
+            threads: self.threads,
+            prune: self.prune,
+        };
         match self.backend {
-            KMeansBackend::Lloyd => lloyd::run(matrix, centroids, self.max_iters, self.tol),
-            KMeansBackend::Filtering => filtering::run(matrix, centroids, self.max_iters, self.tol),
+            KMeansBackend::Lloyd => lloyd::run(matrix, centroids, self.max_iters, self.tol, opts),
+            KMeansBackend::Filtering => (
+                filtering::run(matrix, centroids, self.max_iters, self.tol, self.threads),
+                KernelStats::default(),
+            ),
         }
     }
 }
@@ -171,6 +234,10 @@ impl KMeansResult {
 /// the mean of its members and repairs empty clusters by stealing the
 /// point farthest from its own centroid.
 ///
+/// Accumulation runs through the kernel's chunk-ordered reduction, so
+/// every backend — serial or parallel — produces bit-identical
+/// centroids from identical assignments.
+///
 /// Returns the total squared movement of centroids (the convergence
 /// monitor both backends use).
 pub(crate) fn update_centroids(
@@ -178,70 +245,8 @@ pub(crate) fn update_centroids(
     assignments: &mut [usize],
     centroids: &mut DenseMatrix,
 ) -> f64 {
-    use ada_vsm::dense::distance_sq;
-
-    let k = centroids.num_rows();
-    let dim = centroids.num_cols();
-    let mut sums = vec![0.0; k * dim];
-    let mut counts = vec![0usize; k];
-    for (i, &a) in assignments.iter().enumerate() {
-        counts[a] += 1;
-        let row = matrix.row(i);
-        let acc = &mut sums[a * dim..(a + 1) * dim];
-        for d in 0..dim {
-            acc[d] += row[d];
-        }
-    }
-
-    // Empty-cluster repair: move the globally farthest point into each
-    // empty cluster (deterministic, one point per empty cluster).
-    let empties: Vec<usize> = (0..k).filter(|&c| counts[c] == 0).collect();
-    if !empties.is_empty() {
-        let mut donors: Vec<(f64, usize)> = assignments
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| counts[a] > 1)
-            .map(|(i, &a)| (distance_sq(matrix.row(i), centroids.row(a)), i))
-            .collect();
-        donors.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite distances"));
-        let mut donor_iter = donors.into_iter();
-        for empty in empties {
-            // Find the next donor whose cluster can still give a point.
-            for (_, i) in donor_iter.by_ref() {
-                let old = assignments[i];
-                if counts[old] <= 1 {
-                    continue;
-                }
-                counts[old] -= 1;
-                counts[empty] += 1;
-                let row = matrix.row(i);
-                for d in 0..dim {
-                    sums[old * dim + d] -= row[d];
-                    sums[empty * dim + d] += row[d];
-                }
-                assignments[i] = empty;
-                break;
-            }
-        }
-    }
-
-    let mut movement = 0.0;
-    for c in 0..k {
-        if counts[c] == 0 {
-            continue; // unrepairable (k > distinct points); keep position
-        }
-        let inv = 1.0 / counts[c] as f64;
-        let target = centroids.row_mut(c);
-        let mut delta = 0.0;
-        for d in 0..dim {
-            let new = sums[c * dim + d] * inv;
-            let diff = new - target[d];
-            delta += diff * diff;
-            target[d] = new;
-        }
-        movement += delta;
-    }
-    movement
+    let (mut sums, mut counts) = kernel::accumulate(matrix, assignments, centroids.num_rows());
+    kernel::finalize_update(matrix, assignments, centroids, &mut sums, &mut counts).movement
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use super::kernel;
+
 /// Spherical K-means configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SphericalKMeans {
@@ -26,6 +28,9 @@ pub struct SphericalKMeans {
     pub tol: f64,
     /// Seed for centroid initialization.
     pub seed: u64,
+    /// Worker threads for the assignment pass (0 = one per core);
+    /// chunk-ordered reduction keeps every value byte-identical.
+    pub threads: usize,
 }
 
 /// The output of a spherical K-means run.
@@ -53,12 +58,19 @@ impl SphericalKMeans {
             max_iters: 100,
             tol: 1e-7,
             seed: 0,
+            threads: 1,
         }
     }
 
     /// Sets the seed (builder style).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread budget (builder style).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -97,40 +109,66 @@ impl SphericalKMeans {
         let mut last_objective = f64::NEG_INFINITY;
         let mut iterations = 0;
         let mut converged = false;
+        let threads = kernel::effective_threads(self.threads, n);
+        let k = self.k;
         while iterations < max(1, self.max_iters) {
-            // Assignment: maximize cosine (dot on unit vectors).
-            let mut objective = 0.0;
-            for r in 0..n {
-                if !nonzero[r] {
-                    assignments[r] = 0;
-                    continue;
+            // Fused assignment + member-sum pass: each fixed row chunk
+            // emits its objective and centroid-sum partials, reduced in
+            // chunk order — byte-identical for every thread count.
+            let tasks: Vec<(usize, &mut [usize])> = {
+                let mut out = Vec::new();
+                let mut start = 0;
+                for chunk in assignments.chunks_mut(kernel::CHUNK_ROWS) {
+                    let len = chunk.len();
+                    out.push((start, chunk));
+                    start += len;
                 }
-                let row = unit.row(r);
-                let mut best = 0usize;
-                let mut best_dot = f64::NEG_INFINITY;
-                for c in 0..self.k {
-                    let d = dot(row, centroids.row(c));
-                    if d > best_dot {
-                        best_dot = d;
-                        best = c;
+                out
+            };
+            let unit_ref = &unit;
+            let nonzero_ref = &nonzero;
+            let centroids_ref = &centroids;
+            let partials = kernel::run_chunks(threads, tasks, |(start, assign)| {
+                let mut objective = 0.0;
+                let mut sums = vec![0.0; k * dim];
+                for (i, slot) in assign.iter_mut().enumerate() {
+                    let r = start + i;
+                    if !nonzero_ref[r] {
+                        *slot = 0;
+                        continue;
+                    }
+                    let row = unit_ref.row(r);
+                    let mut best = 0usize;
+                    let mut best_dot = f64::NEG_INFINITY;
+                    for c in 0..k {
+                        let d = dot(row, centroids_ref.row(c));
+                        if d > best_dot {
+                            best_dot = d;
+                            best = c;
+                        }
+                    }
+                    *slot = best;
+                    objective += best_dot;
+                    let acc = &mut sums[best * dim..(best + 1) * dim];
+                    for (a, v) in acc.iter_mut().zip(row) {
+                        *a += v;
                     }
                 }
-                assignments[r] = best;
-                objective += best_dot;
+                (objective, sums)
+            });
+
+            let mut objective = 0.0;
+            let mut flat_sums = vec![0.0; k * dim];
+            for (obj, sums) in partials {
+                objective += obj;
+                for (a, v) in flat_sums.iter_mut().zip(&sums) {
+                    *a += v;
+                }
             }
             objective /= n as f64;
 
             // Update: renormalized member sums.
-            let mut sums = DenseMatrix::zeros(self.k, dim);
-            for r in 0..n {
-                if !nonzero[r] {
-                    continue;
-                }
-                let acc = sums.row_mut(assignments[r]);
-                for (a, v) in acc.iter_mut().zip(unit.row(r)) {
-                    *a += v;
-                }
-            }
+            let mut sums = DenseMatrix::from_flat(self.k, dim, flat_sums);
             sums.normalize_rows();
             // Keep previous direction for clusters that lost all members.
             for c in 0..self.k {
@@ -247,6 +285,27 @@ mod tests {
         let a = SphericalKMeans::new(2).seed(9).fit(&m);
         let b = SphericalKMeans::new(2).seed(9).fit(&m);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_counts_are_byte_identical() {
+        // Enough rows to span several reduction chunks.
+        let rows: Vec<Vec<f64>> = (0..600)
+            .map(|i| {
+                let s = 1.0 + (i % 7) as f64;
+                if i % 2 == 0 {
+                    vec![s, 0.1 * s, 0.0]
+                } else {
+                    vec![0.0, 0.12 * s, s]
+                }
+            })
+            .collect();
+        let m = DenseMatrix::from_rows(&rows);
+        let serial = SphericalKMeans::new(3).seed(5).fit(&m);
+        for threads in [2, 4, 9] {
+            let parallel = SphericalKMeans::new(3).seed(5).threads(threads).fit(&m);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

