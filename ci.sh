@@ -15,6 +15,12 @@ echo "== kmeans kernel perf gate (quick) =="
 # kernel regresses past 2x the seed reference on the reduced cohort.
 cargo run -q -p ada-bench --release --bin kmeans_perf -- --quick
 
+echo "== observability smoke gate =="
+# End-to-end session with tracing on: observer-on vs observer-off
+# reports must match, the exported session record must validate against
+# ada-kdb::schema, and kernel tracing overhead must stay within 5%.
+cargo run -q -p ada-bench --release --bin obs_smoke
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

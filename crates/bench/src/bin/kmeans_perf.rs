@@ -26,7 +26,10 @@
 //! Modes:
 //!
 //! * full (default): paper-scale sweep, writes `BENCH_kmeans.json`
-//!   (override the path with `--out PATH`);
+//!   (override the path with `--out PATH`) including a row-parallel
+//!   scaling column — the pruned kernel timed at each power-of-two
+//!   worker count up to the available cores, every point verified
+//!   bit-identical to the serial run;
 //! * `--quick`: reduced cohort and K set for CI — fails (non-zero exit)
 //!   on any kernel mismatch or when the pruned kernel regresses to more
 //!   than 2× the reference wall time. No JSON is written.
@@ -55,6 +58,10 @@ struct KReport {
     distance_evals_unpruned: u64,
     distance_evals_pruned: u64,
     bound_skips: u64,
+    /// Pruned-kernel wall time at each explicit worker count
+    /// (`(threads, ms)`), bit-identical to the serial result at every
+    /// point. Empty in quick mode.
+    row_parallel_scaling: Vec<(usize, f64)>,
 }
 
 fn best_of<T>(reps: usize, mut run: impl FnMut() -> T) -> (f64, T) {
@@ -69,7 +76,7 @@ fn best_of<T>(reps: usize, mut run: impl FnMut() -> T) -> (f64, T) {
     (best, out.expect("at least one rep"))
 }
 
-fn sweep_k(matrix: &DenseMatrix, k: usize, threads: usize) -> KReport {
+fn sweep_k(matrix: &DenseMatrix, k: usize, threads: usize, scaling: &[usize]) -> KReport {
     let start = init::initial_centroids(matrix, k, KMeansInit::KMeansPlusPlus, 0);
 
     let (reference_ms, reference) = best_of(REPS, || {
@@ -82,6 +89,18 @@ fn sweep_k(matrix: &DenseMatrix, k: usize, threads: usize) -> KReport {
     let (serial_unpruned_ms, (unpruned, unpruned_stats)) = variant(false, 1);
     let (serial_pruned_ms, (pruned, pruned_stats)) = variant(true, 1);
     let (parallel_pruned_ms, (parallel, _)) = variant(true, threads);
+
+    // Row-parallel scaling column (ROADMAP open item): the pruned
+    // kernel at each explicit worker count, every point checked
+    // bit-identical against the serial run before its timing counts.
+    let row_parallel_scaling: Vec<(usize, f64)> = scaling
+        .iter()
+        .map(|&t| {
+            let (ms, (result, _)) = variant(true, t);
+            assert_eq!(pruned, result, "k = {k}: {t} workers changed the result");
+            (t, ms)
+        })
+        .collect();
 
     // Correctness gates: the kernel variants must be bit-identical.
     assert_eq!(unpruned, pruned, "k = {k}: pruning changed the result");
@@ -110,6 +129,7 @@ fn sweep_k(matrix: &DenseMatrix, k: usize, threads: usize) -> KReport {
         distance_evals_unpruned: unpruned_stats.distance_evals,
         distance_evals_pruned: pruned_stats.distance_evals,
         bound_skips: pruned_stats.bound_skips,
+        row_parallel_scaling,
     }
 }
 
@@ -131,6 +151,18 @@ fn main() {
     } else {
         (paper_log(), vec![6, 7, 8, 9, 10, 12, 15, 20])
     };
+    // Scaling points: powers of two up to the core count, plus the core
+    // count itself. On a 1-core box this degenerates honestly to [1].
+    let scaling_threads: Vec<usize> = if quick {
+        Vec::new()
+    } else {
+        let mut points: Vec<usize> = (0..)
+            .map(|p| 1usize << p)
+            .take_while(|&t| t < threads_available)
+            .collect();
+        points.push(threads_available);
+        points
+    };
     let pv = VsmBuilder::new().normalize(true).build(&log);
     let matrix = &pv.matrix;
     println!(
@@ -146,7 +178,10 @@ fn main() {
         "K", "iters", "ref ms", "serial ms", "pruned ms", "par ms", "dist-eval", "skip%"
     );
 
-    let reports: Vec<KReport> = ks.iter().map(|&k| sweep_k(matrix, k, 0)).collect();
+    let reports: Vec<KReport> = ks
+        .iter()
+        .map(|&k| sweep_k(matrix, k, 0, &scaling_threads))
+        .collect();
     for r in &reports {
         let skip_pct =
             100.0 * r.bound_skips as f64 / (r.bound_skips + r.distance_evals_pruned).max(1) as f64;
@@ -161,6 +196,14 @@ fn main() {
             r.distance_evals_pruned,
             skip_pct
         );
+        if !r.row_parallel_scaling.is_empty() {
+            let column: Vec<String> = r
+                .row_parallel_scaling
+                .iter()
+                .map(|(t, ms)| format!("{t}w {ms:.1} ms"))
+                .collect();
+            println!("     row-parallel scaling: {}", column.join(", "));
+        }
     }
 
     let total = |f: fn(&KReport) -> f64| -> f64 { reports.iter().map(f).sum() };
@@ -207,7 +250,7 @@ fn main() {
              \"reference_ms\": {:.2}, \"serial_unpruned_ms\": {:.2}, \
              \"serial_pruned_ms\": {:.2}, \"parallel_pruned_ms\": {:.2}, \
              \"distance_evals_unpruned\": {}, \"distance_evals_pruned\": {}, \
-             \"bound_skips\": {}}}{comma}",
+             \"bound_skips\": {}, \"row_parallel_scaling\": [{}]}}{comma}",
             r.k,
             r.iterations,
             r.reference_iterations,
@@ -218,7 +261,12 @@ fn main() {
             r.parallel_pruned_ms,
             r.distance_evals_unpruned,
             r.distance_evals_pruned,
-            r.bound_skips
+            r.bound_skips,
+            r.row_parallel_scaling
+                .iter()
+                .map(|(t, ms)| format!("{{\"threads\": {t}, \"ms\": {ms:.2}}}"))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     let _ = writeln!(json, "  ],");

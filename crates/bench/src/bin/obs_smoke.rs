@@ -1,0 +1,168 @@
+//! Observability smoke gate for CI.
+//!
+//! Three checks, any failure exits non-zero:
+//!
+//! 1. **Determinism** — a quick end-to-end pipeline run with the flight
+//!    recorder attached must produce a report identical to an
+//!    unobserved run, with zero dropped trace events.
+//! 2. **Session record** — the recorder's terminal document validates
+//!    against `ada_kdb::schema`, persists into the `sessions`
+//!    collection, reads back via `past_sessions`, and exports as JSON.
+//! 3. **Overhead** — on the quick K-means cohort, the instrumented
+//!    kernel path (`fit_with_stats` + counter emission into a live
+//!    recorder, wrapped in a span) must stay within 5% of the plain
+//!    `fit` wall time and assign every row byte-identically.
+//!
+//! Run: `cargo run -p ada-bench --release --bin obs_smoke`
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ada_bench::bench_log;
+use ada_core::{AdaHealth, AdaHealthConfig, PipelineStage, RunControl};
+use ada_kdb::{schema, Kdb, Value};
+use ada_mining::kmeans::KMeans;
+use ada_obs::{document_to_json, past_sessions, FlightRecorder};
+use ada_vsm::VsmBuilder;
+
+/// Wall-clock repetitions per timed variant; the minimum is compared.
+const REPS: usize = 7;
+
+/// Overhead budget for the instrumented kernel path (ISSUE 3 gate).
+const MAX_OVERHEAD: f64 = 0.05;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    exit(1);
+}
+
+/// Paired timing: alternates the two variants within every repetition
+/// so scheduler and clock drift hit both sides equally, then compares
+/// the per-variant minima. Returns `(ms_a, ms_b, value_a, value_b)`.
+fn paired_best_of<T>(
+    reps: usize,
+    mut run_a: impl FnMut() -> T,
+    mut run_b: impl FnMut() -> T,
+) -> (f64, f64, T, T) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut out_a = None;
+    let mut out_b = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        out_a = Some(run_a());
+        best_a = best_a.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        out_b = Some(run_b());
+        best_b = best_b.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (
+        best_a,
+        best_b,
+        out_a.expect("at least one rep"),
+        out_b.expect("at least one rep"),
+    )
+}
+
+fn main() {
+    let log = bench_log();
+
+    // 1. Observer on vs off: the reports must match field-for-field.
+    let config = AdaHealthConfig::quick("obs-smoke");
+    let report_off = AdaHealth::with_kdb(config.clone(), Kdb::in_memory())
+        .run_controlled(&log, &RunControl::new())
+        .unwrap_or_else(|e| fail(&format!("unobserved run failed: {e}")));
+    let recorder = Arc::new(FlightRecorder::new(1024));
+    let control = RunControl::new().with_observer(recorder.clone());
+    let report_on = AdaHealth::with_kdb(config, Kdb::in_memory())
+        .run_controlled(&log, &control)
+        .unwrap_or_else(|e| fail(&format!("observed run failed: {e}")));
+    if report_off != report_on {
+        fail("observer-on vs observer-off pipeline reports differ");
+    }
+    if recorder.dropped() != 0 {
+        fail("flight recorder dropped trace events on the smoke cohort");
+    }
+    println!("determinism: observed and unobserved reports identical");
+
+    // 2. Terminal session record: schema-validated persist + read-back
+    // + JSON export. `persist` runs `validate_session_doc` internally;
+    // a malformed document fails here.
+    let mut db = Kdb::in_memory();
+    schema::init_schema(&mut db).unwrap_or_else(|e| fail(&format!("schema init failed: {e}")));
+    recorder
+        .persist(&mut db, "obs-smoke", "completed", "")
+        .unwrap_or_else(|e| fail(&format!("session record rejected by schema: {e}")));
+    let past = past_sessions(&db);
+    if past.len() != 1 {
+        fail(&format!(
+            "expected 1 persisted session, found {}",
+            past.len()
+        ));
+    }
+    let doc = &past[0].1;
+    schema::validate_session_doc(doc)
+        .unwrap_or_else(|e| fail(&format!("read-back record invalid: {e}")));
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .map_or(0, |spans| spans.len());
+    if spans <= PipelineStage::ALL.len() {
+        fail(&format!("span tree too small: {spans} spans"));
+    }
+    let json = document_to_json(doc);
+    for key in ["\"spans\"", "\"stages\"", "\"counters\"", "\"state\""] {
+        if !json.contains(key) {
+            fail(&format!("exported JSON is missing {key}"));
+        }
+    }
+    println!(
+        "session record: {spans} spans, {} bytes of JSON",
+        json.len()
+    );
+
+    // 3. Kernel overhead: instrumented path vs plain path on the quick
+    // cohort, byte-identical assignments required.
+    let matrix = VsmBuilder::new().normalize(true).build(&log).matrix;
+    let live = Arc::new(FlightRecorder::new(4096));
+    let observed = RunControl::new()
+        .with_session("obs-overhead")
+        .with_observer(live.clone());
+    let mut base_total = 0.0;
+    let mut obs_total = 0.0;
+    for k in [8, 16] {
+        let kmeans = KMeans::new(k).seed(7).prune(true).threads(1);
+        let (base_ms, obs_ms, plain, traced) = paired_best_of(
+            REPS,
+            || kmeans.fit(&matrix),
+            || {
+                observed.span(PipelineStage::Optimize, &format!("smoke:k={k}"), || {
+                    let (result, stats) = kmeans.fit_with_stats(&matrix);
+                    observed.counters(PipelineStage::Optimize, &stats.as_pairs());
+                    result
+                })
+            },
+        );
+        if plain.assignments != traced.assignments {
+            fail(&format!("k = {k}: tracing changed cluster assignments"));
+        }
+        base_total += base_ms;
+        obs_total += obs_ms;
+    }
+    let overhead = (obs_total - base_total) / base_total;
+    println!(
+        "tracing overhead: plain {base_total:.1} ms, recorded {obs_total:.1} ms \
+         ({:+.2}%)",
+        overhead * 100.0
+    );
+    if overhead > MAX_OVERHEAD {
+        fail(&format!(
+            "tracing overhead {:.2}% exceeds the {:.0}% budget",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        ));
+    }
+
+    println!("obs smoke gate passed.");
+}

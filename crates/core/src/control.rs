@@ -59,6 +59,20 @@ impl PipelineStage {
         PipelineStage::Navigation,
     ];
 
+    /// Position of the stage in [`PipelineStage::ALL`]: a dense, stable
+    /// index for per-stage arrays (histogram banks, span grouping).
+    pub fn index(self) -> usize {
+        match self {
+            PipelineStage::Characterize => 0,
+            PipelineStage::Transform => 1,
+            PipelineStage::PartialMining => 2,
+            PipelineStage::Optimize => 3,
+            PipelineStage::KnowledgeExtraction => 4,
+            PipelineStage::GoalIdentification => 5,
+            PipelineStage::Navigation => 6,
+        }
+    }
+
     /// Stable lowercase name (used in logs and metrics keys).
     pub fn name(self) -> &'static str {
         match self {
@@ -124,6 +138,27 @@ pub trait PipelineObserver: Send + Sync {
     fn on_stage_end(&self, session: &str, stage: PipelineStage, elapsed: Duration) {
         let _ = (session, stage, elapsed);
     }
+
+    /// A named unit of work *inside* `stage` began — a partial-mining
+    /// ladder rung (`rung:0.20`), an optimizer sweep point
+    /// (`sweep:k=8`). May be called from worker threads; at any instant
+    /// the open sub-span names of one session are distinct, so
+    /// start/end events pair by `(session, stage, name)`.
+    fn on_span_start(&self, session: &str, stage: PipelineStage, name: &str) {
+        let _ = (session, stage, name);
+    }
+
+    /// A named unit of work inside `stage` finished after `elapsed`.
+    fn on_span_end(&self, session: &str, stage: PipelineStage, name: &str, elapsed: Duration) {
+        let _ = (session, stage, name, elapsed);
+    }
+
+    /// Kernel instrumentation counters attributed to the innermost open
+    /// span of `stage` (stable `(name, value)` pairs; values accumulate
+    /// across events).
+    fn on_counters(&self, session: &str, stage: PipelineStage, counters: &[(&'static str, u64)]) {
+        let _ = (session, stage, counters);
+    }
 }
 
 /// An observer that ignores every event.
@@ -138,6 +173,7 @@ pub struct RunControl {
     cancel: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
     observer: Option<Arc<dyn PipelineObserver>>,
+    session: Option<Arc<str>>,
 }
 
 impl fmt::Debug for RunControl {
@@ -178,6 +214,26 @@ impl RunControl {
         self
     }
 
+    /// Labels the control with a session name; sub-span and counter
+    /// events emitted from inner loops (which have no session parameter
+    /// of their own) carry this label.
+    #[must_use]
+    pub fn with_session(mut self, session: &str) -> Self {
+        self.session = Some(Arc::from(session));
+        self
+    }
+
+    /// The session label (empty when none was attached).
+    pub fn session(&self) -> &str {
+        self.session.as_deref().unwrap_or("")
+    }
+
+    /// Whether an observer is attached (lets hot loops skip building
+    /// event payloads nobody would receive).
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
         self.cancel
@@ -215,6 +271,30 @@ impl RunControl {
             obs.on_stage_end(session, stage, started.elapsed());
         }
         Ok(result)
+    }
+
+    /// Brackets `work` with sub-span observer events (no checkpoint —
+    /// callers poll separately). Safe to call from worker threads; the
+    /// events carry the control's session label. Unlike [`RunControl::stage`],
+    /// the end event fires even when `work` itself is fallible and
+    /// fails — the span measures the attempt.
+    pub fn span<T>(&self, stage: PipelineStage, name: &str, work: impl FnOnce() -> T) -> T {
+        let Some(obs) = &self.observer else {
+            return work();
+        };
+        obs.on_span_start(self.session(), stage, name);
+        let started = Instant::now();
+        let out = work();
+        obs.on_span_end(self.session(), stage, name, started.elapsed());
+        out
+    }
+
+    /// Forwards kernel counters to the observer, attributed to the
+    /// innermost open span of `stage`. A no-op without an observer.
+    pub fn counters(&self, stage: PipelineStage, counters: &[(&'static str, u64)]) {
+        if let Some(obs) = &self.observer {
+            obs.on_counters(self.session(), stage, counters);
+        }
     }
 }
 

@@ -209,22 +209,26 @@ impl Optimizer {
     /// level (a standalone evaluation has no sibling workers to share
     /// with).
     pub fn evaluate_k(&self, matrix: &DenseMatrix, k: usize) -> KEvaluation {
-        self.evaluate_k_with_threads(matrix, k, self.resolved_budget())
+        self.evaluate_k_with_threads(matrix, k, self.resolved_budget(), &RunControl::new())
     }
 
     /// Evaluates one K value driving the Lloyd kernel with `row_threads`
-    /// worker threads (identical output for every value).
+    /// worker threads (identical output for every value). Kernel
+    /// counters are forwarded to `control`'s observer, if any —
+    /// instrumentation only, never part of the result.
     fn evaluate_k_with_threads(
         &self,
         matrix: &DenseMatrix,
         k: usize,
         row_threads: usize,
+        control: &RunControl,
     ) -> KEvaluation {
-        let result = KMeans::new(k)
+        let (result, stats) = KMeans::new(k)
             .seed(self.seed)
             .backend(self.backend)
             .threads(row_threads)
-            .fit(matrix);
+            .fit_with_stats(matrix);
+        control.counters(PipelineStage::Optimize, &stats.as_pairs());
         let overall_similarity = cluster::overall_similarity(matrix, &result.assignments, k);
         let cm = match &self.classifier {
             RobustnessClassifier::DecisionTree(config) => validate::cross_validate(
@@ -308,7 +312,14 @@ impl Optimizer {
                             if control.is_cancelled() {
                                 return None;
                             }
-                            Some(self.evaluate_k_with_threads(matrix, k, row_threads))
+                            // Sweep-point sub-spans may start on any
+                            // worker thread; names are unique per K so
+                            // observers pair start/end by name.
+                            Some(control.span(
+                                PipelineStage::Optimize,
+                                &format!("sweep:k={k}"),
+                                || self.evaluate_k_with_threads(matrix, k, row_threads, control),
+                            ))
                         })
                     })
                     .collect();
@@ -334,7 +345,11 @@ impl Optimizer {
                 .iter()
                 .map(|&k| {
                     control.checkpoint(PipelineStage::Optimize)?;
-                    Ok(self.evaluate_k(matrix, k))
+                    Ok(
+                        control.span(PipelineStage::Optimize, &format!("sweep:k={k}"), || {
+                            self.evaluate_k_with_threads(matrix, k, self.resolved_budget(), control)
+                        }),
+                    )
                 })
                 .collect::<Result<_, _>>()?
         };

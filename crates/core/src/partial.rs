@@ -37,7 +37,7 @@
 
 use ada_dataset::ExamLog;
 use ada_metrics::cluster;
-use ada_mining::kmeans::KMeans;
+use ada_mining::kmeans::{KMeans, KernelStats};
 use ada_vsm::{DenseMatrix, VsmBuilder, Weighting};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -256,59 +256,77 @@ impl HorizontalPartialMiner {
         let mut raw: Vec<RawStep> = Vec::with_capacity(fractions.len());
         for &fraction in &fractions {
             control.checkpoint(PipelineStage::PartialMining)?;
-            let included = ((fraction * n_types as f64).ceil() as usize).clamp(1, n_types);
-            let features = order[..included].to_vec();
-            let covered: usize = features.iter().map(|e| freq[e.index()]).sum();
-            let is_full = included == n_types;
-            // A cold full step reuses the id-order reference matrix; a
-            // warm chain needs the frequency-order build so the carried
-            // centroids stay column-aligned. Similarity scoring is
-            // column-permutation invariant either way.
-            let owned_pv;
-            let matrix: &DenseMatrix = if is_full && !self.warm_start {
-                &full.matrix
-            } else {
-                owned_pv = VsmBuilder::new()
-                    .weighting(self.weighting)
-                    .normalize(self.normalize)
-                    .features(features)
-                    .build(log);
-                &owned_pv.matrix
-            };
-            let mut per_k = Vec::with_capacity(self.ks.len());
-            let mut partitions = Vec::with_capacity(self.ks.len());
-            let mut kmeans_iterations = 0usize;
-            for (ki, &k) in self.ks.iter().enumerate() {
-                let mut sim_acc = 0.0;
-                let mut k_parts = Vec::with_capacity(restarts);
-                for r in 0..restarts {
-                    control.checkpoint(PipelineStage::PartialMining)?;
-                    let seed = self.seed.wrapping_add(1_000 * r as u64);
-                    let config = KMeans::new(k).seed(seed).threads(self.threads);
-                    let result = match carried[ki][r].take() {
-                        Some(prev) => {
-                            config.fit_from(matrix, pad_centroids(&prev, matrix.num_cols()))
-                        }
-                        None => config.fit(matrix),
+            // Each rung is a sub-span; rung names are unique within the
+            // run (fractions are sorted and deduplicated by growth), so
+            // an observer can pair start/end events by name. Kernel
+            // counters aggregate over every (K, restart) run of the rung
+            // and are emitted while the rung span is still open.
+            let step = control.span(
+                PipelineStage::PartialMining,
+                &format!("rung:{fraction:.2}"),
+                || -> Result<RawStep, PipelineError> {
+                    let included = ((fraction * n_types as f64).ceil() as usize).clamp(1, n_types);
+                    let features = order[..included].to_vec();
+                    let covered: usize = features.iter().map(|e| freq[e.index()]).sum();
+                    let is_full = included == n_types;
+                    // A cold full step reuses the id-order reference
+                    // matrix; a warm chain needs the frequency-order
+                    // build so the carried centroids stay column-aligned.
+                    // Similarity scoring is column-permutation invariant
+                    // either way.
+                    let owned_pv;
+                    let matrix: &DenseMatrix = if is_full && !self.warm_start {
+                        &full.matrix
+                    } else {
+                        owned_pv = VsmBuilder::new()
+                            .weighting(self.weighting)
+                            .normalize(self.normalize)
+                            .features(features)
+                            .build(log);
+                        &owned_pv.matrix
                     };
-                    kmeans_iterations += result.iterations;
-                    sim_acc += cluster::overall_similarity(&full.matrix, &result.assignments, k);
-                    if self.warm_start {
-                        carried[ki][r] = Some(result.centroids);
+                    let mut per_k = Vec::with_capacity(self.ks.len());
+                    let mut partitions = Vec::with_capacity(self.ks.len());
+                    let mut kmeans_iterations = 0usize;
+                    let mut rung_stats = KernelStats::default();
+                    for (ki, &k) in self.ks.iter().enumerate() {
+                        let mut sim_acc = 0.0;
+                        let mut k_parts = Vec::with_capacity(restarts);
+                        for r in 0..restarts {
+                            control.checkpoint(PipelineStage::PartialMining)?;
+                            let seed = self.seed.wrapping_add(1_000 * r as u64);
+                            let config = KMeans::new(k).seed(seed).threads(self.threads);
+                            let (result, stats) = match carried[ki][r].take() {
+                                Some(prev) => config.fit_from_with_stats(
+                                    matrix,
+                                    pad_centroids(&prev, matrix.num_cols()),
+                                ),
+                                None => config.fit_with_stats(matrix),
+                            };
+                            rung_stats.merge(&stats);
+                            kmeans_iterations += result.iterations;
+                            sim_acc +=
+                                cluster::overall_similarity(&full.matrix, &result.assignments, k);
+                            if self.warm_start {
+                                carried[ki][r] = Some(result.centroids);
+                            }
+                            k_parts.push(result.assignments);
+                        }
+                        per_k.push((k, sim_acc / restarts as f64));
+                        partitions.push(k_parts);
                     }
-                    k_parts.push(result.assignments);
-                }
-                per_k.push((k, sim_acc / restarts as f64));
-                partitions.push(k_parts);
-            }
-            raw.push(RawStep {
-                fraction,
-                included,
-                covered,
-                kmeans_iterations,
-                per_k,
-                partitions,
-            });
+                    control.counters(PipelineStage::PartialMining, &rung_stats.as_pairs());
+                    Ok(RawStep {
+                        fraction,
+                        included,
+                        covered,
+                        kmeans_iterations,
+                        per_k,
+                        partitions,
+                    })
+                },
+            )?;
+            raw.push(step);
         }
 
         // Agreement: restart-paired adjusted Rand index against the

@@ -373,6 +373,10 @@ impl AdaHealth {
         control: &RunControl,
     ) -> Result<SessionReport, PipelineError> {
         let session = self.config.session.clone();
+        // Inner loops (partial-mining rungs, sweep points) emit sub-span
+        // and counter events through the control; label it so those
+        // events carry the session name the stage events use.
+        let control = &control.clone().with_session(&session);
         let taxonomy = log.taxonomy();
 
         // 1. Characterization. The descriptor document also carries the
@@ -451,9 +455,13 @@ impl AdaHealth {
         let (clusters, mined_rules, items) =
             control.stage(&session, PipelineStage::KnowledgeExtraction, || {
                 // 5a. Final clustering at the selected K -> cluster knowledge.
-                let final_clustering = KMeans::new(k)
+                let (final_clustering, kernel_stats) = KMeans::new(k)
                     .seed(self.config.optimizer.seed)
-                    .fit(&pv.matrix);
+                    .fit_with_stats(&pv.matrix);
+                control.counters(
+                    PipelineStage::KnowledgeExtraction,
+                    &kernel_stats.as_pairs(),
+                );
                 let mut clusters = Vec::with_capacity(k);
                 let mut items: Vec<KnowledgeItem> = Vec::new();
                 let sizes = final_clustering.cluster_sizes();

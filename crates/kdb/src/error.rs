@@ -17,6 +17,8 @@ pub enum KdbError {
     Decode(usize, String),
     /// Malformed journal entry: (line number, reason).
     Journal(usize, String),
+    /// A document violated a typed schema contract (reason).
+    Schema(String),
     /// Underlying I/O failure (stringified to keep the error comparable).
     Io(String),
 }
@@ -32,6 +34,7 @@ impl fmt::Display for KdbError {
                 write!(f, "decode error at byte {offset}: {reason}")
             }
             Self::Journal(line, reason) => write!(f, "journal error at line {line}: {reason}"),
+            Self::Schema(reason) => write!(f, "schema violation: {reason}"),
             Self::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }

@@ -29,6 +29,11 @@ pub mod names {
     pub const PATTERN_KNOWLEDGE: &str = "pattern_knowledge";
     /// (6) User interaction feedbacks.
     pub const FEEDBACK: &str = "feedback";
+    /// Operational: terminal analysis-session records — span tree,
+    /// per-stage latency histograms, kernel counters — persisted by the
+    /// flight recorder so a restarted service can answer questions
+    /// about past runs. Not one of the paper's six data collections.
+    pub const SESSIONS: &str = "sessions";
 
     /// All six, in paper order.
     pub const ALL: [&str; 6] = [
@@ -38,6 +43,18 @@ pub mod names {
         CLUSTER_KNOWLEDGE,
         PATTERN_KNOWLEDGE,
         FEEDBACK,
+    ];
+
+    /// Every collection the schema manages: the paper's six plus the
+    /// operational session-history collection.
+    pub const ALL_WITH_OPS: [&str; 7] = [
+        RAW_DATA,
+        TRANSFORMED_DATA,
+        DESCRIPTORS,
+        CLUSTER_KNOWLEDGE,
+        PATTERN_KNOWLEDGE,
+        FEEDBACK,
+        SESSIONS,
     ];
 }
 
@@ -94,7 +111,7 @@ impl std::fmt::Display for Interestingness {
 /// # Errors
 /// Returns journal I/O errors.
 pub fn init_schema(db: &mut Kdb) -> Result<(), KdbError> {
-    for name in names::ALL {
+    for name in names::ALL_WITH_OPS {
         db.ensure_collection(name)?;
     }
     for coll in [names::CLUSTER_KNOWLEDGE, names::PATTERN_KNOWLEDGE] {
@@ -113,7 +130,130 @@ pub fn init_schema(db: &mut Kdb) -> Result<(), KdbError> {
             db.create_index(coll, "session")?;
         }
     }
+    for path in ["session", "state"] {
+        if !db
+            .collection(names::SESSIONS)
+            .expect("just created")
+            .has_index(path)
+        {
+            db.create_index(names::SESSIONS, path)?;
+        }
+    }
     Ok(())
+}
+
+/// The states a persisted session record may carry (terminal states of
+/// the service lifecycle).
+pub const SESSION_TERMINAL_STATES: [&str; 3] = ["completed", "failed", "cancelled"];
+
+/// Validates a session record against the `sessions` collection schema.
+///
+/// Required shape (see DESIGN.md §9):
+///
+/// * `session` — non-empty string;
+/// * `state` — one of [`SESSION_TERMINAL_STATES`];
+/// * `spans` — array of span documents, each with a non-empty string
+///   `name`, integer `parent` (−1 for the root, otherwise the index of
+///   an *earlier* span in the array), and non-negative integers
+///   `start_ns` / `dur_ns`;
+/// * `stages` — array of per-stage histogram documents, each with a
+///   string `stage` and non-negative integers `count`, `p50_ns`,
+///   `p90_ns`, `p99_ns`;
+/// * `counters` — nested document whose values are all non-negative
+///   integers (the kernel counters).
+///
+/// # Errors
+/// Returns [`KdbError::Schema`] naming the first violated rule.
+pub fn validate_session_doc(doc: &Document) -> Result<(), KdbError> {
+    let bad = |reason: String| Err(KdbError::Schema(reason));
+    match doc.get("session").and_then(Value::as_str) {
+        Some(s) if !s.is_empty() => {}
+        _ => return bad("sessions: `session` must be a non-empty string".into()),
+    }
+    match doc.get("state").and_then(Value::as_str) {
+        Some(s) if SESSION_TERMINAL_STATES.contains(&s) => {}
+        other => {
+            return bad(format!(
+                "sessions: `state` must be one of {SESSION_TERMINAL_STATES:?}, got {other:?}"
+            ))
+        }
+    }
+    let Some(spans) = doc.get("spans").and_then(Value::as_array) else {
+        return bad("sessions: `spans` must be an array".into());
+    };
+    for (i, span) in spans.iter().enumerate() {
+        let Some(span) = span.as_doc() else {
+            return bad(format!("sessions: spans[{i}] must be a document"));
+        };
+        match span.get("name").and_then(Value::as_str) {
+            Some(n) if !n.is_empty() => {}
+            _ => return bad(format!("sessions: spans[{i}].name must be non-empty")),
+        }
+        match span.get("parent").and_then(Value::as_i64) {
+            Some(-1) => {}
+            Some(p) if p >= 0 && (p as usize) < i => {}
+            other => {
+                return bad(format!(
+                    "sessions: spans[{i}].parent must be -1 or an earlier index, got {other:?}"
+                ))
+            }
+        }
+        for key in ["start_ns", "dur_ns"] {
+            match span.get(key).and_then(Value::as_i64) {
+                Some(v) if v >= 0 => {}
+                _ => {
+                    return bad(format!(
+                        "sessions: spans[{i}].{key} must be a non-negative integer"
+                    ))
+                }
+            }
+        }
+    }
+    let Some(stages) = doc.get("stages").and_then(Value::as_array) else {
+        return bad("sessions: `stages` must be an array".into());
+    };
+    for (i, stage) in stages.iter().enumerate() {
+        let Some(stage) = stage.as_doc() else {
+            return bad(format!("sessions: stages[{i}] must be a document"));
+        };
+        if stage.get("stage").and_then(Value::as_str).is_none() {
+            return bad(format!("sessions: stages[{i}].stage must be a string"));
+        }
+        for key in ["count", "p50_ns", "p90_ns", "p99_ns"] {
+            match stage.get(key).and_then(Value::as_i64) {
+                Some(v) if v >= 0 => {}
+                _ => {
+                    return bad(format!(
+                        "sessions: stages[{i}].{key} must be a non-negative integer"
+                    ))
+                }
+            }
+        }
+    }
+    let Some(counters) = doc.get("counters").and_then(Value::as_doc) else {
+        return bad("sessions: `counters` must be a document".into());
+    };
+    for (key, value) in counters.iter() {
+        match value.as_i64() {
+            Some(v) if v >= 0 => {}
+            _ => {
+                return bad(format!(
+                    "sessions: counters.{key} must be a non-negative integer"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates and inserts a terminal session record.
+///
+/// # Errors
+/// Returns [`KdbError::Schema`] on a malformed record, otherwise store
+/// errors (missing collection / journal I/O).
+pub fn insert_session_record(db: &mut Kdb, record: Document) -> Result<DocId, KdbError> {
+    validate_session_doc(&record)?;
+    db.insert(names::SESSIONS, record)
 }
 
 /// Inserts a clustering knowledge item.
@@ -269,6 +409,104 @@ mod tests {
             feedback[0].1.get("interest").unwrap().as_str(),
             Some("high")
         );
+    }
+
+    fn sample_session_doc() -> Document {
+        let span = |name: &str, parent: i64, start: i64, dur: i64| {
+            Value::Doc(
+                Document::new()
+                    .with("name", name)
+                    .with("parent", parent)
+                    .with("start_ns", start)
+                    .with("dur_ns", dur),
+            )
+        };
+        let stage = Value::Doc(
+            Document::new()
+                .with("stage", "optimize")
+                .with("count", 1i64)
+                .with("p50_ns", 100i64)
+                .with("p90_ns", 100i64)
+                .with("p99_ns", 100i64),
+        );
+        Document::new()
+            .with("session", "s1")
+            .with("state", "completed")
+            .with(
+                "spans",
+                Value::Array(vec![
+                    span("session", -1, 0, 500),
+                    span("optimize", 0, 10, 200),
+                    span("sweep:k=8", 1, 20, 90),
+                ]),
+            )
+            .with("stages", Value::Array(vec![stage]))
+            .with(
+                "counters",
+                Value::Doc(Document::new().with("iterations", 12i64)),
+            )
+    }
+
+    #[test]
+    fn session_records_validate_and_round_trip() {
+        let mut db = Kdb::in_memory();
+        init_schema(&mut db).unwrap();
+        assert!(db.collection(names::SESSIONS).unwrap().has_index("state"));
+        let id = insert_session_record(&mut db, sample_session_doc()).unwrap();
+        let found = db
+            .find(names::SESSIONS, &Filter::eq("session", "s1"))
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, id);
+        validate_session_doc(&found[0].1).unwrap();
+    }
+
+    #[test]
+    fn session_validation_rejects_malformed_records() {
+        let mut db = Kdb::in_memory();
+        init_schema(&mut db).unwrap();
+        let rejects = |doc: Document, what: &str| {
+            let mut db2 = Kdb::in_memory();
+            init_schema(&mut db2).unwrap();
+            assert!(
+                matches!(
+                    insert_session_record(&mut db2, doc),
+                    Err(KdbError::Schema(_))
+                ),
+                "expected rejection: {what}"
+            );
+        };
+        rejects(
+            sample_session_doc().with("state", "running"),
+            "non-terminal state",
+        );
+        rejects(sample_session_doc().with("session", ""), "empty session");
+        rejects(
+            sample_session_doc().with("spans", Value::Null),
+            "missing spans",
+        );
+        rejects(
+            sample_session_doc().with(
+                "spans",
+                Value::Array(vec![Value::Doc(
+                    Document::new()
+                        .with("name", "x")
+                        .with("parent", 5i64) // forward reference
+                        .with("start_ns", 0i64)
+                        .with("dur_ns", 0i64),
+                )]),
+            ),
+            "forward parent reference",
+        );
+        rejects(
+            sample_session_doc().with(
+                "counters",
+                Value::Doc(Document::new().with("iterations", -3i64)),
+            ),
+            "negative counter",
+        );
+        // The rejected inserts must not have left documents behind.
+        assert_eq!(db.collection(names::SESSIONS).unwrap().len(), 0);
     }
 
     #[test]

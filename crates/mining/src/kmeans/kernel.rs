@@ -69,12 +69,53 @@ fn dot4(a: &[f64], b: &[f64]) -> f64 {
 pub(crate) const CHUNK_ROWS: usize = 256;
 
 /// Instrumentation counters of one kernel run.
+///
+/// Purely observational: the counters are accumulated alongside the
+/// arithmetic the kernel performs anyway, so collecting them never
+/// changes assignments, centroids, SSE, or the iteration count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Exact point-to-centroid distance evaluations performed.
     pub distance_evals: u64,
-    /// Points whose k-way scan was skipped by the Hamerly bound test.
+    /// Points whose k-way scan was skipped by the Hamerly bound test
+    /// (either disjunct: lower bound or separation radius).
     pub bound_skips: u64,
+    /// Skips attributable to the centroid-separation radius alone (the
+    /// lower-bound test had already failed); a subset of `bound_skips`.
+    pub sep_test_hits: u64,
+    /// Points that paid for the full k-way assignment scan.
+    pub rows_scanned: u64,
+    /// Lloyd iterations executed (mirrors `KMeansResult::iterations`).
+    pub iterations: u64,
+    /// Row chunks processed across every assignment pass (the unit of
+    /// the deterministic parallel reduction).
+    pub chunks: u64,
+}
+
+impl KernelStats {
+    /// Adds every counter of `other` into `self` (aggregation across
+    /// the runs of a sweep or a partial-mining ladder).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.distance_evals += other.distance_evals;
+        self.bound_skips += other.bound_skips;
+        self.sep_test_hits += other.sep_test_hits;
+        self.rows_scanned += other.rows_scanned;
+        self.iterations += other.iterations;
+        self.chunks += other.chunks;
+    }
+
+    /// The counters as named pairs, in a stable order — the shape
+    /// observer events and session documents carry.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 6] {
+        [
+            ("iterations", self.iterations),
+            ("rows_scanned", self.rows_scanned),
+            ("distance_evals", self.distance_evals),
+            ("bound_skips", self.bound_skips),
+            ("sep_test_hits", self.sep_test_hits),
+            ("chunks", self.chunks),
+        ]
+    }
 }
 
 /// Execution options of the kernel.
@@ -149,6 +190,8 @@ struct AssignPartial {
     counts: Vec<usize>,
     distance_evals: u64,
     bound_skips: u64,
+    sep_test_hits: u64,
+    rows_scanned: u64,
 }
 
 /// One assignment pass over all rows, optionally fused with the
@@ -188,6 +231,7 @@ fn assign_step(
         start += len;
     }
 
+    stats.chunks += tasks.len() as u64;
     let prune = opts.prune;
     let partials = run_chunks(threads, tasks, |chunk: AssignChunk| {
         let mut partial = AssignPartial {
@@ -195,6 +239,8 @@ fn assign_step(
             counts: vec![0usize; if accumulate { k } else { 0 }],
             distance_evals: 0,
             bound_skips: 0,
+            sep_test_hits: 0,
+            rows_scanned: 0,
         };
         for i in 0..chunk.assign.len() {
             let r = chunk.start + i;
@@ -208,9 +254,15 @@ fn assign_step(
             // a lower-indexed centroid).
             let low = chunk.lower[i];
             let passes = move |u: f64, a: usize| u <= low || (prune && u < seps[a]);
+            // Pure accounting: a skip where the lower-bound disjunct
+            // failed was carried by the separation radius alone.
+            let sep_carried = move |u: f64, a: usize| u > low && u < seps[a];
             let skip = prune && passes(chunk.upper[i], chunk.assign[i]);
             if skip {
                 partial.bound_skips += 1;
+                if sep_carried(chunk.upper[i], chunk.assign[i]) {
+                    partial.sep_test_hits += 1;
+                }
             } else {
                 let mut scan = true;
                 if prune {
@@ -224,6 +276,9 @@ fn assign_step(
                     chunk.upper[i] = d;
                     if passes(d, a) {
                         partial.bound_skips += 1;
+                        if sep_carried(d, a) {
+                            partial.sep_test_hits += 1;
+                        }
                         scan = false;
                     }
                 }
@@ -244,6 +299,7 @@ fn assign_step(
                         }
                     }
                     partial.distance_evals += k as u64;
+                    partial.rows_scanned += 1;
                     chunk.assign[i] = best;
                     chunk.upper[i] = best_d2.max(0.0).sqrt();
                     chunk.lower[i] = second_d2.max(0.0).sqrt();
@@ -267,6 +323,8 @@ fn assign_step(
     for partial in partials {
         stats.distance_evals += partial.distance_evals;
         stats.bound_skips += partial.bound_skips;
+        stats.sep_test_hits += partial.sep_test_hits;
+        stats.rows_scanned += partial.rows_scanned;
         if accumulate {
             for (s, p) in sums.iter_mut().zip(&partial.sums) {
                 *s += p;
@@ -566,6 +624,7 @@ pub(crate) fn run(
         );
     }
     let sse = sse_pass(matrix, &centroids, &assignments, threads);
+    stats.iterations = iterations as u64;
     (
         KMeansResult {
             assignments,

@@ -178,7 +178,14 @@ impl KMeans {
         self.fit_from_with_stats(matrix, centroids)
     }
 
-    fn fit_from_with_stats(
+    /// Runs the configured backend from explicit initial centroids and
+    /// additionally reports the kernel's instrumentation counters —
+    /// the warm-started form of [`KMeans::fit_with_stats`], used by the
+    /// partial-mining ladders to aggregate counters across rungs.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch between `matrix` and `centroids`.
+    pub fn fit_from_with_stats(
         &self,
         matrix: &DenseMatrix,
         centroids: DenseMatrix,

@@ -1,0 +1,41 @@
+//! # ada-obs
+//!
+//! Observability for ADA-HEALTH analysis sessions.
+//!
+//! The paper frames ADA-HEALTH as a *service*: analysts submit datasets
+//! and the system runs the seven-stage pipeline on their behalf. A
+//! service needs to be answerable for what it did — which stages ran,
+//! how long each took, how hard the mining kernels worked, and what
+//! happened to a session that finished yesterday. This crate is that
+//! answerability layer, in three pieces:
+//!
+//! * [`trace`] — a lock-free span/event tracer: per-thread ring
+//!   buffers, a global atomic sequence for total ordering, monotonic
+//!   timestamps, and parent/child span ids. Cheap enough to stay on
+//!   during mining.
+//! * [`hist`] — fixed-bucket log2 latency histograms giving p50/p90/p99
+//!   without allocation, replacing total/count pair metrics.
+//! * [`recorder`] — a bounded flight recorder that folds traces into
+//!   per-session span trees, histograms and kernel counters, and on
+//!   terminal state persists one document to the K-DB `sessions`
+//!   collection so a restarted service can answer queries about past
+//!   runs.
+//! * [`export`] — deterministic JSON rendering of K-DB documents for
+//!   the service `snapshot()` endpoint and the CI smoke gate.
+//!
+//! Determinism is non-negotiable: tracing observes the pipeline through
+//! the [`ada_core::control::PipelineObserver`] seam and never feeds
+//! back into it, so clustering output is byte-identical with the
+//! recorder on or off (property-tested in `tests/determinism.rs`).
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod recorder;
+pub mod trace;
+
+pub use export::{document_to_json, value_to_json};
+pub use hist::{HistogramSnapshot, Log2Histogram, NUM_BUCKETS};
+pub use recorder::{past_sessions, FlightRecorder, MARK_CANCELLED, MARK_QUEUE_WAIT, MARK_RETRY};
+pub use trace::{EventKind, TraceEvent, Tracer, PARENT_NONE};

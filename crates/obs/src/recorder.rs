@@ -1,0 +1,659 @@
+//! The bounded flight recorder: session-scoped span trees, per-stage
+//! latency histograms, kernel counters, and a capped recent-event log,
+//! persisted to the K-DB `sessions` collection on terminal state.
+//!
+//! A [`FlightRecorder`] sits behind the [`PipelineObserver`] seam of
+//! `ada-core`: stage events become children of a per-session root span,
+//! sub-span events (partial-mining rungs, optimizer sweep points)
+//! become children of the current stage span, and counter events
+//! accumulate into a per-session counter table. Transport is the
+//! lock-free [`Tracer`] — observer callbacks only take the recorder's
+//! bookkeeping mutex at stage/rung granularity, never inside kernel
+//! loops.
+//!
+//! On a session's terminal state, [`FlightRecorder::finalize`] folds
+//! everything into one K-DB [`Document`] matching
+//! [`ada_kdb::schema::validate_session_doc`]: a `spans` array in
+//! deterministic pre-order (children sorted by `(name, seq)`, parents
+//! always at earlier indexes), a `stages` array of histogram quantiles,
+//! and a `counters` sub-document. The document is stable across runs
+//! modulo timestamps, so a restarted service can diff past sessions.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ada_core::control::{PipelineObserver, PipelineStage};
+use ada_kdb::schema;
+use ada_kdb::{DocId, Document, Kdb, KdbError, Value};
+use parking_lot::Mutex;
+
+use crate::hist::Log2Histogram;
+use crate::trace::{EventKind, TraceEvent, Tracer, PARENT_NONE};
+
+/// Mark name for time a job spent queued before a worker picked it up.
+pub const MARK_QUEUE_WAIT: &str = "queue_wait";
+/// Mark name for a retry of a failed run.
+pub const MARK_RETRY: &str = "retry";
+/// Mark name for an observed cancellation request.
+pub const MARK_CANCELLED: &str = "cancel_requested";
+
+/// Producer-side parentage bookkeeping for one in-flight session.
+struct LiveSession {
+    label: Arc<str>,
+    root: u64,
+    stage: Option<(PipelineStage, u64)>,
+    open: Vec<(PipelineStage, Arc<str>, u64)>,
+}
+
+/// One span reconstructed from Start/End events.
+struct SpanRec {
+    name: Arc<str>,
+    parent: u64,
+    seq: u64,
+    start_ns: u64,
+    dur_ns: Option<u64>,
+}
+
+/// Everything folded so far for one session.
+struct SessionRec {
+    events: VecDeque<TraceEvent>,
+    spans: BTreeMap<u64, SpanRec>,
+    root: Option<u64>,
+    stage_hist: [Log2Histogram; PipelineStage::ALL.len()],
+    counters: BTreeMap<&'static str, u64>,
+    queue_wait_ns: u64,
+    retries: u64,
+}
+
+impl Default for SessionRec {
+    fn default() -> Self {
+        Self {
+            events: VecDeque::new(),
+            spans: BTreeMap::new(),
+            root: None,
+            stage_hist: std::array::from_fn(|_| Log2Histogram::new()),
+            counters: BTreeMap::new(),
+            queue_wait_ns: 0,
+            retries: 0,
+        }
+    }
+}
+
+/// The session flight recorder (see the module docs).
+pub struct FlightRecorder {
+    tracer: Tracer,
+    /// Last-N cap on the per-session recent-event log.
+    capacity: usize,
+    root_name: Arc<str>,
+    counters_name: Arc<str>,
+    live: Mutex<HashMap<String, LiveSession>>,
+    folded: Mutex<HashMap<String, SessionRec>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(512)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events per session (the
+    /// span tree, histograms, and counters are folded from *all*
+    /// events; only the raw recent-event log is capped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            tracer: Tracer::new(8192),
+            capacity: capacity.max(1),
+            root_name: Arc::from("session"),
+            counters_name: Arc::from("counters"),
+            live: Mutex::new(HashMap::new()),
+            folded: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying tracer (tests and the service snapshot use it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Total events lost to ring overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// Records a service-level point event for `session` —
+    /// [`MARK_QUEUE_WAIT`] (with the wait as the duration),
+    /// [`MARK_RETRY`], [`MARK_CANCELLED`].
+    pub fn mark(&self, session: &str, name: &str, duration: Duration) {
+        let label: Arc<str> = Arc::from(session);
+        let name: Arc<str> = Arc::from(name);
+        self.tracer.emit(
+            &label,
+            None,
+            &name,
+            EventKind::Mark {
+                dur_ns: u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX),
+            },
+        );
+    }
+
+    fn live_entry<'a>(
+        &self,
+        map: &'a mut HashMap<String, LiveSession>,
+        session: &str,
+    ) -> &'a mut LiveSession {
+        if !map.contains_key(session) {
+            let label: Arc<str> = Arc::from(session);
+            let root = self.tracer.next_span_id();
+            self.tracer.emit(
+                &label,
+                None,
+                &self.root_name,
+                EventKind::Start {
+                    span: root,
+                    parent: PARENT_NONE,
+                },
+            );
+            map.insert(
+                session.to_string(),
+                LiveSession {
+                    label,
+                    root,
+                    stage: None,
+                    open: Vec::new(),
+                },
+            );
+        }
+        map.get_mut(session).expect("just inserted")
+    }
+
+    /// Drains the tracer and folds every drained event into the
+    /// per-session records. Cheap when nothing is pending; called by
+    /// the accessors and by [`FlightRecorder::finalize`].
+    pub fn sync(&self) {
+        let drained = self.tracer.drain();
+        if drained.is_empty() {
+            return;
+        }
+        let mut folded = self.folded.lock();
+        for event in drained {
+            let rec = folded.entry(event.session.to_string()).or_default();
+            match &event.kind {
+                EventKind::Start { span, parent } => {
+                    if *parent == PARENT_NONE {
+                        rec.root = Some(*span);
+                    }
+                    rec.spans.insert(
+                        *span,
+                        SpanRec {
+                            name: Arc::clone(&event.name),
+                            parent: *parent,
+                            seq: event.seq,
+                            start_ns: event.t_ns,
+                            dur_ns: None,
+                        },
+                    );
+                }
+                EventKind::End { span, dur_ns } => {
+                    if let Some(span) = rec.spans.get_mut(span) {
+                        span.dur_ns = Some(*dur_ns);
+                    }
+                    if let Some(stage) = event.stage {
+                        rec.stage_hist[stage.index()].record(*dur_ns);
+                    }
+                }
+                EventKind::Mark { dur_ns } => match &*event.name {
+                    MARK_QUEUE_WAIT => rec.queue_wait_ns += dur_ns,
+                    MARK_RETRY => rec.retries += 1,
+                    _ => {}
+                },
+                EventKind::Counters { pairs } => {
+                    for (key, value) in pairs {
+                        *rec.counters.entry(key).or_default() += value;
+                    }
+                }
+            }
+            rec.events.push_back(event);
+            while rec.events.len() > self.capacity {
+                rec.events.pop_front();
+            }
+        }
+    }
+
+    /// The capped recent-event log for `session`, in sequence order.
+    pub fn recent_events(&self, session: &str) -> Vec<TraceEvent> {
+        self.sync();
+        self.folded
+            .lock()
+            .get(session)
+            .map(|rec| rec.events.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The folded kernel counters for `session` so far.
+    pub fn session_counters(&self, session: &str) -> BTreeMap<&'static str, u64> {
+        self.sync();
+        self.folded
+            .lock()
+            .get(session)
+            .map(|rec| rec.counters.clone())
+            .unwrap_or_default()
+    }
+
+    /// Folds everything recorded for `session` into its terminal K-DB
+    /// document and forgets the session. `state` must be one of
+    /// [`schema::SESSION_TERMINAL_STATES`] for the document to pass
+    /// validation; `outcome` is a free-form detail string (empty to
+    /// omit).
+    pub fn finalize(&self, session: &str, state: &str, outcome: &str) -> Document {
+        self.sync();
+        self.live.lock().remove(session);
+        let rec = self.folded.lock().remove(session).unwrap_or_default();
+        build_session_doc(session, state, outcome, &rec, self.tracer.dropped())
+    }
+
+    /// [`FlightRecorder::finalize`] + validated insert into the
+    /// `sessions` collection. Returns the document id and the document.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Schema`] on a malformed record, otherwise
+    /// store errors.
+    pub fn persist(
+        &self,
+        db: &mut Kdb,
+        session: &str,
+        state: &str,
+        outcome: &str,
+    ) -> Result<(DocId, Document), KdbError> {
+        let doc = self.finalize(session, state, outcome);
+        let id = schema::insert_session_record(db, doc.clone())?;
+        Ok((id, doc))
+    }
+}
+
+/// All session records currently persisted in `db`, in insertion order.
+/// This is how a restarted service answers queries about past runs.
+pub fn past_sessions(db: &Kdb) -> Vec<(DocId, Document)> {
+    let Some(coll) = db.collection(schema::names::SESSIONS) else {
+        return Vec::new();
+    };
+    let mut rows: Vec<(DocId, Document)> = coll.iter().map(|(id, d)| (id, d.clone())).collect();
+    rows.sort_by_key(|(id, _)| *id);
+    rows
+}
+
+/// Builds the terminal session document (see the module docs for the
+/// shape). Span order is deterministic: pre-order DFS from the root
+/// with children sorted by `(name, seq)`, so parent indexes always
+/// point at earlier array positions.
+fn build_session_doc(
+    session: &str,
+    state: &str,
+    outcome: &str,
+    rec: &SessionRec,
+    dropped: u64,
+) -> Document {
+    let mut spans = Vec::new();
+    if let Some(root) = rec.root {
+        let base = rec.spans.get(&root).map(|s| s.start_ns).unwrap_or(0);
+        // The root closes at finalize: its duration is the extent of
+        // its deepest-reaching descendant.
+        let extent = rec
+            .spans
+            .values()
+            .map(|s| (s.start_ns.saturating_sub(base)) + s.dur_ns.unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        // Child spans grouped by parent id as `(name, seq, span id)`.
+        type ChildIndex<'a> = BTreeMap<u64, Vec<(&'a Arc<str>, u64, u64)>>;
+        let mut children: ChildIndex<'_> = BTreeMap::new();
+        for (&id, span) in &rec.spans {
+            if id != root {
+                children
+                    .entry(span.parent)
+                    .or_default()
+                    .push((&span.name, span.seq, id));
+            }
+        }
+        for list in children.values_mut() {
+            list.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(&b.1)));
+        }
+        let mut stack: Vec<(u64, i64)> = vec![(root, -1)];
+        while let Some((id, parent_idx)) = stack.pop() {
+            let Some(span) = rec.spans.get(&id) else {
+                continue;
+            };
+            let idx = spans.len() as i64;
+            let dur = if id == root {
+                span.dur_ns.unwrap_or(extent)
+            } else {
+                span.dur_ns.unwrap_or(0)
+            };
+            spans.push(Value::Doc(
+                Document::new()
+                    .with("name", &*span.name)
+                    .with("parent", parent_idx)
+                    .with(
+                        "start_ns",
+                        i64::try_from(span.start_ns.saturating_sub(base)).unwrap_or(i64::MAX),
+                    )
+                    .with("dur_ns", i64::try_from(dur).unwrap_or(i64::MAX)),
+            ));
+            if let Some(kids) = children.get(&id) {
+                // Reversed so the (name, seq)-smallest child pops first.
+                for &(_, _, kid) in kids.iter().rev() {
+                    stack.push((kid, idx));
+                }
+            }
+        }
+    }
+
+    let mut stages = Vec::new();
+    for stage in PipelineStage::ALL {
+        let snap = rec.stage_hist[stage.index()].snapshot();
+        if snap.count == 0 {
+            continue;
+        }
+        let as_i64 = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        stages.push(Value::Doc(
+            Document::new()
+                .with("stage", stage.name())
+                .with("count", as_i64(snap.count))
+                .with("sum_ns", as_i64(snap.sum))
+                .with("p50_ns", as_i64(snap.p50()))
+                .with("p90_ns", as_i64(snap.p90()))
+                .with("p99_ns", as_i64(snap.p99())),
+        ));
+    }
+
+    let mut counters = Document::new();
+    for (&key, &value) in &rec.counters {
+        counters.set(key, i64::try_from(value).unwrap_or(i64::MAX));
+    }
+
+    let as_i64 = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    let mut doc = Document::new()
+        .with("session", session)
+        .with("state", state)
+        .with("queue_wait_ns", as_i64(rec.queue_wait_ns))
+        .with("retries", as_i64(rec.retries))
+        .with("events_dropped", as_i64(dropped))
+        .with("spans", Value::Array(spans))
+        .with("stages", Value::Array(stages))
+        .with("counters", Value::Doc(counters));
+    if !outcome.is_empty() {
+        doc = doc.with("outcome", outcome);
+    }
+    doc
+}
+
+impl PipelineObserver for FlightRecorder {
+    fn on_stage_start(&self, session: &str, stage: PipelineStage) {
+        let mut live = self.live.lock();
+        let entry = self.live_entry(&mut live, session);
+        let span = self.tracer.next_span_id();
+        let root = entry.root;
+        let label = Arc::clone(&entry.label);
+        entry.stage = Some((stage, span));
+        drop(live);
+        self.tracer.emit(
+            &label,
+            Some(stage),
+            &Arc::from(stage.name()),
+            EventKind::Start { span, parent: root },
+        );
+    }
+
+    fn on_stage_end(&self, session: &str, stage: PipelineStage, elapsed: Duration) {
+        let mut live = self.live.lock();
+        let Some(entry) = live.get_mut(session) else {
+            return;
+        };
+        if !matches!(entry.stage, Some((s, _)) if s == stage) {
+            return;
+        }
+        let (_, span) = entry.stage.take().expect("matched above");
+        let label = Arc::clone(&entry.label);
+        drop(live);
+        self.tracer.emit(
+            &label,
+            Some(stage),
+            &Arc::from(stage.name()),
+            EventKind::End {
+                span,
+                dur_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            },
+        );
+    }
+
+    fn on_span_start(&self, session: &str, stage: PipelineStage, name: &str) {
+        let mut live = self.live.lock();
+        let entry = self.live_entry(&mut live, session);
+        let parent = match entry.stage {
+            Some((s, span)) if s == stage => span,
+            _ => entry.root,
+        };
+        let span = self.tracer.next_span_id();
+        let name: Arc<str> = Arc::from(name);
+        entry.open.push((stage, Arc::clone(&name), span));
+        let label = Arc::clone(&entry.label);
+        drop(live);
+        self.tracer.emit(
+            &label,
+            Some(stage),
+            &name,
+            EventKind::Start { span, parent },
+        );
+    }
+
+    fn on_span_end(&self, session: &str, stage: PipelineStage, name: &str, elapsed: Duration) {
+        let mut live = self.live.lock();
+        let Some(entry) = live.get_mut(session) else {
+            return;
+        };
+        // Open sub-span names of one session are distinct at any
+        // instant (the observer contract), so last-match pairing is
+        // exact.
+        let Some(pos) = entry
+            .open
+            .iter()
+            .rposition(|(s, n, _)| *s == stage && **n == *name)
+        else {
+            return;
+        };
+        let (_, name, span) = entry.open.remove(pos);
+        let label = Arc::clone(&entry.label);
+        drop(live);
+        self.tracer.emit(
+            &label,
+            Some(stage),
+            &name,
+            EventKind::End {
+                span,
+                dur_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            },
+        );
+    }
+
+    fn on_counters(&self, session: &str, stage: PipelineStage, counters: &[(&'static str, u64)]) {
+        let label: Arc<str> = Arc::from(session);
+        self.tracer.emit(
+            &label,
+            Some(stage),
+            &self.counters_name,
+            EventKind::Counters {
+                pairs: counters.to_vec(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_one_session(rec: &FlightRecorder, session: &str) {
+        rec.mark(session, MARK_QUEUE_WAIT, Duration::from_micros(150));
+        rec.on_stage_start(session, PipelineStage::Characterize);
+        rec.on_stage_end(
+            session,
+            PipelineStage::Characterize,
+            Duration::from_micros(40),
+        );
+        rec.on_stage_start(session, PipelineStage::Optimize);
+        for k in [4, 8] {
+            let name = format!("sweep:k={k}");
+            rec.on_span_start(session, PipelineStage::Optimize, &name);
+            rec.on_counters(
+                session,
+                PipelineStage::Optimize,
+                &[("iterations", 3), ("distance_evals", 120)],
+            );
+            rec.on_span_end(
+                session,
+                PipelineStage::Optimize,
+                &name,
+                Duration::from_micros(90),
+            );
+        }
+        rec.on_stage_end(session, PipelineStage::Optimize, Duration::from_micros(220));
+    }
+
+    #[test]
+    fn session_folds_into_a_valid_document() {
+        let rec = FlightRecorder::new(128);
+        drive_one_session(&rec, "s1");
+        let doc = rec.finalize("s1", "completed", "ok");
+        schema::validate_session_doc(&doc).unwrap();
+
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        // root + 2 stages + 2 sweep points.
+        assert_eq!(spans.len(), 5);
+        let names: Vec<&str> = spans
+            .iter()
+            .map(|s| s.as_doc().unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names[0], "session");
+        // Children of the root sort by name: characterize < optimize.
+        assert_eq!(names[1], "characterize");
+        assert_eq!(names[2], "optimize");
+        assert_eq!(names[3], "sweep:k=4");
+        assert_eq!(names[4], "sweep:k=8");
+        // Sweep spans parent to the optimize stage span (index 2).
+        for sweep in &spans[3..] {
+            assert_eq!(
+                sweep.as_doc().unwrap().get("parent").unwrap().as_i64(),
+                Some(2)
+            );
+        }
+
+        let counters = doc.get("counters").unwrap().as_doc().unwrap();
+        assert_eq!(counters.get("iterations").unwrap().as_i64(), Some(6));
+        assert_eq!(counters.get("distance_evals").unwrap().as_i64(), Some(240));
+
+        assert_eq!(
+            doc.get("queue_wait_ns").unwrap().as_i64(),
+            Some(150_000),
+            "queue-wait mark folds into the document"
+        );
+
+        let stages = doc.get("stages").unwrap().as_array().unwrap();
+        let stage_names: Vec<&str> = stages
+            .iter()
+            .map(|s| s.as_doc().unwrap().get("stage").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(stage_names, vec!["characterize", "optimize"]);
+        // Optimize closed 3 spans: the stage itself and two sweeps.
+        assert_eq!(
+            stages[1].as_doc().unwrap().get("count").unwrap().as_i64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn document_is_stable_across_identical_runs_modulo_timestamps() {
+        let strip_times = |doc: &Document| {
+            let mut out = String::new();
+            let spans = doc.get("spans").unwrap().as_array().unwrap();
+            for span in spans {
+                let span = span.as_doc().unwrap();
+                out.push_str(span.get("name").unwrap().as_str().unwrap());
+                out.push(':');
+                out.push_str(&span.get("parent").unwrap().as_i64().unwrap().to_string());
+                out.push(';');
+            }
+            out.push('|');
+            out.push_str(
+                doc.get("counters")
+                    .unwrap()
+                    .as_doc()
+                    .unwrap()
+                    .encode()
+                    .as_str(),
+            );
+            out
+        };
+        let doc_a = {
+            let rec = FlightRecorder::new(128);
+            drive_one_session(&rec, "s");
+            rec.finalize("s", "completed", "")
+        };
+        let doc_b = {
+            let rec = FlightRecorder::new(128);
+            drive_one_session(&rec, "s");
+            rec.finalize("s", "completed", "")
+        };
+        assert_eq!(strip_times(&doc_a), strip_times(&doc_b));
+    }
+
+    #[test]
+    fn persist_and_query_past_sessions() {
+        let mut db = Kdb::in_memory();
+        schema::init_schema(&mut db).unwrap();
+        let rec = FlightRecorder::new(128);
+        drive_one_session(&rec, "a");
+        drive_one_session(&rec, "b");
+        rec.persist(&mut db, "a", "completed", "").unwrap();
+        rec.persist(&mut db, "b", "failed", "deadline").unwrap();
+
+        let past = past_sessions(&db);
+        assert_eq!(past.len(), 2);
+        let states: Vec<&str> = past
+            .iter()
+            .map(|(_, d)| d.get("state").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(states, vec!["completed", "failed"]);
+        assert_eq!(past[1].1.get("outcome").unwrap().as_str(), Some("deadline"));
+    }
+
+    #[test]
+    fn event_log_is_capped_but_aggregates_are_not() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..50 {
+            rec.on_counters(
+                "s",
+                PipelineStage::PartialMining,
+                &[("rows_scanned", i as u64)],
+            );
+        }
+        assert_eq!(rec.recent_events("s").len(), 4, "log capped at capacity");
+        let total: u64 = (0..50).sum();
+        assert_eq!(rec.session_counters("s")["rows_scanned"], total);
+    }
+
+    #[test]
+    fn empty_session_still_yields_a_valid_terminal_document() {
+        let rec = FlightRecorder::new(8);
+        let doc = rec.finalize("ghost", "cancelled", "cancelled before start");
+        schema::validate_session_doc(&doc).unwrap();
+        assert!(doc.get("spans").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unmatched_stage_end_is_ignored() {
+        let rec = FlightRecorder::new(8);
+        rec.on_stage_end("s", PipelineStage::Navigation, Duration::from_nanos(5));
+        assert!(rec.recent_events("s").is_empty());
+    }
+}

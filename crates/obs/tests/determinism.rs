@@ -1,0 +1,72 @@
+//! The observability layer must never change results: clustering and
+//! full-pipeline reports are byte-identical with the flight recorder
+//! attached or absent. Property-tested across synthetic cohorts.
+
+use std::sync::Arc;
+
+use ada_core::{AdaHealth, AdaHealthConfig, RunControl};
+use ada_dataset::synthetic::{generate, SyntheticConfig};
+use ada_kdb::Kdb;
+use ada_mining::kmeans::KMeans;
+use ada_obs::FlightRecorder;
+use ada_vsm::VsmBuilder;
+use proptest::prelude::*;
+
+fn cohort(patients: usize, exams: usize, records: usize, seed: u64) -> ada_dataset::ExamLog {
+    generate(
+        &SyntheticConfig {
+            num_patients: patients,
+            num_exam_types: exams,
+            target_records: records,
+            ..SyntheticConfig::small()
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Kernel level: `fit_with_stats` (the instrumented path) and `fit`
+    // assign every row identically — the counters are pure accounting.
+    #[test]
+    fn kernel_stats_never_change_assignments(
+        seed in 0u64..500,
+        k in 2usize..6,
+        patients in 30usize..80,
+    ) {
+        let log = cohort(patients, 15, 600, seed);
+        let matrix = VsmBuilder::new().build(&log).matrix;
+        let kmeans = KMeans::new(k).seed(seed ^ 0xa5a5);
+        let plain = kmeans.fit(&matrix);
+        let (with_stats, stats) = kmeans.fit_with_stats(&matrix);
+        prop_assert_eq!(&plain.assignments, &with_stats.assignments);
+        prop_assert_eq!(plain.sse, with_stats.sse);
+        prop_assert!(stats.iterations > 0);
+        prop_assert!(stats.rows_scanned <= stats.iterations * matrix.num_rows() as u64);
+    }
+
+    // Pipeline level: a controlled run with the flight recorder
+    // observing equals an unobserved run field-by-field.
+    #[test]
+    fn recorder_on_and_off_produce_identical_reports(seed in 0u64..100) {
+        let log = cohort(60, 16, 800, seed);
+        let config = AdaHealthConfig::quick(format!("det-{seed}"));
+
+        let report_off = AdaHealth::with_kdb(config.clone(), Kdb::in_memory())
+            .run_controlled(&log, &RunControl::new())
+            .expect("unobserved run completes");
+
+        let recorder = Arc::new(FlightRecorder::new(256));
+        let control = RunControl::new().with_observer(recorder.clone());
+        let report_on = AdaHealth::with_kdb(config, Kdb::in_memory())
+            .run_controlled(&log, &control)
+            .expect("observed run completes");
+
+        prop_assert_eq!(&report_off, &report_on);
+        // And the recorder actually saw the run.
+        let events = recorder.recent_events(&format!("det-{seed}"));
+        prop_assert!(!events.is_empty(), "recorder saw no events");
+        prop_assert_eq!(recorder.dropped(), 0);
+    }
+}

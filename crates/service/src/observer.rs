@@ -1,16 +1,26 @@
-//! Service-side observers: metrics aggregation and observer fan-out.
+//! Service-side observers: histogram-based metrics aggregation and
+//! observer fan-out.
+//!
+//! [`MetricsObserver`] keeps one [`Log2Histogram`] per pipeline stage
+//! (plus one for queue wait), so the snapshot reports p50/p90/p99
+//! latencies without allocation on the recording path — the old
+//! total/count pairs survive as the `runs`/`total`/`mean` fields,
+//! derived from the same histograms.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ada_core::{PipelineObserver, PipelineStage};
+use ada_kdb::{Document, Value};
+use ada_obs::hist::HistogramSnapshot;
+use ada_obs::{document_to_json, Log2Histogram};
 
-/// Aggregates service-level counters and per-stage latencies.
+/// Aggregates service-level counters and per-stage latency histograms.
 ///
-/// All counters are lock-free; the per-stage latency table takes a short
-/// mutex on stage completion only.
+/// Everything on the recording path is lock-free: counters are relaxed
+/// atomics and stage latencies land in fixed-bucket log2 histograms.
 #[derive(Debug, Default)]
 pub struct MetricsObserver {
     submitted: AtomicU64,
@@ -20,13 +30,8 @@ pub struct MetricsObserver {
     retried: AtomicU64,
     rejected: AtomicU64,
     max_queue_depth: AtomicUsize,
-    stages: Mutex<BTreeMap<&'static str, StageStat>>,
-}
-
-#[derive(Debug, Default, Clone, Copy)]
-struct StageStat {
-    runs: u64,
-    total: Duration,
+    stages: [Log2Histogram; PipelineStage::ALL.len()],
+    queue_wait: Log2Histogram,
 }
 
 impl MetricsObserver {
@@ -54,31 +59,37 @@ impl MetricsObserver {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Raises the queue-depth high-water mark to `depth` if higher.
+    ///
+    /// A compare-exchange loop rather than a blind store: two threads
+    /// observing depths 3 and 5 concurrently must never let 3 overwrite
+    /// 5, regardless of interleaving.
     pub(crate) fn observe_queue_depth(&self, depth: usize) {
-        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        let mut seen = self.max_queue_depth.load(Ordering::Relaxed);
+        while depth > seen {
+            match self.max_queue_depth.compare_exchange_weak(
+                seen,
+                depth,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => seen = actual,
+            }
+        }
+    }
+
+    pub(crate) fn observe_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record_duration(wait);
     }
 
     /// A point-in-time snapshot of every metric.
     pub fn snapshot(&self) -> ServiceMetrics {
-        let stages = self
-            .stages
-            .lock()
-            .expect("metrics lock")
+        let stages = PipelineStage::ALL
             .iter()
-            .map(|(name, stat)| {
-                let mean = if stat.runs > 0 {
-                    stat.total / u32::try_from(stat.runs).unwrap_or(u32::MAX)
-                } else {
-                    Duration::ZERO
-                };
-                (
-                    *name,
-                    StageMetrics {
-                        runs: stat.runs,
-                        total: stat.total,
-                        mean,
-                    },
-                )
+            .filter_map(|stage| {
+                let snap = self.stages[stage.index()].snapshot();
+                (snap.count > 0).then(|| (stage.name(), StageMetrics::from_snapshot(&snap)))
             })
             .collect();
         ServiceMetrics {
@@ -89,6 +100,7 @@ impl MetricsObserver {
             retried: self.retried.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            queue_wait: StageMetrics::from_snapshot(&self.queue_wait.snapshot()),
             stages,
         }
     }
@@ -96,22 +108,55 @@ impl MetricsObserver {
 
 impl PipelineObserver for MetricsObserver {
     fn on_stage_end(&self, _session: &str, stage: PipelineStage, elapsed: Duration) {
-        let mut stages = self.stages.lock().expect("metrics lock");
-        let stat = stages.entry(stage.name()).or_default();
-        stat.runs += 1;
-        stat.total += elapsed;
+        self.stages[stage.index()].record_duration(elapsed);
     }
 }
 
-/// Latency statistics for one pipeline stage.
+/// Latency statistics for one pipeline stage (or the queue wait),
+/// derived from its log2 histogram. `p50`/`p90`/`p99` carry the
+/// histogram's ~2× bucket resolution; `total` and `mean` are exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageMetrics {
     /// How many times the stage ran to completion.
     pub runs: u64,
-    /// Total wall-clock time across runs.
+    /// Total wall-clock time across runs (exact).
     pub total: Duration,
-    /// `total / runs` (zero when the stage never ran).
+    /// `total / runs` (zero when the stage never ran; exact).
     pub mean: Duration,
+    /// Median latency (bucket midpoint).
+    pub p50: Duration,
+    /// 90th-percentile latency (bucket midpoint).
+    pub p90: Duration,
+    /// 99th-percentile latency (bucket midpoint).
+    pub p99: Duration,
+}
+
+impl StageMetrics {
+    fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        let mean = snap
+            .sum
+            .checked_div(snap.count)
+            .map_or(Duration::ZERO, Duration::from_nanos);
+        Self {
+            runs: snap.count,
+            total: Duration::from_nanos(snap.sum),
+            mean,
+            p50: Duration::from_nanos(snap.p50()),
+            p90: Duration::from_nanos(snap.p90()),
+            p99: Duration::from_nanos(snap.p99()),
+        }
+    }
+
+    fn to_document(self) -> Document {
+        let ns = |d: Duration| i64::try_from(d.as_nanos()).unwrap_or(i64::MAX);
+        Document::new()
+            .with("runs", i64::try_from(self.runs).unwrap_or(i64::MAX))
+            .with("total_ns", ns(self.total))
+            .with("mean_ns", ns(self.mean))
+            .with("p50_ns", ns(self.p50))
+            .with("p90_ns", ns(self.p90))
+            .with("p99_ns", ns(self.p99))
+    }
 }
 
 /// A frozen snapshot of service metrics.
@@ -131,8 +176,91 @@ pub struct ServiceMetrics {
     pub rejected: u64,
     /// High-water mark of the job queue depth.
     pub max_queue_depth: usize,
+    /// Latency jobs spent queued before a worker picked them up.
+    pub queue_wait: StageMetrics,
     /// Per-stage latency statistics, keyed by stage name.
     pub stages: BTreeMap<&'static str, StageMetrics>,
+}
+
+impl ServiceMetrics {
+    /// The snapshot as one K-DB document (deterministically ordered).
+    pub fn to_document(&self) -> Document {
+        let count = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        let jobs = Document::new()
+            .with("submitted", count(self.submitted))
+            .with("completed", count(self.completed))
+            .with("failed", count(self.failed))
+            .with("cancelled", count(self.cancelled))
+            .with("retried", count(self.retried))
+            .with("rejected", count(self.rejected));
+        let mut stages = Document::new();
+        for (name, stat) in &self.stages {
+            stages.set(*name, Value::Doc(stat.to_document()));
+        }
+        Document::new()
+            .with("jobs", Value::Doc(jobs))
+            .with(
+                "max_queue_depth",
+                i64::try_from(self.max_queue_depth).unwrap_or(i64::MAX),
+            )
+            .with("queue_wait", Value::Doc(self.queue_wait.to_document()))
+            .with("stages", Value::Doc(stages))
+    }
+
+    /// The snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        document_to_json(&self.to_document())
+    }
+
+    /// The snapshot as Prometheus text exposition (counters plus one
+    /// summary per stage).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("# TYPE ada_jobs_total counter\n");
+        for (outcome, value) in [
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("cancelled", self.cancelled),
+            ("retried", self.retried),
+            ("rejected", self.rejected),
+        ] {
+            out.push_str(&format!(
+                "ada_jobs_total{{outcome=\"{outcome}\"}} {value}\n"
+            ));
+        }
+        out.push_str("# TYPE ada_queue_depth_max gauge\n");
+        out.push_str(&format!("ada_queue_depth_max {}\n", self.max_queue_depth));
+        out.push_str("# TYPE ada_queue_wait_ns summary\n");
+        write_summary(&mut out, "ada_queue_wait_ns", "", &self.queue_wait);
+        out.push_str("# TYPE ada_stage_latency_ns summary\n");
+        for (name, stat) in &self.stages {
+            write_summary(
+                &mut out,
+                "ada_stage_latency_ns",
+                &format!("stage=\"{name}\","),
+                stat,
+            );
+        }
+        out
+    }
+}
+
+fn write_summary(out: &mut String, metric: &str, label_prefix: &str, stat: &StageMetrics) {
+    for (q, v) in [("0.5", stat.p50), ("0.9", stat.p90), ("0.99", stat.p99)] {
+        out.push_str(&format!(
+            "{metric}{{{label_prefix}quantile=\"{q}\"}} {}\n",
+            v.as_nanos()
+        ));
+    }
+    let bare = label_prefix.trim_end_matches(',');
+    let braces = if bare.is_empty() {
+        String::new()
+    } else {
+        format!("{{{bare}}}")
+    };
+    out.push_str(&format!("{metric}_sum{braces} {}\n", stat.total.as_nanos()));
+    out.push_str(&format!("{metric}_count{braces} {}\n", stat.runs));
 }
 
 /// Forwards pipeline events to several observers in order.
@@ -156,6 +284,21 @@ impl PipelineObserver for FanoutObserver {
     fn on_stage_end(&self, session: &str, stage: PipelineStage, elapsed: Duration) {
         for t in &self.targets {
             t.on_stage_end(session, stage, elapsed);
+        }
+    }
+    fn on_span_start(&self, session: &str, stage: PipelineStage, name: &str) {
+        for t in &self.targets {
+            t.on_span_start(session, stage, name);
+        }
+    }
+    fn on_span_end(&self, session: &str, stage: PipelineStage, name: &str, elapsed: Duration) {
+        for t in &self.targets {
+            t.on_span_end(session, stage, name, elapsed);
+        }
+    }
+    fn on_counters(&self, session: &str, stage: PipelineStage, counters: &[(&'static str, u64)]) {
+        for t in &self.targets {
+            t.on_counters(session, stage, counters);
         }
     }
 }
@@ -182,16 +325,108 @@ mod tests {
         assert_eq!(snap.max_queue_depth, 3);
         let t = &snap.stages["transform"];
         assert_eq!(t.runs, 2);
+        assert_eq!(t.total, Duration::from_millis(40));
         assert_eq!(t.mean, Duration::from_millis(20));
+        // Percentiles carry the log2 bucket's resolution: within 2× of
+        // the true value, and ordered.
+        assert!(t.p50 >= Duration::from_millis(5) && t.p50 <= Duration::from_millis(20));
+        assert!(t.p99 >= Duration::from_millis(15) && t.p99 <= Duration::from_millis(60));
+        assert!(t.p50 <= t.p90 && t.p90 <= t.p99);
     }
 
     #[test]
-    fn fanout_reaches_every_target() {
-        let a = Arc::new(MetricsObserver::new());
-        let b = Arc::new(MetricsObserver::new());
+    fn queue_depth_high_water_mark_is_monotone() {
+        let m = Arc::new(MetricsObserver::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for depth in 0..1000usize {
+                        m.observe_queue_depth(depth * 4 + t);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // The largest observed depth wins regardless of interleaving.
+        assert_eq!(m.snapshot().max_queue_depth, 999 * 4 + 3);
+    }
+
+    #[test]
+    fn queue_wait_feeds_its_own_histogram() {
+        let m = MetricsObserver::new();
+        m.observe_queue_wait(Duration::from_micros(100));
+        m.observe_queue_wait(Duration::from_micros(300));
+        let snap = m.snapshot();
+        assert_eq!(snap.queue_wait.runs, 2);
+        assert_eq!(snap.queue_wait.total, Duration::from_micros(400));
+    }
+
+    #[test]
+    fn snapshot_renders_json_and_prometheus() {
+        let m = MetricsObserver::new();
+        m.job_submitted();
+        m.job_completed();
+        m.on_stage_end("s", PipelineStage::Optimize, Duration::from_millis(7));
+        let snap = m.snapshot();
+
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"jobs\":{"), "json: {json}");
+        assert!(json.contains("\"optimize\":{"), "json: {json}");
+        assert!(json.contains("\"p99_ns\":"), "json: {json}");
+        // Deterministic rendering.
+        assert_eq!(json, snap.to_json());
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("ada_jobs_total{outcome=\"submitted\"} 1"));
+        assert!(prom.contains("ada_stage_latency_ns{stage=\"optimize\",quantile=\"0.5\"}"));
+        assert!(prom.contains("ada_stage_latency_ns_count{stage=\"optimize\"} 1"));
+    }
+
+    #[test]
+    fn fanout_reaches_every_target_for_every_event_kind() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Log(Mutex<Vec<String>>);
+        impl PipelineObserver for Log {
+            fn on_stage_start(&self, _: &str, stage: PipelineStage) {
+                self.0.lock().unwrap().push(format!("stage+{stage}"));
+            }
+            fn on_stage_end(&self, _: &str, stage: PipelineStage, _: Duration) {
+                self.0.lock().unwrap().push(format!("stage-{stage}"));
+            }
+            fn on_span_start(&self, _: &str, _: PipelineStage, name: &str) {
+                self.0.lock().unwrap().push(format!("span+{name}"));
+            }
+            fn on_span_end(&self, _: &str, _: PipelineStage, name: &str, _: Duration) {
+                self.0.lock().unwrap().push(format!("span-{name}"));
+            }
+            fn on_counters(&self, _: &str, _: PipelineStage, counters: &[(&'static str, u64)]) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("ctr:{}", counters.len()));
+            }
+        }
+        let a = Arc::new(Log::default());
+        let b = Arc::new(Log::default());
         let fan = FanoutObserver::new(vec![a.clone(), b.clone()]);
-        fan.on_stage_end("s", PipelineStage::Optimize, Duration::from_millis(5));
-        assert_eq!(a.snapshot().stages["optimize"].runs, 1);
-        assert_eq!(b.snapshot().stages["optimize"].runs, 1);
+        fan.on_stage_start("s", PipelineStage::Optimize);
+        fan.on_span_start("s", PipelineStage::Optimize, "sweep:k=4");
+        fan.on_counters("s", PipelineStage::Optimize, &[("iterations", 1)]);
+        fan.on_span_end("s", PipelineStage::Optimize, "sweep:k=4", Duration::ZERO);
+        fan.on_stage_end("s", PipelineStage::Optimize, Duration::ZERO);
+        let expect = vec![
+            "stage+optimize",
+            "span+sweep:k=4",
+            "ctr:1",
+            "span-sweep:k=4",
+            "stage-optimize",
+        ];
+        assert_eq!(*a.0.lock().unwrap(), expect);
+        assert_eq!(*b.0.lock().unwrap(), expect);
     }
 }

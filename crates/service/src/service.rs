@@ -8,7 +8,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ada_core::{AdaHealth, PipelineError, PipelineObserver, RunControl};
-use ada_kdb::{Kdb, SharedKdb};
+use ada_kdb::{schema, Document, Kdb, SharedKdb, Value};
+use ada_obs::{
+    document_to_json, past_sessions, FlightRecorder, MARK_CANCELLED, MARK_QUEUE_WAIT, MARK_RETRY,
+};
 use parking_lot::RwLock;
 
 use crate::cancel::CancelToken;
@@ -72,8 +75,11 @@ pub struct ServiceConfig {
     /// Retry schedule for panicking attempts.
     pub retry: RetryPolicy,
     /// Optional extra observer receiving every stage event in addition
-    /// to the built-in metrics collector.
+    /// to the built-in metrics collector and flight recorder.
     pub observer: Option<Arc<dyn PipelineObserver>>,
+    /// Last-N cap on the flight recorder's per-session event log (span
+    /// trees, histograms and counters are folded from all events).
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -83,15 +89,17 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             retry: RetryPolicy::default(),
             observer: None,
+            recorder_capacity: 512,
         }
     }
 }
 
 struct ServiceInner {
     kdb: SharedKdb,
-    queue: JobQueue<(SessionId, JobSpec)>,
+    queue: JobQueue<(SessionId, JobSpec, Instant)>,
     registry: SessionRegistry,
     metrics: Arc<MetricsObserver>,
+    recorder: Arc<FlightRecorder>,
     extra_observer: Option<Arc<dyn PipelineObserver>>,
     retry: RetryPolicy,
     shutting_down: AtomicBool,
@@ -118,6 +126,7 @@ impl AnalysisService {
             queue: JobQueue::bounded(config.queue_capacity.max(1)),
             registry: SessionRegistry::new(),
             metrics: Arc::new(MetricsObserver::new()),
+            recorder: Arc::new(FlightRecorder::new(config.recorder_capacity)),
             extra_observer: config.observer,
             retry: config.retry,
             shutting_down: AtomicBool::new(false),
@@ -156,7 +165,7 @@ impl AnalysisService {
         let token = spec.cancel.clone().unwrap_or_default();
         let id = self.inner.registry.register(&spec.config.session, token);
         let priority = spec.priority;
-        if let Err(err) = self.inner.queue.push(priority, (id, spec)) {
+        if let Err(err) = self.inner.queue.push(priority, (id, spec, Instant::now())) {
             self.inner.registry.remove(id);
             self.inner.metrics.job_rejected();
             return Err(err);
@@ -197,6 +206,60 @@ impl AnalysisService {
         self.inner.metrics.snapshot()
     }
 
+    /// The session flight recorder (trace drain, recent events,
+    /// per-session counters).
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.inner.recorder)
+    }
+
+    /// Terminal session records persisted to the K-DB `sessions`
+    /// collection — including by previous service processes over the
+    /// same journal, which is how a restarted service answers queries
+    /// about past runs.
+    pub fn past_sessions(&self) -> Vec<Document> {
+        past_sessions(&self.inner.kdb.read())
+            .into_iter()
+            .map(|(_, doc)| doc)
+            .collect()
+    }
+
+    /// One document describing the whole service right now: metrics
+    /// (histogram quantiles included), every known session and its
+    /// state, and the count of persisted past sessions.
+    pub fn snapshot(&self) -> Document {
+        let sessions = self
+            .sessions()
+            .into_iter()
+            .map(|(id, name, state)| {
+                Value::Doc(
+                    Document::new()
+                        .with("id", i64::try_from(id.0).unwrap_or(i64::MAX))
+                        .with("name", name)
+                        .with("state", state.label()),
+                )
+            })
+            .collect();
+        let past = past_sessions(&self.inner.kdb.read()).len();
+        Document::new()
+            .with("metrics", Value::Doc(self.metrics().to_document()))
+            .with("sessions", Value::Array(sessions))
+            .with("past_sessions", i64::try_from(past).unwrap_or(i64::MAX))
+            .with(
+                "events_dropped",
+                i64::try_from(self.inner.recorder.dropped()).unwrap_or(i64::MAX),
+            )
+    }
+
+    /// [`AnalysisService::snapshot`] rendered as a JSON object.
+    pub fn snapshot_json(&self) -> String {
+        document_to_json(&self.snapshot())
+    }
+
+    /// The metrics snapshot rendered as Prometheus text exposition.
+    pub fn snapshot_prometheus(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+
     /// Stops accepting jobs, drains the queue, joins the workers, and
     /// returns the final metrics.
     pub fn shutdown(mut self) -> ServiceMetrics {
@@ -228,32 +291,58 @@ fn worker_loop(inner: &ServiceInner) {
         match inner.queue.recv() {
             Token::Shutdown => break,
             Token::Job => {
-                if let Some((id, spec)) = inner.queue.pop() {
-                    run_job(inner, id, spec);
+                if let Some((id, spec, queued_at)) = inner.queue.pop() {
+                    run_job(inner, id, spec, queued_at);
                 }
             }
         }
     }
 }
 
-fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec) {
+/// Best-effort persistence of a terminal session record: the service
+/// must stay up even if the `sessions` collection write fails, but a
+/// schema violation is a bug, so debug builds assert on it.
+fn persist_session(inner: &ServiceInner, session: &str, state: &str, outcome: &str) {
+    let mut db = inner.kdb.write();
+    if db.collection(schema::names::SESSIONS).is_none()
+        && db.ensure_collection(schema::names::SESSIONS).is_err()
+    {
+        return;
+    }
+    let result = inner.recorder.persist(&mut db, session, state, outcome);
+    debug_assert!(
+        result.is_ok(),
+        "session record for {session} failed to persist: {:?}",
+        result.err()
+    );
+}
+
+fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instant) {
+    let session = spec.config.session.clone();
+    let wait = queued_at.elapsed();
+    inner.metrics.observe_queue_wait(wait);
+    inner.recorder.mark(&session, MARK_QUEUE_WAIT, wait);
+
     let token = inner
         .registry
         .cancel_token(id)
         .unwrap_or_else(|_| CancelToken::new());
     if token.is_cancelled() {
-        inner.registry.transition(id, SessionState::Cancelled);
+        inner
+            .recorder
+            .mark(&session, MARK_CANCELLED, Duration::ZERO);
+        persist_session(inner, &session, "cancelled", "cancelled while queued");
         inner.metrics.job_cancelled();
+        inner.registry.transition(id, SessionState::Cancelled);
         return;
     }
 
-    let observer: Arc<dyn PipelineObserver> = match &inner.extra_observer {
-        Some(extra) => Arc::new(FanoutObserver::new(vec![
-            inner.metrics.clone() as Arc<dyn PipelineObserver>,
-            Arc::clone(extra),
-        ])),
-        None => inner.metrics.clone(),
-    };
+    let mut targets: Vec<Arc<dyn PipelineObserver>> =
+        vec![inner.metrics.clone(), inner.recorder.clone()];
+    if let Some(extra) = &inner.extra_observer {
+        targets.push(Arc::clone(extra));
+    }
+    let observer: Arc<dyn PipelineObserver> = Arc::new(FanoutObserver::new(targets));
 
     let mut attempt = 0u32;
     loop {
@@ -278,46 +367,53 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec) {
 
         match outcome {
             Ok(Ok(report)) => {
+                persist_session(inner, &session, "completed", "");
+                inner.metrics.job_completed();
                 inner
                     .registry
                     .transition(id, SessionState::Completed(Box::new(report)));
-                inner.metrics.job_completed();
                 return;
             }
-            Ok(Err(PipelineError::Cancelled { .. })) => {
-                inner.registry.transition(id, SessionState::Cancelled);
+            Ok(Err(err @ PipelineError::Cancelled { .. })) => {
+                inner
+                    .recorder
+                    .mark(&session, MARK_CANCELLED, Duration::ZERO);
+                persist_session(inner, &session, "cancelled", &err.to_string());
                 inner.metrics.job_cancelled();
+                inner.registry.transition(id, SessionState::Cancelled);
                 return;
             }
             Ok(Err(err @ PipelineError::DeadlineExceeded { .. })) => {
                 // A blown deadline would blow it again on retry.
+                persist_session(inner, &session, "failed", &err.to_string());
+                inner.metrics.job_failed();
                 inner.registry.transition(
                     id,
                     SessionState::Failed {
                         reason: err.to_string(),
                     },
                 );
-                inner.metrics.job_failed();
                 return;
             }
             Err(panic) => {
                 if attempt < spec.max_retries {
                     attempt += 1;
                     inner.metrics.job_retried();
-                    std::thread::sleep(inner.retry.backoff(id, attempt));
+                    let backoff = inner.retry.backoff(id, attempt);
+                    inner.recorder.mark(&session, MARK_RETRY, backoff);
+                    std::thread::sleep(backoff);
                 } else {
                     let reason = panic
                         .downcast_ref::<&str>()
                         .map(|s| (*s).to_string())
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "attempt panicked".to_string());
-                    inner.registry.transition(
-                        id,
-                        SessionState::Failed {
-                            reason: format!("failed after {} attempts: {reason}", attempt + 1),
-                        },
-                    );
+                    let reason = format!("failed after {} attempts: {reason}", attempt + 1);
+                    persist_session(inner, &session, "failed", &reason);
                     inner.metrics.job_failed();
+                    inner
+                        .registry
+                        .transition(id, SessionState::Failed { reason });
                     return;
                 }
             }

@@ -4,8 +4,10 @@
 //! the [`dataset`] substrate, the [`vsm`] linear-algebra layer, the
 //! [`metrics`] and [`mining`] algorithm crates, the [`kdb`] document
 //! store, the [`engine`] (the paper's contribution) that wires them
-//! together, and the [`service`] layer that runs many concurrent
-//! analysis sessions over one shared K-DB.
+//! together, the [`obs`] observability layer (lock-free tracing,
+//! latency histograms, the session flight recorder), and the
+//! [`service`] layer that runs many concurrent analysis sessions over
+//! one shared K-DB.
 //!
 //! ## End-to-end usage
 //!
@@ -45,5 +47,6 @@ pub use ada_dataset as dataset;
 pub use ada_kdb as kdb;
 pub use ada_metrics as metrics;
 pub use ada_mining as mining;
+pub use ada_obs as obs;
 pub use ada_service as service;
 pub use ada_vsm as vsm;
