@@ -21,6 +21,14 @@ echo "== observability smoke gate =="
 # ada-kdb::schema, and kernel tracing overhead must stay within 5%.
 cargo run -q -p ada-bench --release --bin obs_smoke
 
+echo "== crash torture gate (quick) =="
+# Byte-level journal cuts, injected storage faults at every schedule
+# point, and single-bit corruption: reopened state must always equal the
+# state after some prefix of acknowledged ops, fsynced ops must survive,
+# and corruption must never decode silently. Prints a replayable seed on
+# failure.
+cargo run -q -p ada-bench --release --bin kdb_torture -- --quick
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

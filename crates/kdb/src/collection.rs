@@ -135,6 +135,25 @@ impl Collection {
         Ok(())
     }
 
+    /// Removes a secondary index (used to roll back a `CreateIndex`
+    /// whose journal append failed). Returns whether it existed.
+    pub fn drop_index(&mut self, path: &str) -> bool {
+        self.indexes.remove(path).is_some()
+    }
+
+    /// Undoes the most recent [`Collection::insert`]: removes the
+    /// document and returns the id counter so the next insert re-uses
+    /// the same id. Only valid for the id just handed out.
+    pub(crate) fn uninsert(&mut self, id: DocId) {
+        debug_assert_eq!(id + 1, self.next_id, "uninsert must undo the last insert");
+        if let Some(old) = self.docs.remove(&id) {
+            for index in self.indexes.values_mut() {
+                index.remove(id, &old);
+            }
+        }
+        self.next_id = id;
+    }
+
     /// True when a dotted path is indexed.
     pub fn has_index(&self, path: &str) -> bool {
         self.indexes.contains_key(path)

@@ -17,6 +17,15 @@ pub enum KdbError {
     Decode(usize, String),
     /// Malformed journal entry: (line number, reason).
     Journal(usize, String),
+    /// Mid-file journal corruption localized to a record.
+    Corrupt {
+        /// Byte offset of the corrupt record's frame start.
+        offset: u64,
+        /// Zero-based index of the corrupt record.
+        record: usize,
+        /// What failed (crc mismatch, sequence gap, …).
+        reason: String,
+    },
     /// A document violated a typed schema contract (reason).
     Schema(String),
     /// Underlying I/O failure (stringified to keep the error comparable).
@@ -34,6 +43,14 @@ impl fmt::Display for KdbError {
                 write!(f, "decode error at byte {offset}: {reason}")
             }
             Self::Journal(line, reason) => write!(f, "journal error at line {line}: {reason}"),
+            Self::Corrupt {
+                offset,
+                record,
+                reason,
+            } => write!(
+                f,
+                "journal corrupt at byte {offset} (record {record}): {reason}"
+            ),
             Self::Schema(reason) => write!(f, "schema violation: {reason}"),
             Self::Io(msg) => write!(f, "I/O error: {msg}"),
         }

@@ -1,20 +1,114 @@
 //! Append-only journal persistence with crash recovery.
 //!
 //! Every mutation of a persistent [`crate::Kdb`] is appended as one
-//! self-delimiting operation record (built from the canonical value
-//! encoding, so no line-framing or escaping is needed). Opening a store
-//! replays the journal; a partial final record — the normal shape of a
-//! crash mid-write — is detected and truncated away. [`crate::Kdb`]'s
-//! `snapshot` rewrites the journal as the minimal op sequence
-//! reconstructing the current state.
+//! operation record. Two on-disk formats coexist:
+//!
+//! * **v1** (legacy, unframed): the raw self-delimiting op encoding,
+//!   back to back. The only detectable failure is a torn final record.
+//! * **v2** (framed): the file starts with [`V2_MAGIC`] and each record
+//!   is a frame `R<len>:<seq>:<crc32-hex>:<payload>` — a payload byte
+//!   length, a monotonic record sequence number (= record index), and a
+//!   CRC32 of the payload. Replay distinguishes a *torn tail* (the
+//!   bytes simply end mid-frame — truncated away, as a crash mid-write
+//!   would leave) from *mid-file corruption* (a complete frame whose
+//!   CRC, sequence, or payload is wrong — reported with byte offset and
+//!   record index, or salvaged under [`RecoveryMode::Salvage`]).
+//!
+//! v1 journals stay readable and are upgraded to v2 by the next
+//! snapshot compaction ([`Journal::rewrite`] always writes v2). All I/O
+//! flows through the [`crate::storage::Storage`] traits so disk faults
+//! are injectable in tests; a [`DurabilityPolicy`] decides when appends
+//! are fsynced.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::collection::DocId;
 use crate::document::{Document, Value};
 use crate::error::KdbError;
+use crate::storage::{FileStorage, Storage, StorageFile};
+
+/// Magic bytes opening a v2 framed journal. `A` is not a valid v1 op
+/// tag, so the formats cannot be confused.
+pub const V2_MAGIC: &[u8] = b"ADAJ2\n";
+
+/// The on-disk format of a journal file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalVersion {
+    /// Unframed op stream (legacy).
+    V1,
+    /// Framed records with length, sequence number and CRC32.
+    V2,
+}
+
+/// How replay reacts to mid-file corruption of a v2 journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Fail the open with [`KdbError::Corrupt`] (byte offset + record
+    /// index). The default: corruption should be loud.
+    #[default]
+    Strict,
+    /// Keep the valid prefix, report the corruption in
+    /// [`Replay::corruption`], and let the store quarantine the rest.
+    Salvage,
+}
+
+/// When appended ops are fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityPolicy {
+    /// Fsync after every append: each acknowledged op survives power
+    /// loss, at one fsync per mutation.
+    Always,
+    /// Group commit: fsync when `max_ops` appends have accumulated or
+    /// `max_delay` has elapsed since the last sync, whichever first.
+    Batch {
+        /// Appends between fsyncs.
+        max_ops: usize,
+        /// Wall-clock bound between fsyncs.
+        max_delay: Duration,
+    },
+    /// Never fsync on append (the OS flushes opportunistically); only
+    /// snapshot compaction and explicit [`Journal::sync`] calls are
+    /// durable. This is the legacy behavior and the default.
+    #[default]
+    SnapshotOnly,
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib/PNG polynomial).
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE) of `bytes` — the v2 frame checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// One journaled mutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,24 +250,138 @@ impl Op {
     }
 }
 
+// ---------------------------------------------------------------------
+// v2 frames.
+// ---------------------------------------------------------------------
+
+/// Appends the v2 frame for `payload` (an encoded op) to `out`.
+fn encode_frame(payload: &[u8], seq: u64, out: &mut Vec<u8>) {
+    out.push(b'R');
+    out.extend_from_slice(payload.len().to_string().as_bytes());
+    out.push(b':');
+    out.extend_from_slice(seq.to_string().as_bytes());
+    out.push(b':');
+    out.extend_from_slice(format!("{:08x}", crc32(payload)).as_bytes());
+    out.push(b':');
+    out.extend_from_slice(payload);
+}
+
+/// Why a frame failed to decode: the input ended mid-frame (a torn
+/// write — truncate), or a complete-looking frame is wrong (corruption
+/// — report).
+enum FrameFail {
+    Torn,
+    Corrupt(String),
+}
+
+/// Reads decimal digits up to a `:` separator. EOF while scanning is a
+/// torn write; anything else malformed is corruption.
+fn take_frame_number(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u64, FrameFail> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos >= bytes.len() {
+        return Err(FrameFail::Torn);
+    }
+    if bytes[*pos] != b':' || *pos == start || *pos - start > 19 {
+        return Err(FrameFail::Corrupt(format!("malformed {what} field")));
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    let n = text
+        .parse::<u64>()
+        .map_err(|_| FrameFail::Corrupt(format!("{what} out of range")))?;
+    *pos += 1; // consume ':'
+    Ok(n)
+}
+
+/// Decodes one v2 frame at `*pos`, checking length, sequence and CRC.
+fn decode_frame(bytes: &[u8], pos: &mut usize, expect_seq: u64) -> Result<Op, FrameFail> {
+    if bytes[*pos] != b'R' {
+        return Err(FrameFail::Corrupt(format!(
+            "bad frame tag {:?}",
+            bytes[*pos] as char
+        )));
+    }
+    *pos += 1;
+    let len = take_frame_number(bytes, pos, "length")? as usize;
+    let seq = take_frame_number(bytes, pos, "sequence")?;
+    if *pos + 9 > bytes.len() {
+        return Err(FrameFail::Torn);
+    }
+    let crc_text = std::str::from_utf8(&bytes[*pos..*pos + 8])
+        .map_err(|_| FrameFail::Corrupt("non-UTF-8 checksum".into()))?;
+    let stored_crc = u32::from_str_radix(crc_text, 16)
+        .map_err(|_| FrameFail::Corrupt(format!("bad checksum {crc_text:?}")))?;
+    if bytes[*pos + 8] != b':' {
+        return Err(FrameFail::Corrupt("missing checksum separator".into()));
+    }
+    *pos += 9;
+    let Some(end) = pos.checked_add(len).filter(|&e| e <= bytes.len()) else {
+        return Err(FrameFail::Torn);
+    };
+    let payload = &bytes[*pos..end];
+    let computed = crc32(payload);
+    if computed != stored_crc {
+        return Err(FrameFail::Corrupt(format!(
+            "crc mismatch (stored {stored_crc:08x}, computed {computed:08x})"
+        )));
+    }
+    if seq != expect_seq {
+        return Err(FrameFail::Corrupt(format!(
+            "sequence gap (stored {seq}, expected {expect_seq})"
+        )));
+    }
+    let mut inner = 0usize;
+    let op = Op::decode_prefix(payload, &mut inner)
+        .map_err(|e| FrameFail::Corrupt(format!("payload invalid despite crc: {e}")))?;
+    if inner != payload.len() {
+        return Err(FrameFail::Corrupt("payload has trailing bytes".into()));
+    }
+    *pos = end;
+    Ok(op)
+}
+
+/// A mid-file corruption localized by v2 replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// Byte offset of the corrupt record's frame start.
+    pub offset: u64,
+    /// Zero-based index of the corrupt record.
+    pub record: usize,
+    /// What was wrong (crc mismatch, sequence gap, …).
+    pub reason: String,
+}
+
 /// The result of replaying a journal file.
+#[derive(Debug)]
 pub struct Replay {
     /// Successfully decoded operations, in order.
     pub ops: Vec<Op>,
     /// Byte offset of the first undecodable record (= file length when
-    /// the journal is clean). Everything past it is a torn write.
+    /// the journal is clean). Everything past it is torn or quarantined.
     pub valid_len: u64,
-    /// Whether a torn tail was detected.
+    /// Whether anything past `valid_len` must be truncated away.
     pub truncated: bool,
+    /// The format the file was found in.
+    pub version: JournalVersion,
+    /// Mid-file corruption salvaged under [`RecoveryMode::Salvage`]
+    /// (`None` on clean or merely torn journals).
+    pub corruption: Option<CorruptionReport>,
 }
 
-/// Reads and decodes a journal file, tolerating a torn final record.
+/// Decodes journal `bytes` (either format), tolerating a torn final
+/// record; see [`RecoveryMode`] for corruption handling.
 ///
 /// # Errors
-/// Returns [`KdbError::Io`] on filesystem failures.
-pub fn replay(path: &Path) -> Result<Replay, KdbError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+/// Returns [`KdbError::Corrupt`] under [`RecoveryMode::Strict`] when a
+/// v2 journal is corrupt mid-file.
+pub fn replay_bytes(bytes: &[u8], mode: RecoveryMode) -> Result<Replay, KdbError> {
+    if bytes.starts_with(V2_MAGIC) {
+        return replay_v2(bytes, mode);
+    }
+    // v1: unframed op stream; any decode failure is treated as a torn
+    // tail (v1 cannot localize corruption — that is why v2 exists).
     let mut ops = Vec::new();
     let mut pos = 0usize;
     loop {
@@ -182,50 +390,199 @@ pub fn replay(path: &Path) -> Result<Replay, KdbError> {
                 ops,
                 valid_len: pos as u64,
                 truncated: false,
+                version: JournalVersion::V1,
+                corruption: None,
             });
         }
         let mark = pos;
-        match Op::decode_prefix(&bytes, &mut pos) {
+        match Op::decode_prefix(bytes, &mut pos) {
             Ok(op) => ops.push(op),
             Err(_) => {
-                // Torn tail: everything before `mark` replayed cleanly.
                 return Ok(Replay {
                     ops,
                     valid_len: mark as u64,
                     truncated: true,
+                    version: JournalVersion::V1,
+                    corruption: None,
                 });
             }
         }
     }
 }
 
+fn replay_v2(bytes: &[u8], mode: RecoveryMode) -> Result<Replay, KdbError> {
+    let mut ops = Vec::new();
+    let mut pos = V2_MAGIC.len();
+    loop {
+        if pos >= bytes.len() {
+            return Ok(Replay {
+                ops,
+                valid_len: pos as u64,
+                truncated: false,
+                version: JournalVersion::V2,
+                corruption: None,
+            });
+        }
+        let mark = pos;
+        match decode_frame(bytes, &mut pos, ops.len() as u64) {
+            Ok(op) => ops.push(op),
+            Err(FrameFail::Torn) => {
+                return Ok(Replay {
+                    valid_len: mark as u64,
+                    truncated: true,
+                    version: JournalVersion::V2,
+                    corruption: None,
+                    ops,
+                });
+            }
+            Err(FrameFail::Corrupt(reason)) => {
+                let record = ops.len();
+                return match mode {
+                    RecoveryMode::Strict => Err(KdbError::Corrupt {
+                        offset: mark as u64,
+                        record,
+                        reason,
+                    }),
+                    RecoveryMode::Salvage => Ok(Replay {
+                        valid_len: mark as u64,
+                        truncated: true,
+                        version: JournalVersion::V2,
+                        corruption: Some(CorruptionReport {
+                            offset: mark as u64,
+                            record,
+                            reason,
+                        }),
+                        ops,
+                    }),
+                };
+            }
+        }
+    }
+}
+
+/// Reads and decodes a journal file from the real filesystem under
+/// [`RecoveryMode::Strict`].
+///
+/// # Errors
+/// Returns [`KdbError::Io`] on filesystem failures or
+/// [`KdbError::Corrupt`] on mid-file corruption.
+pub fn replay(path: &Path) -> Result<Replay, KdbError> {
+    replay_with(&FileStorage, path, RecoveryMode::Strict)
+}
+
+/// [`replay`] through an arbitrary [`Storage`] backend.
+///
+/// # Errors
+/// Returns [`KdbError::Io`] on storage failures or
+/// [`KdbError::Corrupt`] on mid-file corruption in strict mode.
+pub fn replay_with(
+    storage: &dyn Storage,
+    path: &Path,
+    mode: RecoveryMode,
+) -> Result<Replay, KdbError> {
+    replay_bytes(&storage.read(path)?, mode)
+}
+
 /// An open journal writer.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    storage: Arc<dyn Storage>,
+    file: Box<dyn StorageFile>,
+    version: JournalVersion,
+    next_seq: u64,
+    durability: DurabilityPolicy,
+    /// Ops appended (acknowledged) since open.
+    appended: u64,
+    /// Ops known fsynced since open.
+    synced: u64,
+    /// Appends since the last successful fsync.
+    pending: usize,
+    last_sync: Instant,
+    /// Swallowed fsync failures (the append itself was acknowledged
+    /// non-durable; see [`Journal::append`]).
+    sync_faults: u64,
+    /// Set after a failed write: the file may hold a torn frame, so
+    /// appending more would bury valid records behind garbage. All
+    /// further appends fail fast until the journal is reopened (which
+    /// truncates the torn tail).
+    poisoned: Option<String>,
 }
 
 impl Journal {
-    /// Opens (creating if needed) the journal for appending. When a torn
-    /// tail is detected the file is first truncated to its valid prefix.
+    /// Opens (creating if needed) the journal for appending on the real
+    /// filesystem with the default durability policy. When a torn tail
+    /// was detected the file is first truncated to its valid prefix and
+    /// fsynced.
     ///
     /// # Errors
     /// Returns [`KdbError::Io`] on filesystem failures.
     pub fn open(path: &Path, valid_len: Option<u64>) -> Result<Self, KdbError> {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(false)
-            .open(path)?;
-        if let Some(len) = valid_len {
-            file.set_len(len)?;
+        Self::open_with(
+            Arc::new(FileStorage),
+            path,
+            valid_len,
+            DurabilityPolicy::default(),
+        )
+    }
+
+    /// [`Journal::open`] through an arbitrary backend and durability
+    /// policy. New (or empty) journals are created v2; existing files
+    /// keep their format so a v1 journal is never rewritten in place —
+    /// the upgrade happens at the next [`Journal::rewrite`].
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] on storage failures.
+    pub fn open_with(
+        storage: Arc<dyn Storage>,
+        path: &Path,
+        valid_len: Option<u64>,
+        durability: DurabilityPolicy,
+    ) -> Result<Self, KdbError> {
+        // Determine the format and next sequence number from the valid
+        // prefix (salvage-mode scan: the prefix below `valid_len` is
+        // already known clean, so this cannot error).
+        let (version, next_seq) = if storage.exists(path) {
+            let mut bytes = storage.read(path)?;
+            if let Some(len) = valid_len {
+                bytes.truncate(usize::try_from(len).unwrap_or(usize::MAX));
+            }
+            if bytes.is_empty() {
+                (JournalVersion::V2, 0)
+            } else {
+                let replayed = replay_bytes(&bytes, RecoveryMode::Salvage)?;
+                (replayed.version, replayed.ops.len() as u64)
+            }
+        } else {
+            (JournalVersion::V2, 0)
+        };
+        let mut file = storage.open_append(path, valid_len)?;
+        if valid_len.is_some() {
+            // A torn tail was truncated away: make the truncation
+            // itself durable before acknowledging new appends.
+            file.sync()?;
         }
-        file.seek(SeekFrom::End(0))?;
-        Ok(Self {
+        let mut journal = Self {
             path: path.to_path_buf(),
-            writer: BufWriter::new(file),
-        })
+            storage,
+            file,
+            version,
+            next_seq,
+            durability,
+            appended: 0,
+            synced: 0,
+            pending: 0,
+            last_sync: Instant::now(),
+            sync_faults: 0,
+            poisoned: None,
+        };
+        if journal.version == JournalVersion::V2 && journal.next_seq == 0 {
+            // New or emptied file: stamp the magic (idempotent — a
+            // truncate-to-zero recovery lands here too).
+            journal.file.append(V2_MAGIC)?;
+            journal.file.flush()?;
+        }
+        Ok(journal)
     }
 
     /// The journal file path.
@@ -233,41 +590,154 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one op and flushes it to the OS.
+    /// The on-disk format this journal is appending in.
+    pub fn version(&self) -> JournalVersion {
+        self.version
+    }
+
+    /// The active durability policy.
+    pub fn durability(&self) -> DurabilityPolicy {
+        self.durability
+    }
+
+    /// Replaces the durability policy for subsequent appends.
+    pub fn set_durability(&mut self, durability: DurabilityPolicy) {
+        self.durability = durability;
+    }
+
+    /// Ops appended (acknowledged) since this journal was opened.
+    pub fn acked_ops(&self) -> u64 {
+        self.appended
+    }
+
+    /// Ops known durable (covered by a successful fsync) since open.
+    pub fn durable_ops(&self) -> u64 {
+        self.synced
+    }
+
+    /// Fsync failures swallowed by [`Journal::append`] so far.
+    pub fn sync_faults(&self) -> u64 {
+        self.sync_faults
+    }
+
+    /// Why this journal refuses appends, if a failed write poisoned it.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Appends one op, flushes it to the OS, and fsyncs according to
+    /// the durability policy. Returns whether the op is known durable.
+    ///
+    /// A failed *write* leaves the journal without the record (any torn
+    /// prefix is truncated at the next open) and returns the error. A
+    /// failed *fsync* after a successful write does **not** error — the
+    /// record exists, only its durability is unacknowledged — it is
+    /// counted in [`Journal::sync_faults`] and the op reported
+    /// non-durable, so the caller's in-memory state never diverges from
+    /// the journal.
     ///
     /// # Errors
     /// Returns [`KdbError::Io`] on write failures.
-    pub fn append(&mut self, op: &Op) -> Result<(), KdbError> {
-        let mut buf = String::new();
-        op.encode_into(&mut buf);
-        self.writer.write_all(buf.as_bytes())?;
-        self.writer.flush()?;
+    pub fn append(&mut self, op: &Op) -> Result<bool, KdbError> {
+        if let Some(reason) = &self.poisoned {
+            return Err(KdbError::Io(format!("journal poisoned: {reason}")));
+        }
+        let mut payload = String::new();
+        op.encode_into(&mut payload);
+        let wrote = match self.version {
+            JournalVersion::V1 => self.file.append(payload.as_bytes()),
+            JournalVersion::V2 => {
+                let mut frame = Vec::with_capacity(payload.len() + 40);
+                encode_frame(payload.as_bytes(), self.next_seq, &mut frame);
+                self.file.append(&frame)
+            }
+        }
+        .and_then(|()| self.file.flush());
+        if let Err(e) = wrote {
+            // The record may be partially on disk; refuse further
+            // appends so replay-valid frames never follow a torn one.
+            self.poisoned = Some(e.to_string());
+            return Err(e);
+        }
+        self.next_seq += 1;
+        self.appended += 1;
+        self.pending += 1;
+        let want_sync = match self.durability {
+            DurabilityPolicy::Always => true,
+            DurabilityPolicy::Batch { max_ops, max_delay } => {
+                self.pending >= max_ops.max(1) || self.last_sync.elapsed() >= max_delay
+            }
+            DurabilityPolicy::SnapshotOnly => false,
+        };
+        if want_sync {
+            match self.sync() {
+                Ok(()) => return Ok(true),
+                Err(_) => {
+                    self.sync_faults += 1;
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Forces an fsync, acknowledging every appended op as durable.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] when the flush or fsync fails.
+    pub fn sync(&mut self) -> Result<(), KdbError> {
+        self.file.sync()?;
+        self.pending = 0;
+        self.synced = self.appended;
+        self.last_sync = Instant::now();
         Ok(())
     }
 
     /// Atomically replaces the journal contents with the given op
-    /// sequence (snapshot compaction): writes a temp file, fsyncs, and
-    /// renames over the original.
+    /// sequence (snapshot compaction): writes a v2 temp file, fsyncs
+    /// it, renames over the original, and fsyncs the parent directory
+    /// so the rename itself survives a crash. A v1 journal is upgraded
+    /// to v2 here.
     ///
     /// # Errors
-    /// Returns [`KdbError::Io`] on filesystem failures.
+    /// Returns [`KdbError::Io`] on storage failures. A failed rewrite
+    /// poisons the journal (the append handle may point at a replaced
+    /// file); reopening recovers whichever image the rename left behind.
     pub fn rewrite(&mut self, ops: &[Op]) -> Result<(), KdbError> {
+        self.do_rewrite(ops).inspect_err(|e| {
+            self.poisoned = Some(format!("rewrite failed: {e}"));
+        })
+    }
+
+    fn do_rewrite(&mut self, ops: &[Op]) -> Result<(), KdbError> {
         let tmp = self.path.with_extension("tmp");
         {
-            let mut w = BufWriter::new(File::create(&tmp)?);
-            let mut buf = String::new();
-            for op in ops {
-                buf.clear();
-                op.encode_into(&mut buf);
-                w.write_all(buf.as_bytes())?;
+            let mut w = self.storage.create(&tmp)?;
+            let mut frame = Vec::with_capacity(4096);
+            frame.extend_from_slice(V2_MAGIC);
+            let mut payload = String::new();
+            for (seq, op) in ops.iter().enumerate() {
+                payload.clear();
+                op.encode_into(&mut payload);
+                encode_frame(payload.as_bytes(), seq as u64, &mut frame);
+                if frame.len() >= 1 << 16 {
+                    w.append(&frame)?;
+                    frame.clear();
+                }
             }
-            w.flush()?;
-            w.get_ref().sync_all()?;
+            w.append(&frame)?;
+            w.sync()?;
         }
-        std::fs::rename(&tmp, &self.path)?;
-        let mut file = OpenOptions::new().write(true).open(&self.path)?;
-        file.seek(SeekFrom::End(0))?;
-        self.writer = BufWriter::new(file);
+        self.storage.rename(&tmp, &self.path)?;
+        self.storage.sync_dir(&self.path)?;
+        self.file = self.storage.open_append(&self.path, None)?;
+        self.version = JournalVersion::V2;
+        self.next_seq = ops.len() as u64;
+        self.pending = 0;
+        self.last_sync = Instant::now();
+        // A compaction replaces the file wholesale, so any torn tail
+        // that poisoned the old image is gone.
+        self.poisoned = None;
         Ok(())
     }
 }
@@ -275,6 +745,7 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::MemStorage;
 
     fn ops_sample() -> Vec<Op> {
         vec![
@@ -302,6 +773,21 @@ mod tests {
         ]
     }
 
+    /// A v1-format journal image for compatibility tests.
+    fn v1_image(ops: &[Op]) -> Vec<u8> {
+        let mut buf = String::new();
+        for op in ops {
+            op.encode_into(&mut buf);
+        }
+        buf.into_bytes()
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
     #[test]
     fn op_encode_decode_round_trip() {
         for op in ops_sample() {
@@ -320,12 +806,14 @@ mod tests {
         std::fs::remove_file(&path).ok();
         {
             let mut j = Journal::open(&path, None).unwrap();
+            assert_eq!(j.version(), JournalVersion::V2);
             for op in ops_sample() {
                 j.append(&op).unwrap();
             }
         }
         let replayed = replay(&path).unwrap();
         assert_eq!(replayed.ops, ops_sample());
+        assert_eq!(replayed.version, JournalVersion::V2);
         assert!(!replayed.truncated);
         std::fs::remove_file(&path).ok();
     }
@@ -345,6 +833,7 @@ mod tests {
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
         let replayed = replay(&path).unwrap();
         assert!(replayed.truncated);
+        assert!(replayed.corruption.is_none(), "torn, not corrupt");
         assert_eq!(replayed.ops, ops_sample()[..4].to_vec());
         assert!(replayed.valid_len < full.len() as u64 - 3);
         // Re-opening with the valid length truncates; further appends
@@ -357,6 +846,93 @@ mod tests {
         assert!(!again.truncated);
         assert_eq!(again.ops, ops_sample());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_localized_not_truncated() {
+        let mem = MemStorage::new();
+        let path = Path::new("j");
+        {
+            let mut j = Journal::open_with(
+                Arc::new(mem.clone()),
+                path,
+                None,
+                DurabilityPolicy::default(),
+            )
+            .unwrap();
+            for op in ops_sample() {
+                j.append(&op).unwrap();
+            }
+        }
+        let mut bytes = mem.bytes(path).unwrap();
+        // Find the second frame and flip a payload byte inside it.
+        let clean = replay_bytes(&bytes, RecoveryMode::Strict).unwrap();
+        assert_eq!(clean.ops.len(), 5);
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x40;
+        mem.install(path, bytes.clone());
+
+        let strict = replay_with(&mem, path, RecoveryMode::Strict);
+        let err = strict.expect_err("corruption must be loud in strict mode");
+        let KdbError::Corrupt {
+            offset,
+            record,
+            reason,
+        } = &err
+        else {
+            panic!("expected Corrupt, got {err:?}");
+        };
+        assert!(*offset < bytes.len() as u64);
+        assert!(*record < 5);
+        assert!(!reason.is_empty());
+
+        let salvage = replay_with(&mem, path, RecoveryMode::Salvage).unwrap();
+        let report = salvage.corruption.expect("salvage reports the corruption");
+        assert_eq!(report.offset, *offset);
+        assert_eq!(report.record, *record);
+        assert!(salvage.truncated);
+        assert_eq!(salvage.ops.len(), *record, "valid prefix recovered");
+        assert_eq!(salvage.ops[..], ops_sample()[..*record]);
+    }
+
+    #[test]
+    fn v1_journals_replay_and_append_in_v1() {
+        let mem = MemStorage::new();
+        let path = Path::new("legacy");
+        mem.install(path, v1_image(&ops_sample()[..3]));
+        let replayed = replay_with(&mem, path, RecoveryMode::Strict).unwrap();
+        assert_eq!(replayed.version, JournalVersion::V1);
+        assert_eq!(replayed.ops, ops_sample()[..3].to_vec());
+        // Appends continue unframed so the file stays single-format.
+        {
+            let mut j = Journal::open_with(
+                Arc::new(mem.clone()),
+                path,
+                None,
+                DurabilityPolicy::default(),
+            )
+            .unwrap();
+            assert_eq!(j.version(), JournalVersion::V1);
+            j.append(&ops_sample()[3]).unwrap();
+        }
+        let again = replay_with(&mem, path, RecoveryMode::Strict).unwrap();
+        assert_eq!(again.version, JournalVersion::V1);
+        assert_eq!(again.ops, ops_sample()[..4].to_vec());
+        // Rewrite upgrades to v2.
+        {
+            let mut j = Journal::open_with(
+                Arc::new(mem.clone()),
+                path,
+                None,
+                DurabilityPolicy::default(),
+            )
+            .unwrap();
+            j.rewrite(&ops_sample()).unwrap();
+            assert_eq!(j.version(), JournalVersion::V2);
+        }
+        let upgraded = replay_with(&mem, path, RecoveryMode::Strict).unwrap();
+        assert_eq!(upgraded.version, JournalVersion::V2);
+        assert_eq!(upgraded.ops, ops_sample());
     }
 
     #[test]
@@ -378,6 +954,54 @@ mod tests {
         assert_eq!(replayed.ops.len(), 2);
         assert_eq!(replayed.ops[0], compacted[0]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn durability_policies_ack_when_promised() {
+        let mem = Arc::new(MemStorage::new());
+        let path = Path::new("d");
+        let mut j = Journal::open_with(
+            Arc::clone(&mem) as Arc<dyn Storage>,
+            path,
+            None,
+            DurabilityPolicy::Always,
+        )
+        .unwrap();
+        assert!(j.append(&ops_sample()[0]).unwrap(), "Always syncs per op");
+        assert_eq!(j.durable_ops(), 1);
+
+        j.set_durability(DurabilityPolicy::Batch {
+            max_ops: 3,
+            max_delay: Duration::from_secs(3600),
+        });
+        assert!(!j.append(&ops_sample()[1]).unwrap());
+        assert!(!j.append(&ops_sample()[2]).unwrap());
+        assert!(j.append(&ops_sample()[3]).unwrap(), "third op hits max_ops");
+        assert_eq!(j.durable_ops(), 4);
+
+        j.set_durability(DurabilityPolicy::SnapshotOnly);
+        assert!(!j.append(&ops_sample()[4]).unwrap());
+        assert_eq!(j.acked_ops(), 5);
+        assert_eq!(j.durable_ops(), 4);
+        j.sync().unwrap();
+        assert_eq!(j.durable_ops(), 5);
+    }
+
+    #[test]
+    fn swallowed_fsync_failures_are_counted_not_fatal() {
+        use crate::storage::{FaultKind, FaultyStorage};
+        let (storage, handle) = FaultyStorage::wrap(Arc::new(MemStorage::new()));
+        let mut j =
+            Journal::open_with(storage, Path::new("s"), None, DurabilityPolicy::Always).unwrap();
+        handle.fail_persistently(FaultKind::SyncFail);
+        let synced = j.append(&ops_sample()[0]).unwrap();
+        assert!(!synced, "append acknowledged but not durable");
+        assert_eq!(j.sync_faults(), 1);
+        assert_eq!(j.acked_ops(), 1);
+        assert_eq!(j.durable_ops(), 0);
+        handle.clear();
+        assert!(j.append(&ops_sample()[1]).unwrap());
+        assert_eq!(j.durable_ops(), 2);
     }
 
     #[test]

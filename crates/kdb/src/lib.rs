@@ -34,6 +34,7 @@ pub mod index;
 pub mod journal;
 pub mod query;
 pub mod schema;
+pub mod storage;
 pub mod store;
 
 mod error;
@@ -42,8 +43,10 @@ pub use collection::{Collection, DocId};
 pub use document::{Document, Value};
 pub use error::KdbError;
 pub use find::{count_by, find_with, FindOptions, Order};
+pub use journal::{CorruptionReport, DurabilityPolicy, JournalVersion, RecoveryMode};
 pub use query::Filter;
-pub use store::Kdb;
+pub use storage::{FaultHandle, FaultKind, FaultyStorage, FileStorage, MemStorage, Storage};
+pub use store::{Kdb, StoreOptions};
 
 /// A [`Kdb`] shareable across threads.
 pub type SharedKdb = std::sync::Arc<parking_lot::RwLock<Kdb>>;

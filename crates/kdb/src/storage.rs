@@ -1,0 +1,672 @@
+//! Pluggable storage backends for the journal, with deterministic fault
+//! injection.
+//!
+//! The journal never touches `std::fs` directly: every byte flows
+//! through the [`Storage`] / [`StorageFile`] traits, so crash and disk
+//! failure behavior is testable in-process. Three backends:
+//!
+//! * [`FileStorage`] — the real filesystem (buffered appends, `fsync`,
+//!   atomic rename, parent-directory sync);
+//! * [`MemStorage`] — a shared in-memory file map. Fast enough that the
+//!   torture harness can reopen the store once per *byte offset* of the
+//!   journal, and inspectable so tests can cut or flip bytes directly;
+//! * [`FaultyStorage`] — wraps any backend and injects faults at
+//!   deterministic operation ticks via a [`FaultHandle`]: short writes,
+//!   `ENOSPC`, `EIO`, failed fsyncs, and read-side bit corruption.
+//!
+//! Every fault is either scheduled at an exact tick (`fail_at`) or
+//! persistent (`fail_persistently`), so a failing torture case replays
+//! exactly from its printed seed and tick.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::KdbError;
+
+/// A filesystem-shaped backend the journal writes through.
+///
+/// Implementations must be cheap to share (`Arc<dyn Storage>`); all
+/// methods take `&self`.
+pub trait Storage: fmt::Debug + Send + Sync {
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Reads the entire file.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] when the file is missing or unreadable.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, KdbError>;
+
+    /// Opens (creating if needed) a file for appending. When
+    /// `truncate_to` is given the file is first truncated to that
+    /// length (torn-tail recovery).
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] on filesystem failures.
+    fn open_append(
+        &self,
+        path: &Path,
+        truncate_to: Option<u64>,
+    ) -> Result<Box<dyn StorageFile>, KdbError>;
+
+    /// Creates (truncating) a file for writing — temp files for
+    /// snapshot compaction.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] on filesystem failures.
+    fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, KdbError>;
+
+    /// Atomically renames `from` over `to`.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] on filesystem failures.
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), KdbError>;
+
+    /// Fsyncs the directory containing `path`, making a preceding
+    /// rename durable. Backends without directory semantics no-op.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] on filesystem failures.
+    fn sync_dir(&self, path: &Path) -> Result<(), KdbError>;
+}
+
+/// An open append/write handle from a [`Storage`] backend.
+pub trait StorageFile: fmt::Debug + Send + Sync {
+    /// Appends all of `buf`. A failing implementation may have written
+    /// any prefix of `buf` (a torn write).
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] on write failures.
+    fn append(&mut self, buf: &[u8]) -> Result<(), KdbError>;
+
+    /// Pushes buffered bytes to the OS (no durability guarantee).
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] on write failures.
+    fn flush(&mut self) -> Result<(), KdbError>;
+
+    /// Flushes and fsyncs: on success every appended byte survives
+    /// power loss.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] when the flush or fsync fails.
+    fn sync(&mut self) -> Result<(), KdbError>;
+}
+
+// ---------------------------------------------------------------------
+// Real filesystem backend.
+// ---------------------------------------------------------------------
+
+/// The real filesystem backend (buffered writer per open file).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FileStorage;
+
+#[derive(Debug)]
+struct FileHandle {
+    writer: BufWriter<File>,
+}
+
+impl StorageFile for FileHandle {
+    fn append(&mut self, buf: &[u8]) -> Result<(), KdbError> {
+        self.writer.write_all(buf)?;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), KdbError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), KdbError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+}
+
+impl Storage for FileStorage {
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, KdbError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn open_append(
+        &self,
+        path: &Path,
+        truncate_to: Option<u64>,
+    ) -> Result<Box<dyn StorageFile>, KdbError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        if let Some(len) = truncate_to {
+            file.set_len(len)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Box::new(FileHandle {
+            writer: BufWriter::new(file),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, KdbError> {
+        Ok(Box::new(FileHandle {
+            writer: BufWriter::new(File::create(path)?),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), KdbError> {
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> Result<(), KdbError> {
+        // A relative bare filename has parent "" — resolve to ".".
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)?.sync_all()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory backend.
+// ---------------------------------------------------------------------
+
+/// A shared in-memory file map: cloning shares the same files, so a
+/// harness can hold one handle while the store writes through another.
+#[derive(Debug, Default, Clone)]
+pub struct MemStorage {
+    files: Arc<Mutex<HashMap<PathBuf, Vec<u8>>>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the file's current bytes, if it exists.
+    pub fn bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files.lock().get(path).cloned()
+    }
+
+    /// The file's current length in bytes, if it exists.
+    pub fn len(&self, path: &Path) -> Option<usize> {
+        self.files.lock().get(path).map(Vec::len)
+    }
+
+    /// Writes a file wholesale (the torture harness uses this to
+    /// install cut or corrupted journal images).
+    pub fn install(&self, path: &Path, bytes: Vec<u8>) {
+        self.files.lock().insert(path.to_path_buf(), bytes);
+    }
+
+    /// Removes a file, returning whether it existed.
+    pub fn remove(&self, path: &Path) -> bool {
+        self.files.lock().remove(path).is_some()
+    }
+}
+
+#[derive(Debug)]
+struct MemHandle {
+    files: Arc<Mutex<HashMap<PathBuf, Vec<u8>>>>,
+    path: PathBuf,
+}
+
+impl StorageFile for MemHandle {
+    fn append(&mut self, buf: &[u8]) -> Result<(), KdbError> {
+        self.files
+            .lock()
+            .entry(self.path.clone())
+            .or_default()
+            .extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), KdbError> {
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), KdbError> {
+        Ok(())
+    }
+}
+
+impl Storage for MemStorage {
+    fn exists(&self, path: &Path) -> bool {
+        self.files.lock().contains_key(path)
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, KdbError> {
+        self.files
+            .lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| KdbError::Io(format!("mem: no such file {}", path.display())))
+    }
+
+    fn open_append(
+        &self,
+        path: &Path,
+        truncate_to: Option<u64>,
+    ) -> Result<Box<dyn StorageFile>, KdbError> {
+        let mut files = self.files.lock();
+        let file = files.entry(path.to_path_buf()).or_default();
+        if let Some(len) = truncate_to {
+            file.truncate(usize::try_from(len).unwrap_or(usize::MAX));
+        }
+        drop(files);
+        Ok(Box::new(MemHandle {
+            files: Arc::clone(&self.files),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, KdbError> {
+        self.files.lock().insert(path.to_path_buf(), Vec::new());
+        Ok(Box::new(MemHandle {
+            files: Arc::clone(&self.files),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), KdbError> {
+        let mut files = self.files.lock();
+        let bytes = files
+            .remove(from)
+            .ok_or_else(|| KdbError::Io(format!("mem: no such file {}", from.display())))?;
+        files.insert(to.to_path_buf(), bytes);
+        Ok(())
+    }
+
+    fn sync_dir(&self, _path: &Path) -> Result<(), KdbError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------
+
+/// A fault the wrapper can inject at a storage-operation tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An append writes only half its bytes, then fails with `ENOSPC` —
+    /// the torn-write shape of a full disk.
+    ShortWrite,
+    /// An append (or create/rename) fails with `ENOSPC` before writing.
+    NoSpace,
+    /// Any operation fails with `EIO`.
+    IoError,
+    /// An fsync fails; the bytes reached the OS but durability is not
+    /// acknowledged.
+    SyncFail,
+    /// A read returns the file with one deterministically chosen bit
+    /// flipped — silent media corruption.
+    BitFlip,
+}
+
+impl FaultKind {
+    /// Every injectable fault, in a stable order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::ShortWrite,
+        FaultKind::NoSpace,
+        FaultKind::IoError,
+        FaultKind::SyncFail,
+        FaultKind::BitFlip,
+    ];
+
+    /// A stable diagnostic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ShortWrite => "short_write",
+            FaultKind::NoSpace => "enospc",
+            FaultKind::IoError => "eio",
+            FaultKind::SyncFail => "fsync_fail",
+            FaultKind::BitFlip => "bit_flip",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::ShortWrite => 0,
+            FaultKind::NoSpace => 1,
+            FaultKind::IoError => 2,
+            FaultKind::SyncFail => 3,
+            FaultKind::BitFlip => 4,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultPlan {
+    one_shot: BTreeMap<u64, FaultKind>,
+    persistent: Option<FaultKind>,
+}
+
+#[derive(Debug, Default)]
+struct FaultControl {
+    tick: AtomicU64,
+    plan: Mutex<FaultPlan>,
+    injected: [AtomicU64; FaultKind::ALL.len()],
+}
+
+impl FaultControl {
+    /// Advances the tick and returns the fault scheduled for it, if any.
+    fn next_fault(&self) -> Option<FaultKind> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut plan = self.plan.lock();
+        plan.one_shot.remove(&tick).or(plan.persistent)
+    }
+
+    fn inject(&self, kind: FaultKind) {
+        self.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Scheduling and inspection handle for a [`FaultyStorage`] — the
+/// wrapper keeps working after the handle is dropped, fault-free.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    ctl: Arc<FaultControl>,
+}
+
+impl FaultHandle {
+    /// Schedules `kind` to fire at operation tick `tick` (one-shot).
+    /// Ticks count every storage operation: appends, syncs, reads,
+    /// creates, renames, and dir-syncs, in call order.
+    pub fn fail_at(&self, tick: u64, kind: FaultKind) {
+        self.ctl.plan.lock().one_shot.insert(tick, kind);
+    }
+
+    /// Makes every subsequent eligible operation fail with `kind` until
+    /// [`FaultHandle::clear`] — a persistently broken disk.
+    pub fn fail_persistently(&self, kind: FaultKind) {
+        self.ctl.plan.lock().persistent = Some(kind);
+    }
+
+    /// Removes all scheduled and persistent faults.
+    pub fn clear(&self) {
+        let mut plan = self.ctl.plan.lock();
+        plan.one_shot.clear();
+        plan.persistent = None;
+    }
+
+    /// Operation ticks consumed so far (the fault-point space the
+    /// torture harness enumerates).
+    pub fn ticks(&self) -> u64 {
+        self.ctl.tick.load(Ordering::Relaxed)
+    }
+
+    /// How many faults of `kind` actually fired.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.ctl.injected[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        FaultKind::ALL.iter().map(|&k| self.injected(k)).sum()
+    }
+}
+
+/// Wraps a backend and injects scheduled faults (see [`FaultHandle`]).
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    ctl: Arc<FaultControl>,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner`, returning the storage and its scheduling handle.
+    pub fn wrap(inner: Arc<dyn Storage>) -> (Arc<Self>, FaultHandle) {
+        let ctl = Arc::new(FaultControl::default());
+        (
+            Arc::new(Self {
+                inner,
+                ctl: Arc::clone(&ctl),
+            }),
+            FaultHandle { ctl },
+        )
+    }
+
+    fn fail_io(&self, kind: FaultKind, what: &str) -> KdbError {
+        self.ctl.inject(kind);
+        KdbError::Io(format!("injected {} during {what}", kind.name()))
+    }
+}
+
+/// SplitMix64: deterministic bit selection for read corruption.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Storage for FaultyStorage {
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, KdbError> {
+        let fault = self.ctl.next_fault();
+        let mut bytes = self.inner.read(path)?;
+        match fault {
+            Some(FaultKind::BitFlip) if !bytes.is_empty() => {
+                self.ctl.inject(FaultKind::BitFlip);
+                let r = mix64(self.ctl.tick.load(Ordering::Relaxed));
+                let idx = (r % bytes.len() as u64) as usize;
+                bytes[idx] ^= 1 << ((r >> 32) % 8);
+                Ok(bytes)
+            }
+            Some(FaultKind::IoError) => Err(self.fail_io(FaultKind::IoError, "read")),
+            _ => Ok(bytes),
+        }
+    }
+
+    fn open_append(
+        &self,
+        path: &Path,
+        truncate_to: Option<u64>,
+    ) -> Result<Box<dyn StorageFile>, KdbError> {
+        match self.ctl.next_fault() {
+            Some(FaultKind::IoError) => Err(self.fail_io(FaultKind::IoError, "open")),
+            _ => Ok(Box::new(FaultyFile {
+                inner: self.inner.open_append(path, truncate_to)?,
+                ctl: Arc::clone(&self.ctl),
+            })),
+        }
+    }
+
+    fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, KdbError> {
+        match self.ctl.next_fault() {
+            Some(kind @ (FaultKind::IoError | FaultKind::NoSpace)) => {
+                Err(self.fail_io(kind, "create"))
+            }
+            _ => Ok(Box::new(FaultyFile {
+                inner: self.inner.create(path)?,
+                ctl: Arc::clone(&self.ctl),
+            })),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), KdbError> {
+        match self.ctl.next_fault() {
+            Some(kind @ (FaultKind::IoError | FaultKind::NoSpace)) => {
+                Err(self.fail_io(kind, "rename"))
+            }
+            _ => self.inner.rename(from, to),
+        }
+    }
+
+    fn sync_dir(&self, path: &Path) -> Result<(), KdbError> {
+        match self.ctl.next_fault() {
+            Some(kind @ (FaultKind::IoError | FaultKind::SyncFail)) => {
+                Err(self.fail_io(kind, "dir sync"))
+            }
+            _ => self.inner.sync_dir(path),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultyFile {
+    inner: Box<dyn StorageFile>,
+    ctl: Arc<FaultControl>,
+}
+
+impl FaultyFile {
+    fn fail_io(&self, kind: FaultKind, what: &str) -> KdbError {
+        self.ctl.inject(kind);
+        KdbError::Io(format!("injected {} during {what}", kind.name()))
+    }
+}
+
+impl StorageFile for FaultyFile {
+    fn append(&mut self, buf: &[u8]) -> Result<(), KdbError> {
+        match self.ctl.next_fault() {
+            Some(FaultKind::ShortWrite) => {
+                // Half the record lands on disk, then the device fills.
+                self.inner.append(&buf[..buf.len() / 2])?;
+                Err(self.fail_io(FaultKind::ShortWrite, "append"))
+            }
+            Some(kind @ (FaultKind::NoSpace | FaultKind::IoError)) => {
+                Err(self.fail_io(kind, "append"))
+            }
+            _ => self.inner.append(buf),
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), KdbError> {
+        // Flush is paired with every append; faults tick on the append.
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> Result<(), KdbError> {
+        match self.ctl.next_fault() {
+            Some(kind @ (FaultKind::SyncFail | FaultKind::IoError)) => {
+                Err(self.fail_io(kind, "fsync"))
+            }
+            _ => self.inner.sync(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_round_trips_and_shares() {
+        let mem = MemStorage::new();
+        let path = Path::new("j");
+        assert!(!mem.exists(path));
+        let mut f = mem.open_append(path, None).unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync().unwrap();
+        // A clone sees the same file.
+        let view = mem.clone();
+        assert_eq!(view.read(path).unwrap(), b"hello world");
+        assert_eq!(view.len(path), Some(11));
+        // Truncating reopen drops the tail.
+        let mut f = mem.open_append(path, Some(5)).unwrap();
+        f.append(b"!").unwrap();
+        assert_eq!(mem.bytes(path).unwrap(), b"hello!");
+        mem.rename(path, Path::new("k")).unwrap();
+        assert!(!mem.exists(path));
+        assert_eq!(mem.read(Path::new("k")).unwrap(), b"hello!");
+    }
+
+    #[test]
+    fn file_storage_appends_truncates_and_renames() {
+        let dir = std::env::temp_dir();
+        let a = dir.join(format!("ada_storage_a_{}", std::process::id()));
+        let b = dir.join(format!("ada_storage_b_{}", std::process::id()));
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+        let fs = FileStorage;
+        let mut f = fs.open_append(&a, None).unwrap();
+        f.append(b"0123456789").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let mut f = fs.open_append(&a, Some(4)).unwrap();
+        f.append(b"X").unwrap();
+        f.flush().unwrap();
+        drop(f);
+        assert_eq!(fs.read(&a).unwrap(), b"0123X");
+        fs.rename(&a, &b).unwrap();
+        fs.sync_dir(&b).unwrap();
+        assert!(!fs.exists(&a) && fs.exists(&b));
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn one_shot_fault_fires_at_its_tick_only() {
+        let (storage, handle) = FaultyStorage::wrap(Arc::new(MemStorage::new()));
+        let path = Path::new("j");
+        let mut f = storage.open_append(path, None).unwrap(); // tick 0
+        handle.fail_at(2, FaultKind::NoSpace);
+        f.append(b"a").unwrap(); // tick 1
+        let err = f.append(b"b").unwrap_err(); // tick 2 — fault
+        assert!(err.to_string().contains("enospc"), "{err}");
+        f.append(b"c").unwrap(); // tick 3 — healthy again
+        assert_eq!(handle.injected(FaultKind::NoSpace), 1);
+        assert_eq!(handle.injected_total(), 1);
+        assert!(handle.ticks() >= 4);
+    }
+
+    #[test]
+    fn short_write_leaves_a_torn_prefix() {
+        let mem = Arc::new(MemStorage::new());
+        let (storage, handle) = FaultyStorage::wrap(mem.clone());
+        let path = Path::new("j");
+        let mut f = storage.open_append(path, None).unwrap();
+        handle.fail_persistently(FaultKind::ShortWrite);
+        assert!(f.append(b"0123456789").is_err());
+        assert_eq!(mem.bytes(path).unwrap(), b"01234", "half the record");
+        handle.clear();
+        f.append(b"ok").unwrap();
+        assert_eq!(mem.bytes(path).unwrap(), b"01234ok");
+    }
+
+    #[test]
+    fn sync_fault_fails_fsync_but_not_appends() {
+        let (storage, handle) = FaultyStorage::wrap(Arc::new(MemStorage::new()));
+        let mut f = storage.open_append(Path::new("j"), None).unwrap();
+        handle.fail_persistently(FaultKind::SyncFail);
+        f.append(b"x").unwrap();
+        assert!(f.sync().is_err());
+        assert_eq!(handle.injected(FaultKind::SyncFail), 1);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit_deterministically() {
+        let mem = Arc::new(MemStorage::new());
+        mem.install(Path::new("j"), vec![0u8; 64]);
+        let (storage, handle) = FaultyStorage::wrap(mem);
+        handle.fail_at(0, FaultKind::BitFlip);
+        let corrupted = storage.read(Path::new("j")).unwrap();
+        let flipped: u32 = corrupted.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped");
+        // Subsequent reads are clean.
+        let clean = storage.read(Path::new("j")).unwrap();
+        assert!(clean.iter().all(|&b| b == 0));
+        assert_eq!(handle.injected(FaultKind::BitFlip), 1);
+    }
+}

@@ -1,13 +1,64 @@
 //! The K-DB database object: named collections + optional journal.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::collection::{Collection, DocId};
 use crate::document::Document;
 use crate::error::KdbError;
-use crate::journal::{replay, Journal, Op};
+use crate::journal::{replay_bytes, CorruptionReport, DurabilityPolicy, Journal, Op, RecoveryMode};
 use crate::query::Filter;
+use crate::storage::{FileStorage, Storage};
+
+/// How a [`Kdb`] opens its journal: which storage backend, what
+/// durability policy for appends, and how to react to corruption.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Storage backend (real filesystem by default; swap in
+    /// [`crate::storage::MemStorage`] or [`crate::storage::FaultyStorage`]
+    /// in tests).
+    pub storage: Arc<dyn Storage>,
+    /// When appended ops are fsynced.
+    pub durability: DurabilityPolicy,
+    /// Strict (fail loudly) or salvage (recover prefix + quarantine)
+    /// on mid-file corruption.
+    pub recovery: RecoveryMode,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self {
+            storage: Arc::new(FileStorage),
+            durability: DurabilityPolicy::default(),
+            recovery: RecoveryMode::default(),
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Options over a specific storage backend.
+    pub fn with_storage(storage: Arc<dyn Storage>) -> Self {
+        Self {
+            storage,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the durability policy.
+    #[must_use]
+    pub fn durability(mut self, durability: DurabilityPolicy) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Sets the corruption recovery mode.
+    #[must_use]
+    pub fn recovery(mut self, recovery: RecoveryMode) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
 
 /// A document database of named collections.
 ///
@@ -29,6 +80,10 @@ use crate::query::Filter;
 pub struct Kdb {
     collections: BTreeMap<String, Collection>,
     journal: Option<Journal>,
+    /// Journal append failures rolled back by the mutators.
+    log_failures: u64,
+    /// Corruption salvaged at open (quarantined remainder), if any.
+    salvaged: Option<CorruptionReport>,
 }
 
 impl Kdb {
@@ -37,6 +92,8 @@ impl Kdb {
         Self {
             collections: BTreeMap::new(),
             journal: None,
+            log_failures: 0,
+            salvaged: None,
         }
     }
 
@@ -45,24 +102,58 @@ impl Kdb {
     /// crash.
     ///
     /// # Errors
-    /// Returns [`KdbError::Io`] on filesystem failures or
+    /// Returns [`KdbError::Io`] on filesystem failures,
+    /// [`KdbError::Corrupt`] on mid-file corruption of a v2 journal, or
     /// [`KdbError::Journal`] when a *replayed* operation is inconsistent
     /// (e.g. an insert into a collection that was never created).
     pub fn open(path: &Path) -> Result<Self, KdbError> {
+        Self::open_with(path, StoreOptions::default())
+    }
+
+    /// [`Kdb::open`] with explicit storage backend, durability policy
+    /// and recovery mode. Under [`RecoveryMode::Salvage`] a corrupt
+    /// journal's valid prefix is recovered, the unreadable remainder is
+    /// copied to `<path>.quarantine`, and the report is available via
+    /// [`Kdb::salvaged`].
+    ///
+    /// # Errors
+    /// As [`Kdb::open`]; strict mode surfaces [`KdbError::Corrupt`].
+    pub fn open_with(path: &Path, options: StoreOptions) -> Result<Self, KdbError> {
+        let StoreOptions {
+            storage,
+            durability,
+            recovery,
+        } = options;
         let mut store = Self::in_memory();
-        let valid_len = if path.exists() {
-            let replayed = replay(path)?;
+        let valid_len = if storage.exists(path) {
+            let bytes = storage.read(path)?;
+            let replayed = replay_bytes(&bytes, recovery)?;
             for (line, op) in replayed.ops.into_iter().enumerate() {
                 store
                     .apply(&op)
                     .map_err(|e| KdbError::Journal(line + 1, e.to_string()))?;
             }
+            if let Some(report) = replayed.corruption {
+                // Salvage: preserve the unreadable remainder next to the
+                // journal before it is truncated away, for forensics.
+                let quarantine = quarantine_path(path);
+                let mut file = storage.create(&quarantine)?;
+                file.append(&bytes[usize::try_from(replayed.valid_len).unwrap_or(0)..])?;
+                file.sync()?;
+                store.salvaged = Some(report);
+            }
             Some(replayed.valid_len)
         } else {
             None
         };
-        store.journal = Some(Journal::open(path, valid_len)?);
+        store.journal = Some(Journal::open_with(storage, path, valid_len, durability)?);
         Ok(store)
+    }
+
+    /// The corruption report when this store was opened in salvage mode
+    /// over a corrupt journal (the remainder sits in `<path>.quarantine`).
+    pub fn salvaged(&self) -> Option<&CorruptionReport> {
+        self.salvaged.as_ref()
     }
 
     /// Applies an op to in-memory state (no journaling).
@@ -83,9 +174,16 @@ impl Kdb {
         }
     }
 
+    /// Appends an op to the journal. A failure here means the op was
+    /// **not** persisted: the caller must undo its in-memory effect so
+    /// memory never runs ahead of the journal. The failure is counted
+    /// towards [`Kdb::journal_fault_count`].
     fn log(&mut self, op: &Op) -> Result<(), KdbError> {
         if let Some(journal) = &mut self.journal {
-            journal.append(op)?;
+            if let Err(e) = journal.append(op) {
+                self.log_failures += 1;
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -103,9 +201,11 @@ impl Kdb {
     /// error from the journal.
     pub fn create_collection(&mut self, name: impl Into<String>) -> Result<(), KdbError> {
         let name = name.into();
-        let op = Op::CreateCollection { name };
+        let op = Op::CreateCollection { name: name.clone() };
         self.apply(&op)?;
-        self.log(&op)
+        self.log(&op).inspect_err(|_| {
+            self.collections.remove(&name);
+        })
     }
 
     /// Creates a collection if it does not already exist.
@@ -130,12 +230,17 @@ impl Kdb {
         collection: &str,
         path: impl Into<String>,
     ) -> Result<(), KdbError> {
+        let path = path.into();
         let op = Op::CreateIndex {
             name: collection.to_owned(),
-            path: path.into(),
+            path: path.clone(),
         };
         self.apply(&op)?;
-        self.log(&op)
+        self.log(&op).inspect_err(|_| {
+            if let Some(coll) = self.collections.get_mut(collection) {
+                coll.drop_index(&path);
+            }
+        })
     }
 
     /// Inserts a document, returning its id.
@@ -153,6 +258,11 @@ impl Kdb {
             name: collection.to_owned(),
             id,
             doc: stored,
+        })
+        .inspect_err(|_| {
+            if let Some(coll) = self.collections.get_mut(collection) {
+                coll.uninsert(id);
+            }
         })?;
         Ok(id)
     }
@@ -163,13 +273,18 @@ impl Kdb {
     /// Returns [`KdbError::UnknownCollection`],
     /// [`KdbError::UnknownDocument`] or a journal I/O error.
     pub fn update(&mut self, collection: &str, id: DocId, doc: Document) -> Result<(), KdbError> {
+        let prior = self.collection(collection).and_then(|c| c.get(id)).cloned();
         let op = Op::Update {
             name: collection.to_owned(),
             id,
             doc,
         };
         self.apply(&op)?;
-        self.log(&op)
+        self.log(&op).inspect_err(|_| {
+            if let (Some(coll), Some(old)) = (self.collections.get_mut(collection), prior) {
+                coll.update(id, old).expect("rollback of an applied update");
+            }
+        })
     }
 
     /// Deletes a document.
@@ -178,12 +293,18 @@ impl Kdb {
     /// Returns [`KdbError::UnknownCollection`],
     /// [`KdbError::UnknownDocument`] or a journal I/O error.
     pub fn delete(&mut self, collection: &str, id: DocId) -> Result<(), KdbError> {
+        let prior = self.collection(collection).and_then(|c| c.get(id)).cloned();
         let op = Op::Delete {
             name: collection.to_owned(),
             id,
         };
         self.apply(&op)?;
-        self.log(&op)
+        self.log(&op).inspect_err(|_| {
+            if let (Some(coll), Some(old)) = (self.collections.get_mut(collection), prior) {
+                coll.insert_with_id(id, old)
+                    .expect("rollback of an applied delete");
+            }
+        })
     }
 
     /// Borrows a collection for reads.
@@ -217,15 +338,10 @@ impl Kdb {
             .collect())
     }
 
-    /// Compacts the journal to the minimal op sequence reconstructing
-    /// the current state. No-op for in-memory stores.
-    ///
-    /// # Errors
-    /// Returns journal I/O errors.
-    pub fn snapshot(&mut self) -> Result<(), KdbError> {
-        let Some(journal) = &mut self.journal else {
-            return Ok(());
-        };
+    /// The minimal op sequence that reconstructs the current state, in
+    /// deterministic (collection name, doc id) order. This is both the
+    /// snapshot-compaction content and the basis of [`Kdb::fingerprint`].
+    pub fn state_ops(&self) -> Vec<Op> {
         let mut ops = Vec::new();
         for (name, coll) in &self.collections {
             ops.push(Op::CreateCollection { name: name.clone() });
@@ -243,8 +359,87 @@ impl Kdb {
                 });
             }
         }
+        ops
+    }
+
+    /// A 64-bit FNV-1a digest of the canonical state encoding. Two
+    /// stores holding the same collections/indexes/documents produce
+    /// the same fingerprint regardless of the journal history that got
+    /// them there — the equality check behind the torture harness's
+    /// prefix-consistency invariant.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = String::new();
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for op in self.state_ops() {
+            buf.clear();
+            op.encode_into(&mut buf);
+            for b in buf.as_bytes() {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            // Separate ops so concatenation ambiguity cannot collide.
+            hash ^= 0xFF;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Compacts the journal to the minimal op sequence reconstructing
+    /// the current state (upgrading v1 journals to v2). No-op for
+    /// in-memory stores.
+    ///
+    /// # Errors
+    /// Returns journal I/O errors.
+    pub fn snapshot(&mut self) -> Result<(), KdbError> {
+        let ops = self.state_ops();
+        let Some(journal) = &mut self.journal else {
+            return Ok(());
+        };
         journal.rewrite(&ops)
     }
+
+    /// Forces an fsync of the journal, making every acknowledged op
+    /// durable. No-op for in-memory stores.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] when the fsync fails.
+    pub fn sync(&mut self) -> Result<(), KdbError> {
+        match &mut self.journal {
+            Some(journal) => journal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Replaces the journal durability policy. No-op for in-memory
+    /// stores.
+    pub fn set_durability(&mut self, durability: DurabilityPolicy) {
+        if let Some(journal) = &mut self.journal {
+            journal.set_durability(durability);
+        }
+    }
+
+    /// Journal faults observed since open: append failures that were
+    /// rolled back plus fsync failures swallowed as non-durable acks.
+    /// The service watches this to decide when to degrade.
+    pub fn journal_fault_count(&self) -> u64 {
+        self.log_failures + self.journal.as_ref().map_or(0, Journal::sync_faults)
+    }
+
+    /// Ops acknowledged by the journal since open (0 when in-memory).
+    pub fn journal_acked_ops(&self) -> u64 {
+        self.journal.as_ref().map_or(0, Journal::acked_ops)
+    }
+
+    /// Ops known fsync-durable since open (0 when in-memory).
+    pub fn journal_durable_ops(&self) -> u64 {
+        self.journal.as_ref().map_or(0, Journal::durable_ops)
+    }
+}
+
+/// Where salvage mode preserves the unreadable remainder of a corrupt
+/// journal.
+pub fn quarantine_path(journal: &Path) -> PathBuf {
+    journal.with_extension("quarantine")
 }
 
 #[cfg(test)]

@@ -37,5 +37,8 @@ pub mod trace;
 
 pub use export::{document_to_json, value_to_json};
 pub use hist::{HistogramSnapshot, Log2Histogram, NUM_BUCKETS};
-pub use recorder::{past_sessions, FlightRecorder, MARK_CANCELLED, MARK_QUEUE_WAIT, MARK_RETRY};
+pub use recorder::{
+    past_sessions, FlightRecorder, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL,
+    MARK_QUEUE_WAIT, MARK_RETRY,
+};
 pub use trace::{EventKind, TraceEvent, Tracer, PARENT_NONE};

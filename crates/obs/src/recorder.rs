@@ -37,6 +37,13 @@ pub const MARK_QUEUE_WAIT: &str = "queue_wait";
 pub const MARK_RETRY: &str = "retry";
 /// Mark name for an observed cancellation request.
 pub const MARK_CANCELLED: &str = "cancel_requested";
+/// Mark name for a terminal session record that failed to persist to
+/// the K-DB (best-effort write lost — the flight recorder is then the
+/// only trace of the session).
+pub const MARK_PERSIST_FAIL: &str = "persist_fail";
+/// Mark name for the service entering degraded read-only mode after
+/// repeated journal faults.
+pub const MARK_DEGRADED: &str = "degraded";
 
 /// Producer-side parentage bookkeeping for one in-flight session.
 struct LiveSession {

@@ -17,6 +17,10 @@ pub enum ServiceError {
     UnknownSession(SessionId),
     /// The service is shutting down and no longer accepts submissions.
     ShuttingDown,
+    /// The service is in degraded read-only mode after repeated journal
+    /// faults: reads and status queries still work, mutating work is
+    /// refused until the operator restarts over healthy storage.
+    Degraded,
 }
 
 impl fmt::Display for ServiceError {
@@ -27,6 +31,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Degraded => {
+                write!(f, "service is degraded (read-only) after journal faults")
+            }
         }
     }
 }
@@ -48,6 +55,7 @@ mod tests {
             ServiceError::ShuttingDown.to_string(),
             "service is shutting down"
         );
+        assert!(ServiceError::Degraded.to_string().contains("read-only"));
         let _: &dyn std::error::Error = &full;
     }
 }

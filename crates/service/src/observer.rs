@@ -29,6 +29,9 @@ pub struct MetricsObserver {
     cancelled: AtomicU64,
     retried: AtomicU64,
     rejected: AtomicU64,
+    persist_failures: AtomicU64,
+    journal_faults: AtomicU64,
+    degraded_transitions: AtomicU64,
     max_queue_depth: AtomicUsize,
     stages: [Log2Histogram; PipelineStage::ALL.len()],
     queue_wait: Log2Histogram,
@@ -57,6 +60,19 @@ impl MetricsObserver {
     }
     pub(crate) fn job_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn persist_failed(&self) {
+        self.persist_failures.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn degraded_transition(&self) {
+        self.degraded_transitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the K-DB's journal fault count (monotone: keeps the
+    /// larger of the stored and observed values so concurrent observers
+    /// cannot regress it).
+    pub(crate) fn set_journal_faults(&self, observed: u64) {
+        self.journal_faults.fetch_max(observed, Ordering::Relaxed);
     }
 
     /// Raises the queue-depth high-water mark to `depth` if higher.
@@ -99,6 +115,9 @@ impl MetricsObserver {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            persist_failures: self.persist_failures.load(Ordering::Relaxed),
+            journal_faults: self.journal_faults.load(Ordering::Relaxed),
+            degraded_transitions: self.degraded_transitions.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             queue_wait: StageMetrics::from_snapshot(&self.queue_wait.snapshot()),
             stages,
@@ -174,6 +193,13 @@ pub struct ServiceMetrics {
     pub retried: u64,
     /// Submissions refused with `QueueFull`.
     pub rejected: u64,
+    /// Terminal session records that failed to persist to the K-DB.
+    pub persist_failures: u64,
+    /// Journal faults (failed appends + swallowed fsync failures)
+    /// observed on the shared K-DB since the service started.
+    pub journal_faults: u64,
+    /// Transitions into degraded read-only mode (0 or 1 per process).
+    pub degraded_transitions: u64,
     /// High-water mark of the job queue depth.
     pub max_queue_depth: usize,
     /// Latency jobs spent queued before a worker picked them up.
@@ -183,6 +209,12 @@ pub struct ServiceMetrics {
 }
 
 impl ServiceMetrics {
+    /// Whether the service had entered degraded read-only mode when
+    /// this snapshot was taken.
+    pub fn degraded(&self) -> bool {
+        self.degraded_transitions > 0
+    }
+
     /// The snapshot as one K-DB document (deterministically ordered).
     pub fn to_document(&self) -> Document {
         let count = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
@@ -197,8 +229,14 @@ impl ServiceMetrics {
         for (name, stat) in &self.stages {
             stages.set(*name, Value::Doc(stat.to_document()));
         }
+        let reliability = Document::new()
+            .with("persist_failures", count(self.persist_failures))
+            .with("journal_faults", count(self.journal_faults))
+            .with("degraded_transitions", count(self.degraded_transitions))
+            .with("degraded", self.degraded());
         Document::new()
             .with("jobs", Value::Doc(jobs))
+            .with("reliability", Value::Doc(reliability))
             .with(
                 "max_queue_depth",
                 i64::try_from(self.max_queue_depth).unwrap_or(i64::MAX),
@@ -229,6 +267,21 @@ impl ServiceMetrics {
                 "ada_jobs_total{{outcome=\"{outcome}\"}} {value}\n"
             ));
         }
+        out.push_str("# TYPE ada_persist_failures_total counter\n");
+        out.push_str(&format!(
+            "ada_persist_failures_total {}\n",
+            self.persist_failures
+        ));
+        out.push_str("# TYPE ada_journal_faults_total counter\n");
+        out.push_str(&format!(
+            "ada_journal_faults_total {}\n",
+            self.journal_faults
+        ));
+        out.push_str("# TYPE ada_service_degraded gauge\n");
+        out.push_str(&format!(
+            "ada_service_degraded {}\n",
+            u8::from(self.degraded())
+        ));
         out.push_str("# TYPE ada_queue_depth_max gauge\n");
         out.push_str(&format!("ada_queue_depth_max {}\n", self.max_queue_depth));
         out.push_str("# TYPE ada_queue_wait_ns summary\n");

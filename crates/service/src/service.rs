@@ -8,9 +8,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ada_core::{AdaHealth, PipelineError, PipelineObserver, RunControl};
-use ada_kdb::{schema, Document, Kdb, SharedKdb, Value};
+use ada_kdb::{schema, Document, DurabilityPolicy, Kdb, SharedKdb, Value};
 use ada_obs::{
-    document_to_json, past_sessions, FlightRecorder, MARK_CANCELLED, MARK_QUEUE_WAIT, MARK_RETRY,
+    document_to_json, past_sessions, FlightRecorder, MARK_CANCELLED, MARK_DEGRADED,
+    MARK_PERSIST_FAIL, MARK_QUEUE_WAIT, MARK_RETRY,
 };
 use parking_lot::RwLock;
 
@@ -80,6 +81,12 @@ pub struct ServiceConfig {
     /// Last-N cap on the flight recorder's per-session event log (span
     /// trees, histograms and counters are folded from all events).
     pub recorder_capacity: usize,
+    /// Journal faults tolerated before the service flips to degraded
+    /// read-only mode (clamped to at least 1).
+    pub degrade_after: u32,
+    /// Durability policy applied to the shared K-DB's journal at
+    /// startup (`None` keeps whatever the store was opened with).
+    pub durability: Option<DurabilityPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +97,8 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             observer: None,
             recorder_capacity: 512,
+            degrade_after: 3,
+            durability: None,
         }
     }
 }
@@ -103,6 +112,35 @@ struct ServiceInner {
     extra_observer: Option<Arc<dyn PipelineObserver>>,
     retry: RetryPolicy,
     shutting_down: AtomicBool,
+    /// Sticky read-only flag; set once [`ServiceInner::journal_fault_delta`]
+    /// reaches `degrade_after`, cleared only by a restart.
+    degraded: AtomicBool,
+    /// Journal faults already on the K-DB when the service started
+    /// (faults are attributed to the process that caused them).
+    initial_faults: u64,
+    degrade_after: u64,
+}
+
+impl ServiceInner {
+    /// Journal faults the shared K-DB has accumulated on this service's
+    /// watch.
+    fn journal_fault_delta(&self) -> u64 {
+        self.kdb
+            .read()
+            .journal_fault_count()
+            .saturating_sub(self.initial_faults)
+    }
+
+    /// Re-reads the fault counter and performs the degraded transition
+    /// when the threshold is crossed. `session` labels the obs mark.
+    fn check_degraded(&self, session: &str) {
+        let delta = self.journal_fault_delta();
+        self.metrics.set_journal_faults(delta);
+        if delta >= self.degrade_after && !self.degraded.swap(true, Ordering::AcqRel) {
+            self.metrics.degraded_transition();
+            self.recorder.mark(session, MARK_DEGRADED, Duration::ZERO);
+        }
+    }
 }
 
 /// An in-process analysis server: submit [`JobSpec`]s, await their
@@ -121,6 +159,13 @@ impl AnalysisService {
     /// [`AnalysisService::with_kdb`]).
     pub fn new(config: ServiceConfig, kdb: SharedKdb) -> Self {
         let workers = config.workers.max(1);
+        let initial_faults = {
+            let mut db = kdb.write();
+            if let Some(policy) = config.durability {
+                db.set_durability(policy);
+            }
+            db.journal_fault_count()
+        };
         let inner = Arc::new(ServiceInner {
             kdb,
             queue: JobQueue::bounded(config.queue_capacity.max(1)),
@@ -130,6 +175,9 @@ impl AnalysisService {
             extra_observer: config.observer,
             retry: config.retry,
             shutting_down: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            initial_faults,
+            degrade_after: u64::from(config.degrade_after.max(1)),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -157,10 +205,14 @@ impl AnalysisService {
     }
 
     /// Submits a job; returns its session id, or refuses with
-    /// `QueueFull` (backpressure) / `ShuttingDown`.
+    /// `QueueFull` (backpressure), `ShuttingDown`, or `Degraded` (the
+    /// store is no longer accepting writes it could lose).
     pub fn submit(&self, spec: JobSpec) -> Result<SessionId, ServiceError> {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
+        }
+        if self.inner.degraded.load(Ordering::Acquire) {
+            return Err(ServiceError::Degraded);
         }
         let token = spec.cancel.clone().unwrap_or_default();
         let id = self.inner.registry.register(&spec.config.session, token);
@@ -206,6 +258,28 @@ impl AnalysisService {
         self.inner.metrics.snapshot()
     }
 
+    /// Whether the service has entered degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Acquire)
+    }
+
+    /// A health probe document: overall status (`"ok"` or
+    /// `"degraded"`), the journal fault count on this service's watch,
+    /// lost terminal-session records, and whether new work is accepted.
+    pub fn health(&self) -> Document {
+        let degraded = self.is_degraded();
+        let faults = self.inner.journal_fault_delta();
+        let metrics = self.inner.metrics.snapshot();
+        Document::new()
+            .with("status", if degraded { "degraded" } else { "ok" })
+            .with("accepting_writes", !degraded)
+            .with("journal_faults", i64::try_from(faults).unwrap_or(i64::MAX))
+            .with(
+                "persist_failures",
+                i64::try_from(metrics.persist_failures).unwrap_or(i64::MAX),
+            )
+    }
+
     /// The session flight recorder (trace drain, recent events,
     /// per-session counters).
     pub fn recorder(&self) -> Arc<FlightRecorder> {
@@ -241,6 +315,7 @@ impl AnalysisService {
             .collect();
         let past = past_sessions(&self.inner.kdb.read()).len();
         Document::new()
+            .with("health", Value::Doc(self.health()))
             .with("metrics", Value::Doc(self.metrics().to_document()))
             .with("sessions", Value::Array(sessions))
             .with("past_sessions", i64::try_from(past).unwrap_or(i64::MAX))
@@ -300,21 +375,35 @@ fn worker_loop(inner: &ServiceInner) {
 }
 
 /// Best-effort persistence of a terminal session record: the service
-/// must stay up even if the `sessions` collection write fails, but a
-/// schema violation is a bug, so debug builds assert on it.
+/// must stay up even if the `sessions` collection write fails — but the
+/// failure is no longer silent: it is counted, marked in the flight
+/// recorder, and feeds the degraded-mode fault check. A *schema*
+/// violation is a bug (not an environmental fault), so debug builds
+/// still assert on that case.
 fn persist_session(inner: &ServiceInner, session: &str, state: &str, outcome: &str) {
-    let mut db = inner.kdb.write();
-    if db.collection(schema::names::SESSIONS).is_none()
-        && db.ensure_collection(schema::names::SESSIONS).is_err()
-    {
-        return;
+    let result = {
+        let mut db = inner.kdb.write();
+        if db.collection(schema::names::SESSIONS).is_some()
+            || db.ensure_collection(schema::names::SESSIONS).is_ok()
+        {
+            inner.recorder.persist(&mut db, session, state, outcome)
+        } else {
+            Err(ada_kdb::KdbError::UnknownCollection(
+                schema::names::SESSIONS.to_owned(),
+            ))
+        }
+    };
+    if let Err(err) = result {
+        debug_assert!(
+            !matches!(err, ada_kdb::KdbError::Schema(_)),
+            "session record for {session} violated the schema: {err}"
+        );
+        inner.metrics.persist_failed();
+        inner
+            .recorder
+            .mark(session, MARK_PERSIST_FAIL, Duration::ZERO);
     }
-    let result = inner.recorder.persist(&mut db, session, state, outcome);
-    debug_assert!(
-        result.is_ok(),
-        "session record for {session} failed to persist: {:?}",
-        result.err()
-    );
+    inner.check_degraded(session);
 }
 
 fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instant) {
