@@ -21,6 +21,12 @@ echo "== observability smoke gate =="
 # ada-kdb::schema, and kernel tracing overhead must stay within 5%.
 cargo run -q -p ada-bench --release --bin obs_smoke
 
+echo "== network front-end smoke gate (quick) =="
+# Loopback fleet over the ADAN1 wire: blocking + multiplexed async
+# clients, reads answered mid-fleet, then a drain audit (zero protocol
+# errors, accept/request counters matching the fleet).
+cargo run -q -p ada-bench --release --bin net_smoke -- --quick
+
 echo "== crash torture gate (quick) =="
 # Byte-level journal cuts, injected storage faults at every schedule
 # point, and single-bit corruption: reopened state must always equal the
@@ -28,6 +34,15 @@ echo "== crash torture gate (quick) =="
 # and corruption must never decode silently. Prints a replayable seed on
 # failure.
 cargo run -q -p ada-bench --release --bin kdb_torture -- --quick
+
+if [ "$(nproc)" -ge 4 ]; then
+  echo "== kmeans kernel perf gate (full, >=4 cores) =="
+  # The full-mode thresholds assume real parallel speedup; only
+  # meaningful (and only run) on multi-core boxes.
+  cargo run -q -p ada-bench --release --bin kmeans_perf
+else
+  echo "== kmeans kernel perf gate (full) skipped: $(nproc) core(s) < 4 =="
+fi
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

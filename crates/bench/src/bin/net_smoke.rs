@@ -1,0 +1,226 @@
+//! Network front-end smoke gate for CI.
+//!
+//! Spins up the analysis service behind `ada-net` on an ephemeral
+//! loopback port, drives a mini fleet through it (blocking clients and
+//! one multiplexing async client), and checks, exiting non-zero on any
+//! failure:
+//!
+//! 1. **Fleet completes** — every remotely submitted session reaches
+//!    `completed`, with a non-empty result summary and a persisted
+//!    session record visible through `PastSessions`.
+//! 2. **Reads answer** — `Status`, `Results`, `Health`, and
+//!    `MetricsSnapshot` all serve well-formed responses mid-fleet.
+//! 3. **Clean drain** — graceful shutdown leaves zero protocol errors,
+//!    zero live connections, and accept/request counters that match
+//!    what the fleet actually did.
+//!
+//! Run: `cargo run -p ada-bench --release --bin net_smoke [-- --quick]`
+//! `--quick` shrinks the fleet for the CI gate; the default exercises a
+//! larger mix.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ada_kdb::{Kdb, Value};
+use ada_net::proto::{CohortSpec, Request, Response, WireJobSpec};
+use ada_net::{AsyncClient, Client, NetConfig, NetServer};
+use ada_service::{AnalysisService, ServiceConfig};
+
+/// End-to-end budget per wait; a hang is a failure, not patience.
+const DEADLINE: Duration = Duration::from_secs(180);
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    exit(1);
+}
+
+fn spec(i: usize) -> WireJobSpec {
+    WireJobSpec::quick(
+        format!("net-smoke-{i}"),
+        CohortSpec::small(4_000 + i as u64),
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Quick: 2 blocking + 2 multiplexed sessions. Full: 4 + 8.
+    let (blocking_jobs, async_jobs) = if quick { (2, 2) } else { (4, 8) };
+    let started = Instant::now();
+
+    let service = Arc::new(AnalysisService::with_kdb(
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: blocking_jobs + async_jobs + 2,
+            ..ServiceConfig::default()
+        },
+        Kdb::in_memory(),
+    ));
+    let server = NetServer::start(Arc::clone(&service), NetConfig::default())
+        .unwrap_or_else(|e| fail(&format!("server failed to bind: {e}")));
+    let addr = server.local_addr();
+    println!("net smoke: serving on {addr} (quick = {quick})");
+
+    // Blocking clients: one connection per session.
+    let mut blocking = Vec::new();
+    for i in 0..blocking_jobs {
+        let mut client = Client::connect(addr)
+            .unwrap_or_else(|e| fail(&format!("client {i} failed to connect: {e}")));
+        match client.call(Request::Submit(spec(i))) {
+            Ok(Response::Submitted { session }) => blocking.push((session, client)),
+            other => fail(&format!("client {i}: expected Submitted, got {other:?}")),
+        }
+    }
+
+    // One async client multiplexes the rest of the fleet over a single
+    // connection: submit everything first, then resolve the tickets.
+    let multiplexed = AsyncClient::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("async client failed to connect: {e}")));
+    let tickets: Vec<_> = (blocking_jobs..blocking_jobs + async_jobs)
+        .map(|i| {
+            multiplexed
+                .submit(Request::Submit(spec(i)))
+                .unwrap_or_else(|e| fail(&format!("async submit {i} failed: {e}")))
+        })
+        .collect();
+    let mut async_sessions = Vec::new();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait(DEADLINE) {
+            Ok(Response::Submitted { session }) => async_sessions.push(session),
+            other => fail(&format!(
+                "async ticket {i}: expected Submitted, got {other:?}"
+            )),
+        }
+    }
+
+    // Reads answer while the fleet is in flight.
+    match multiplexed.call(Request::Health, DEADLINE) {
+        Ok(Response::Health { doc }) => {
+            if doc.get("status").and_then(Value::as_str).is_none() {
+                fail("health document missing status");
+            }
+        }
+        other => fail(&format!("expected Health, got {other:?}")),
+    }
+    match multiplexed.call(Request::MetricsSnapshot, DEADLINE) {
+        Ok(Response::Metrics { prometheus, .. }) => {
+            for series in ["ada_service_degraded", "ada_net_accepts_total"] {
+                if !prometheus.contains(series) {
+                    fail(&format!("prometheus exposition missing {series}"));
+                }
+            }
+        }
+        other => fail(&format!("expected Metrics, got {other:?}")),
+    }
+
+    // Every session completes within the deadline.
+    for (session, client) in &mut blocking {
+        match client.wait_terminal(*session, DEADLINE) {
+            Ok((state, reason)) if state == "completed" => {
+                let _ = reason;
+            }
+            Ok((state, reason)) => fail(&format!("session {session} ended {state}: {reason}")),
+            Err(e) => fail(&format!("session {session} never resolved: {e}")),
+        }
+    }
+    for session in &async_sessions {
+        let deadline = Instant::now() + DEADLINE;
+        loop {
+            match multiplexed.call(Request::Status { session: *session }, DEADLINE) {
+                Ok(Response::State { state, reason, .. }) => match state.as_str() {
+                    "completed" => break,
+                    "failed" | "cancelled" => {
+                        fail(&format!("session {session} ended {state}: {reason}"))
+                    }
+                    _ => {}
+                },
+                other => fail(&format!("expected State, got {other:?}")),
+            }
+            if Instant::now() >= deadline {
+                fail(&format!("session {session} never completed"));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        match multiplexed.call(Request::Results { session: *session }, DEADLINE) {
+            Ok(Response::ResultSummary { summary, .. }) => {
+                if summary.get("clusters").and_then(Value::as_i64).unwrap_or(0) <= 0 {
+                    fail(&format!("session {session} summary has no clusters"));
+                }
+            }
+            other => fail(&format!("expected ResultSummary, got {other:?}")),
+        }
+    }
+    let total = blocking_jobs + async_jobs;
+    match multiplexed.call(Request::PastSessions, DEADLINE) {
+        Ok(Response::PastSessions { sessions }) => {
+            if sessions.len() != total {
+                fail(&format!(
+                    "expected {total} persisted session records, found {}",
+                    sessions.len()
+                ));
+            }
+        }
+        other => fail(&format!("expected PastSessions, got {other:?}")),
+    }
+    println!(
+        "fleet: {total} sessions completed over {} connections in {:.1}s",
+        blocking_jobs + 1,
+        started.elapsed().as_secs_f64()
+    );
+
+    // Clean drain: close clients, shut the server down, audit counters.
+    drop(blocking);
+    drop(multiplexed);
+    let net = server.shutdown();
+    if net.protocol_errors != 0 {
+        fail(&format!(
+            "{} protocol errors on loopback",
+            net.protocol_errors
+        ));
+    }
+    if net.in_flight != 0 {
+        fail(&format!(
+            "{} connections still in flight after drain",
+            net.in_flight
+        ));
+    }
+    if net.accepts != (blocking_jobs + 1) as u64 {
+        fail(&format!(
+            "expected {} accepts, counted {}",
+            blocking_jobs + 1,
+            net.accepts
+        ));
+    }
+    let submits = net
+        .requests
+        .iter()
+        .find(|(kind, _)| *kind == "submit")
+        .map_or(0, |(_, n)| *n);
+    if submits != total as u64 {
+        fail(&format!(
+            "expected {total} submit requests, counted {submits}"
+        ));
+    }
+    println!(
+        "drain: {} requests, {} B in / {} B out, p99 request latency {:?}",
+        net.requests_total(),
+        net.bytes_in,
+        net.bytes_out,
+        net.request_latency_p99,
+    );
+
+    let metrics = match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(_) => fail("server shutdown left a live reference to the service"),
+    };
+    if metrics.completed != total as u64 {
+        fail(&format!(
+            "service completed {} of {total} sessions",
+            metrics.completed
+        ));
+    }
+    println!(
+        "net smoke gate passed in {:.1}s.",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,437 @@
+//! Clients for the ada-net wire protocol.
+//!
+//! Two flavours over the same framing:
+//!
+//! * [`Client`] — blocking, one request in flight at a time. Simple
+//!   and right for scripts, smoke tests, and anything sequential.
+//! * [`AsyncClient`] — a hand-rolled poll-based facade (no external
+//!   runtime; the workspace is offline). One socket, one background
+//!   reader thread, any number of logical requests in flight: each
+//!   [`AsyncClient::submit`] returns a [`Pending`] ticket that can be
+//!   [`poll`](Pending::poll)ed without blocking or
+//!   [`wait`](Pending::wait)ed with a deadline. Responses are matched
+//!   to tickets by request id, so slow sessions never head-of-line
+//!   block fast status queries.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::frame::{frame_bytes, Decoded, FrameDecoder, MAGIC};
+use crate::proto::{Request, Response, CONNECTION_ID};
+
+/// What can go wrong talking to an ada-net server.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer violated the framing or message discipline.
+    Protocol(String),
+    /// The deadline passed without a response.
+    Timeout,
+    /// The server answered with a typed error (`code` is machine-
+    /// readable: `pool_full`, `unknown_session`, `shutting_down`,
+    /// `protocol`).
+    Remote {
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The connection closed (or was torn down by an earlier error)
+    /// before this response arrived.
+    Closed(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(d) => write!(f, "protocol error: {d}"),
+            NetError::Timeout => write!(f, "timed out waiting for response"),
+            NetError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+            NetError::Closed(d) => write!(f, "connection closed: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Exchanges magics over a fresh stream: client speaks first, server
+/// answers.
+fn handshake(stream: &mut TcpStream, deadline: Duration) -> Result<(), NetError> {
+    stream.set_write_timeout(Some(deadline))?;
+    stream.set_read_timeout(Some(deadline))?;
+    stream.write_all(MAGIC)?;
+    let mut got = [0u8; 6];
+    stream.read_exact(&mut got)?;
+    if got != MAGIC {
+        return Err(NetError::Protocol(format!(
+            "bad server magic {:?}",
+            String::from_utf8_lossy(&got)
+        )));
+    }
+    Ok(())
+}
+
+/// A connection-level (id 0) message is the server telling us the
+/// whole connection is over: surface it as the fatal reason.
+fn connection_fatal(response: Response) -> NetError {
+    match response {
+        Response::Error { code, message } => NetError::Remote { code, message },
+        other => NetError::Protocol(format!(
+            "unexpected connection-level message: {}",
+            other.kind()
+        )),
+    }
+}
+
+/// Blocking client: one request, one response, in order.
+pub struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_id: u64,
+    write_seq: u64,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connects and performs the `ADAN1` handshake.
+    ///
+    /// # Errors
+    /// Connection failure, or a peer that does not speak the protocol.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// [`Client::connect`] with an explicit per-call deadline.
+    ///
+    /// # Errors
+    /// Connection failure, or a peer that does not speak the protocol.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        handshake(&mut stream, timeout)?;
+        // Short read timeout so call() can poll its own deadline.
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_id: 1,
+            write_seq: 0,
+            timeout,
+        })
+    }
+
+    /// Sends `request` and blocks for its response (or the deadline).
+    ///
+    /// # Errors
+    /// IO failure, deadline, a framing violation, or a fatal
+    /// connection-level server message.
+    pub fn call(&mut self, request: Request) -> Result<Response, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = frame_bytes(&request.encode(id), self.write_seq);
+        self.write_seq += 1;
+        self.stream.write_all(&frame)?;
+        let deadline = Instant::now() + self.timeout;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            loop {
+                match self.decoder.next_frame() {
+                    Ok(Decoded::Frame(payload)) => {
+                        let (got_id, response) = Response::decode(&payload)
+                            .map_err(|e| NetError::Protocol(e.to_string()))?;
+                        if got_id == CONNECTION_ID {
+                            return Err(connection_fatal(response));
+                        }
+                        if got_id == id {
+                            return Ok(response);
+                        }
+                        // A stale response (e.g. from an abandoned call)
+                        // is dropped; blocking clients have at most one
+                        // outstanding id they still care about.
+                    }
+                    Ok(Decoded::NeedMore) => break,
+                    Err(e) => return Err(NetError::Protocol(e.to_string())),
+                }
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(NetError::Closed("server closed the connection".into())),
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout);
+                    }
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Polls `Status` until the session reaches a terminal state,
+    /// returning `(label, reason)`. Respects `deadline` end to end.
+    ///
+    /// # Errors
+    /// Any [`Client::call`] failure, or [`NetError::Timeout`] if the
+    /// session is still live at the deadline.
+    pub fn wait_terminal(
+        &mut self,
+        session: u64,
+        deadline: Duration,
+    ) -> Result<(String, String), NetError> {
+        let until = Instant::now() + deadline;
+        loop {
+            match self.call(Request::Status { session })? {
+                Response::State { state, reason, .. } => {
+                    if matches!(state.as_str(), "completed" | "failed" | "cancelled") {
+                        return Ok((state, reason));
+                    }
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected State, got {}",
+                        other.kind()
+                    )))
+                }
+            }
+            if Instant::now() >= until {
+                return Err(NetError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// Mailbox shared between an [`AsyncClient`]'s reader thread and its
+/// [`Pending`] tickets.
+struct Mailbox {
+    state: Mutex<MailboxState>,
+    bell: Condvar,
+}
+
+struct MailboxState {
+    /// Responses parked until their ticket collects them.
+    ready: HashMap<u64, Response>,
+    /// Set once when the connection dies; every later wait sees it.
+    closed: Option<String>,
+}
+
+/// Poll-based multiplexing client: many logical requests over one
+/// socket, no external runtime.
+pub struct AsyncClient {
+    writer: Mutex<WriterState>,
+    mailbox: Arc<Mailbox>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+struct WriterState {
+    stream: TcpStream,
+    next_id: u64,
+    write_seq: u64,
+}
+
+impl AsyncClient {
+    /// Connects, handshakes, and spawns the background reader.
+    ///
+    /// # Errors
+    /// Connection failure, or a peer that does not speak the protocol.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        handshake(&mut stream, Duration::from_secs(30))?;
+        let mailbox = Arc::new(Mailbox {
+            state: Mutex::new(MailboxState {
+                ready: HashMap::new(),
+                closed: None,
+            }),
+            bell: Condvar::new(),
+        });
+        let read_half = stream.try_clone()?;
+        let reader = {
+            let mailbox = Arc::clone(&mailbox);
+            std::thread::Builder::new()
+                .name("ada-net-reader".to_owned())
+                .spawn(move || reader_loop(read_half, &mailbox))
+                .map_err(NetError::Io)?
+        };
+        Ok(Self {
+            writer: Mutex::new(WriterState {
+                stream,
+                next_id: 1,
+                write_seq: 0,
+            }),
+            mailbox,
+            reader: Some(reader),
+        })
+    }
+
+    /// Sends `request` without waiting; the returned ticket resolves
+    /// when the response frame arrives.
+    ///
+    /// # Errors
+    /// Write failure or an already-dead connection.
+    pub fn submit(&self, request: Request) -> Result<Pending, NetError> {
+        {
+            let state = self.mailbox.state.lock().expect("mailbox lock");
+            if let Some(reason) = &state.closed {
+                return Err(NetError::Closed(reason.clone()));
+            }
+        }
+        let mut writer = self.writer.lock().expect("writer lock");
+        let id = writer.next_id;
+        writer.next_id += 1;
+        let frame = frame_bytes(&request.encode(id), writer.write_seq);
+        writer.write_seq += 1;
+        writer.stream.write_all(&frame)?;
+        Ok(Pending {
+            id,
+            mailbox: Arc::clone(&self.mailbox),
+        })
+    }
+
+    /// Convenience: submit and wait in one step.
+    ///
+    /// # Errors
+    /// Any [`AsyncClient::submit`] or [`Pending::wait`] failure.
+    pub fn call(&self, request: Request, deadline: Duration) -> Result<Response, NetError> {
+        self.submit(request)?.wait(deadline)
+    }
+}
+
+impl Drop for AsyncClient {
+    fn drop(&mut self) {
+        // Shut the socket down so the reader thread unblocks and exits.
+        if let Ok(writer) = self.writer.lock() {
+            let _ = writer.stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, mailbox: &Mailbox) {
+    let close = |reason: String| {
+        let mut state = mailbox.state.lock().expect("mailbox lock");
+        if state.closed.is_none() {
+            state.closed = Some(reason);
+        }
+        mailbox.bell.notify_all();
+    };
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match decoder.next_frame() {
+                Ok(Decoded::Frame(payload)) => match Response::decode(&payload) {
+                    Ok((CONNECTION_ID, response)) => {
+                        close(connection_fatal(response).to_string());
+                        return;
+                    }
+                    Ok((id, response)) => {
+                        let mut state = mailbox.state.lock().expect("mailbox lock");
+                        state.ready.insert(id, response);
+                        mailbox.bell.notify_all();
+                    }
+                    Err(e) => {
+                        close(format!("undecodable response: {e}"));
+                        return;
+                    }
+                },
+                Ok(Decoded::NeedMore) => break,
+                Err(e) => {
+                    close(format!("framing error: {e}"));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                close("server closed the connection".to_owned());
+                return;
+            }
+            Ok(n) => decoder.push(&buf[..n]),
+            Err(e) => {
+                close(format!("read failed: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+/// A ticket for one in-flight request on an [`AsyncClient`].
+pub struct Pending {
+    id: u64,
+    mailbox: Arc<Mailbox>,
+}
+
+impl Pending {
+    /// The request id this ticket resolves.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Non-blocking check: `None` while still in flight, `Some` once
+    /// resolved (successfully or by connection death). Consumes the
+    /// response — a second poll after `Some(Ok(_))` reports the
+    /// connection state instead.
+    pub fn poll(&self) -> Option<Result<Response, NetError>> {
+        let mut state = self.mailbox.state.lock().expect("mailbox lock");
+        if let Some(response) = state.ready.remove(&self.id) {
+            return Some(Ok(response));
+        }
+        state
+            .closed
+            .as_ref()
+            .map(|reason| Err(NetError::Closed(reason.clone())))
+    }
+
+    /// Blocks until the response arrives, the connection dies, or
+    /// `deadline` passes.
+    ///
+    /// # Errors
+    /// [`NetError::Timeout`] at the deadline, [`NetError::Closed`] if
+    /// the connection died first.
+    pub fn wait(self, deadline: Duration) -> Result<Response, NetError> {
+        let until = Instant::now() + deadline;
+        let mut state = self.mailbox.state.lock().expect("mailbox lock");
+        loop {
+            if let Some(response) = state.ready.remove(&self.id) {
+                return Ok(response);
+            }
+            if let Some(reason) = &state.closed {
+                return Err(NetError::Closed(reason.clone()));
+            }
+            let now = Instant::now();
+            if now >= until {
+                return Err(NetError::Timeout);
+            }
+            let (next, timeout) = self
+                .mailbox
+                .bell
+                .wait_timeout(state, until - now)
+                .expect("mailbox wait");
+            state = next;
+            if timeout.timed_out() && !state.ready.contains_key(&self.id) {
+                if state.closed.is_some() {
+                    let reason = state.closed.clone().unwrap_or_default();
+                    return Err(NetError::Closed(reason));
+                }
+                return Err(NetError::Timeout);
+            }
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! The request/response protocol carried inside ADAN1 frames.
+//!
+//! Every message is one K-DB [`Document`] in the canonical `Value`
+//! encoding (`ada_kdb::document`), so the wire shares its payload codec
+//! with the journal: self-delimiting, length-prefixed, no escaping. A
+//! message document always carries an `id` (the logical request id —
+//! responses echo it, which is what lets many in-flight requests
+//! multiplex over one connection) and a `kind` tag; the remaining
+//! fields are per-kind.
+//!
+//! Request id 0 is reserved for *connection-level* notifications the
+//! server sends unsolicited (today: `error{code="pool_full"}` when the
+//! connection cap rejects the connection before any request was read).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ada_core::AdaHealthConfig;
+use ada_dataset::synthetic::{generate, SyntheticConfig};
+use ada_kdb::{Document, Value};
+use ada_service::{JobSpec, Priority};
+
+/// Request id reserved for unsolicited connection-level notifications.
+pub const CONNECTION_ID: u64 = 0;
+
+/// A decode failure: the payload was not a well-formed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err(msg: impl Into<String>) -> ProtoError {
+    ProtoError(msg.into())
+}
+
+/// Which pipeline configuration preset a remote submission starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// [`AdaHealthConfig::quick`] — the fast test/demo configuration.
+    Quick,
+    /// [`AdaHealthConfig::paper`] — the full Table-I configuration.
+    Paper,
+}
+
+impl Preset {
+    fn label(self) -> &'static str {
+        match self {
+            Preset::Quick => "quick",
+            Preset::Paper => "paper",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtoError> {
+        match s {
+            "quick" => Ok(Preset::Quick),
+            "paper" => Ok(Preset::Paper),
+            other => Err(err(format!("unknown preset {other:?}"))),
+        }
+    }
+}
+
+/// The synthetic cohort a remote submission analyzes.
+///
+/// Clients describe the dataset instead of shipping it: the server
+/// materializes the cohort deterministically from `(shape, seed)`, so a
+/// remote submission analyzes byte-for-byte the same `ExamLog` an
+/// in-process caller building the same spec would — which is what the
+/// cross-wire determinism proof in `tests/loopback.rs` pins. (Real
+/// EHR cohorts stay server-side for the same reason clinical data
+/// warehouses keep them there; the wire carries questions, not
+/// records.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CohortSpec {
+    /// Number of patients.
+    pub patients: usize,
+    /// Examination-type catalog size.
+    pub exam_types: usize,
+    /// Target total record count.
+    pub records: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl CohortSpec {
+    /// A small cohort suitable for tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            patients: 60,
+            exam_types: 12,
+            records: 700,
+            seed,
+        }
+    }
+}
+
+/// One analysis session as submitted over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireJobSpec {
+    /// Session name (tags every K-DB document the session writes).
+    pub session: String,
+    /// Configuration preset the spec starts from.
+    pub preset: Preset,
+    /// Master pipeline seed.
+    pub seed: u64,
+    /// The cohort to generate and analyze.
+    pub cohort: CohortSpec,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Per-attempt wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Retry budget for panicking attempts.
+    pub max_retries: u32,
+    /// Chaos hook: first `n` attempts panic (exercises retry remotely).
+    pub inject_failures: u32,
+}
+
+impl WireJobSpec {
+    /// A quick-preset spec over a small cohort.
+    pub fn quick(session: impl Into<String>, cohort: CohortSpec) -> Self {
+        Self {
+            session: session.into(),
+            preset: Preset::Quick,
+            seed: 0,
+            cohort,
+            priority: Priority::Normal,
+            timeout: None,
+            max_retries: 2,
+            inject_failures: 0,
+        }
+    }
+
+    /// Materializes the spec into the [`JobSpec`] the service runs:
+    /// preset config + seed, deterministic synthetic cohort. Server and
+    /// in-process callers share this one function, so a spec means the
+    /// same session on both sides of the wire.
+    pub fn materialize(&self) -> JobSpec {
+        let mut config = match self.preset {
+            Preset::Quick => AdaHealthConfig::quick(self.session.clone()),
+            Preset::Paper => AdaHealthConfig::paper(self.session.clone()),
+        };
+        config.seed = self.seed;
+        let shape = SyntheticConfig {
+            num_patients: self.cohort.patients,
+            num_exam_types: self.cohort.exam_types,
+            target_records: self.cohort.records,
+            ..SyntheticConfig::small()
+        };
+        let log = generate(&shape, self.cohort.seed);
+        let mut spec = JobSpec::new(config, Arc::new(log))
+            .priority(self.priority)
+            .max_retries(self.max_retries)
+            .inject_failures(self.inject_failures);
+        if let Some(t) = self.timeout {
+            spec = spec.timeout(t);
+        }
+        spec
+    }
+
+    fn to_doc(&self) -> Document {
+        Document::new()
+            .with("session", self.session.as_str())
+            .with("preset", self.preset.label())
+            .with("seed", self.seed as i64)
+            .with(
+                "cohort",
+                Value::Doc(
+                    Document::new()
+                        .with("patients", to_i64(self.cohort.patients))
+                        .with("exam_types", to_i64(self.cohort.exam_types))
+                        .with("records", to_i64(self.cohort.records))
+                        .with("seed", self.cohort.seed as i64),
+                ),
+            )
+            .with("priority", priority_label(self.priority))
+            .with(
+                "timeout_ms",
+                self.timeout
+                    .map_or(Value::Null, |t| Value::I64(to_i64(t.as_millis() as usize))),
+            )
+            .with("max_retries", i64::from(self.max_retries))
+            .with("inject_failures", i64::from(self.inject_failures))
+    }
+
+    fn from_doc(doc: &Document) -> Result<Self, ProtoError> {
+        let cohort = doc
+            .get("cohort")
+            .and_then(Value::as_doc)
+            .ok_or_else(|| err("spec missing cohort"))?;
+        Ok(Self {
+            session: take_str(doc, "session")?,
+            preset: Preset::parse(&take_str(doc, "preset")?)?,
+            seed: take_i64(doc, "seed")? as u64,
+            cohort: CohortSpec {
+                patients: take_usize(cohort, "patients")?,
+                exam_types: take_usize(cohort, "exam_types")?,
+                records: take_usize(cohort, "records")?,
+                seed: take_i64(cohort, "seed")? as u64,
+            },
+            priority: parse_priority(&take_str(doc, "priority")?)?,
+            timeout: match doc.get("timeout_ms") {
+                None | Some(Value::Null) => None,
+                Some(Value::I64(ms)) if *ms >= 0 => Some(Duration::from_millis(*ms as u64)),
+                Some(other) => return Err(err(format!("bad timeout_ms {other:?}"))),
+            },
+            max_retries: take_u32(doc, "max_retries")?,
+            inject_failures: take_u32(doc, "inject_failures")?,
+        })
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a new analysis session.
+    Submit(WireJobSpec),
+    /// Current lifecycle state of a session.
+    Status {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Request cooperative cancellation of a session.
+    Cancel {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Result summary of a (terminal) session.
+    Results {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Terminal session records persisted in the K-DB `sessions`
+    /// collection — including by previous server processes.
+    PastSessions,
+    /// The service health probe document.
+    Health,
+    /// The combined service + net metrics snapshot.
+    MetricsSnapshot,
+}
+
+impl Request {
+    /// The request's kind tag (also the per-kind metrics label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Submit(_) => "submit",
+            Request::Status { .. } => "status",
+            Request::Cancel { .. } => "cancel",
+            Request::Results { .. } => "results",
+            Request::PastSessions => "past_sessions",
+            Request::Health => "health",
+            Request::MetricsSnapshot => "metrics",
+        }
+    }
+
+    /// Encodes the request (under logical id `id`) into frame payload
+    /// bytes.
+    pub fn encode(&self, id: u64) -> Vec<u8> {
+        let mut doc = Document::new()
+            .with("id", to_i64(id as usize))
+            .with("kind", self.kind());
+        match self {
+            Request::Submit(spec) => doc.set("spec", Value::Doc(spec.to_doc())),
+            Request::Status { session }
+            | Request::Cancel { session }
+            | Request::Results { session } => doc.set("session", *session as i64),
+            Request::PastSessions | Request::Health | Request::MetricsSnapshot => {}
+        }
+        Value::Doc(doc).encode().into_bytes()
+    }
+
+    /// Decodes a frame payload into `(id, request)`.
+    ///
+    /// # Errors
+    /// [`ProtoError`] when the payload is not a well-formed request.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
+        let doc = decode_message(payload)?;
+        let id = take_i64(&doc, "id")? as u64;
+        let kind = take_str(&doc, "kind")?;
+        let request = match kind.as_str() {
+            "submit" => {
+                let spec = doc
+                    .get("spec")
+                    .and_then(Value::as_doc)
+                    .ok_or_else(|| err("submit missing spec"))?;
+                Request::Submit(WireJobSpec::from_doc(spec)?)
+            }
+            "status" => Request::Status {
+                session: take_i64(&doc, "session")? as u64,
+            },
+            "cancel" => Request::Cancel {
+                session: take_i64(&doc, "session")? as u64,
+            },
+            "results" => Request::Results {
+                session: take_i64(&doc, "session")? as u64,
+            },
+            "past_sessions" => Request::PastSessions,
+            "health" => Request::Health,
+            "metrics" => Request::MetricsSnapshot,
+            other => return Err(err(format!("unknown request kind {other:?}"))),
+        };
+        Ok((id, request))
+    }
+}
+
+/// A server response. Responses echo the request's logical id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The session was accepted and queued.
+    Submitted {
+        /// Server-assigned session id (use it for `Status`/`Cancel`/
+        /// `Results`).
+        session: u64,
+    },
+    /// Lifecycle state of a session.
+    State {
+        /// The queried session.
+        session: u64,
+        /// State label (`queued`, `running`, `completed`, `failed`,
+        /// `cancelled`).
+        state: String,
+        /// Failure reason when `state == "failed"`, else empty.
+        reason: String,
+    },
+    /// Cancellation was requested (takes effect at the session's next
+    /// pipeline checkpoint).
+    Cancelled {
+        /// The cancelled session.
+        session: u64,
+    },
+    /// Result summary of a session. `summary` is empty unless the
+    /// session completed; full artifacts live in the shared K-DB, which
+    /// is where the paper's flow stores extracted knowledge.
+    ResultSummary {
+        /// The queried session.
+        session: u64,
+        /// Terminal (or current) state label.
+        state: String,
+        /// Compact report summary (clusters, rules, selected K, top
+        /// goal, …) for completed sessions.
+        summary: Document,
+    },
+    /// Persisted terminal session records.
+    PastSessions {
+        /// One record per past session, as stored in the K-DB.
+        sessions: Vec<Document>,
+    },
+    /// The health probe document.
+    Health {
+        /// Same shape as `AnalysisService::health`, plus net fields.
+        doc: Document,
+    },
+    /// The metrics snapshot.
+    Metrics {
+        /// `AnalysisService::snapshot` document.
+        doc: Document,
+        /// Combined Prometheus exposition (`ada_*` + `ada_net_*`).
+        prometheus: String,
+    },
+    /// Backpressure: the job queue is full. Not an error — retry after
+    /// the hint instead of hanging on a submission that cannot land.
+    Busy {
+        /// Server's estimate of when a retry could be accepted, derived
+        /// from queue depth × recent p50 session latency.
+        retry_after: Duration,
+    },
+    /// The service is in sticky degraded (read-only) mode: submissions
+    /// are refused, reads keep working.
+    Degraded {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A typed failure (unknown session, shutting down, malformed
+    /// request, pool full, …).
+    Error {
+        /// Machine-readable code (`unknown_session`, `shutting_down`,
+        /// `bad_request`, `pool_full`).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The response's kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Submitted { .. } => "submitted",
+            Response::State { .. } => "state",
+            Response::Cancelled { .. } => "cancelled",
+            Response::ResultSummary { .. } => "result",
+            Response::PastSessions { .. } => "past_sessions",
+            Response::Health { .. } => "health",
+            Response::Metrics { .. } => "metrics",
+            Response::Busy { .. } => "busy",
+            Response::Degraded { .. } => "degraded",
+            Response::Error { .. } => "error",
+        }
+    }
+
+    /// Encodes the response (echoing logical id `id`) into frame
+    /// payload bytes.
+    pub fn encode(&self, id: u64) -> Vec<u8> {
+        let mut doc = Document::new()
+            .with("id", to_i64(id as usize))
+            .with("kind", self.kind());
+        match self {
+            Response::Submitted { session } => doc.set("session", *session as i64),
+            Response::State {
+                session,
+                state,
+                reason,
+            } => {
+                doc.set("session", *session as i64);
+                doc.set("state", state.as_str());
+                doc.set("reason", reason.as_str());
+            }
+            Response::Cancelled { session } => doc.set("session", *session as i64),
+            Response::ResultSummary {
+                session,
+                state,
+                summary,
+            } => {
+                doc.set("session", *session as i64);
+                doc.set("state", state.as_str());
+                doc.set("summary", Value::Doc(summary.clone()));
+            }
+            Response::PastSessions { sessions } => doc.set(
+                "sessions",
+                Value::Array(sessions.iter().cloned().map(Value::Doc).collect()),
+            ),
+            Response::Health { doc: health } => doc.set("doc", Value::Doc(health.clone())),
+            Response::Metrics {
+                doc: snap,
+                prometheus,
+            } => {
+                doc.set("doc", Value::Doc(snap.clone()));
+                doc.set("prometheus", prometheus.as_str());
+            }
+            Response::Busy { retry_after } => {
+                doc.set("retry_after_ms", to_i64(retry_after.as_millis() as usize));
+            }
+            Response::Degraded { detail } => doc.set("detail", detail.as_str()),
+            Response::Error { code, message } => {
+                doc.set("code", code.as_str());
+                doc.set("message", message.as_str());
+            }
+        }
+        Value::Doc(doc).encode().into_bytes()
+    }
+
+    /// Decodes a frame payload into `(id, response)`.
+    ///
+    /// # Errors
+    /// [`ProtoError`] when the payload is not a well-formed response.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
+        let doc = decode_message(payload)?;
+        let id = take_i64(&doc, "id")? as u64;
+        let kind = take_str(&doc, "kind")?;
+        let response = match kind.as_str() {
+            "submitted" => Response::Submitted {
+                session: take_i64(&doc, "session")? as u64,
+            },
+            "state" => Response::State {
+                session: take_i64(&doc, "session")? as u64,
+                state: take_str(&doc, "state")?,
+                reason: take_str(&doc, "reason")?,
+            },
+            "cancelled" => Response::Cancelled {
+                session: take_i64(&doc, "session")? as u64,
+            },
+            "result" => Response::ResultSummary {
+                session: take_i64(&doc, "session")? as u64,
+                state: take_str(&doc, "state")?,
+                summary: take_doc(&doc, "summary")?,
+            },
+            "past_sessions" => {
+                let items = doc
+                    .get("sessions")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("past_sessions missing sessions"))?;
+                let mut sessions = Vec::with_capacity(items.len());
+                for item in items {
+                    sessions.push(
+                        item.as_doc()
+                            .cloned()
+                            .ok_or_else(|| err("past_sessions item not a document"))?,
+                    );
+                }
+                Response::PastSessions { sessions }
+            }
+            "health" => Response::Health {
+                doc: take_doc(&doc, "doc")?,
+            },
+            "metrics" => Response::Metrics {
+                doc: take_doc(&doc, "doc")?,
+                prometheus: take_str(&doc, "prometheus")?,
+            },
+            "busy" => Response::Busy {
+                retry_after: Duration::from_millis(take_i64(&doc, "retry_after_ms")? as u64),
+            },
+            "degraded" => Response::Degraded {
+                detail: take_str(&doc, "detail")?,
+            },
+            "error" => Response::Error {
+                code: take_str(&doc, "code")?,
+                message: take_str(&doc, "message")?,
+            },
+            other => return Err(err(format!("unknown response kind {other:?}"))),
+        };
+        Ok((id, response))
+    }
+}
+
+/// Labels for [`Priority`] on the wire.
+fn priority_label(p: Priority) -> &'static str {
+    match p {
+        Priority::Low => "low",
+        Priority::Normal => "normal",
+        Priority::High => "high",
+    }
+}
+
+fn parse_priority(s: &str) -> Result<Priority, ProtoError> {
+    match s {
+        "low" => Ok(Priority::Low),
+        "normal" => Ok(Priority::Normal),
+        "high" => Ok(Priority::High),
+        other => Err(err(format!("unknown priority {other:?}"))),
+    }
+}
+
+fn to_i64(v: usize) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+fn decode_message(payload: &[u8]) -> Result<Document, ProtoError> {
+    let mut pos = 0usize;
+    let value =
+        Value::decode_prefix(payload, &mut pos).map_err(|e| err(format!("bad payload: {e}")))?;
+    if pos != payload.len() {
+        return Err(err("trailing bytes after message"));
+    }
+    match value {
+        Value::Doc(doc) => Ok(doc),
+        other => Err(err(format!(
+            "message is {}, not document",
+            other.type_name()
+        ))),
+    }
+}
+
+fn take_str(doc: &Document, key: &str) -> Result<String, ProtoError> {
+    doc.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| err(format!("missing string field {key:?}")))
+}
+
+fn take_i64(doc: &Document, key: &str) -> Result<i64, ProtoError> {
+    doc.get(key)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| err(format!("missing integer field {key:?}")))
+}
+
+fn take_u32(doc: &Document, key: &str) -> Result<u32, ProtoError> {
+    u32::try_from(take_i64(doc, key)?).map_err(|_| err(format!("field {key:?} out of range")))
+}
+
+fn take_usize(doc: &Document, key: &str) -> Result<usize, ProtoError> {
+    usize::try_from(take_i64(doc, key)?).map_err(|_| err(format!("field {key:?} out of range")))
+}
+
+fn take_doc(doc: &Document, key: &str) -> Result<Document, ProtoError> {
+    doc.get(key)
+        .and_then(Value::as_doc)
+        .cloned()
+        .ok_or_else(|| err(format!("missing document field {key:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Submit(WireJobSpec::quick("s-1", CohortSpec::small(7))),
+            Request::Status { session: 3 },
+            Request::Cancel { session: 4 },
+            Request::Results { session: 5 },
+            Request::PastSessions,
+            Request::Health,
+            Request::MetricsSnapshot,
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let bytes = req.encode(i as u64 + 1);
+            let (id, back) = Request::decode(&bytes).unwrap();
+            assert_eq!(id, i as u64 + 1);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Submitted { session: 9 },
+            Response::State {
+                session: 9,
+                state: "failed".into(),
+                reason: "deadline exceeded".into(),
+            },
+            Response::Cancelled { session: 9 },
+            Response::ResultSummary {
+                session: 9,
+                state: "completed".into(),
+                summary: Document::new().with("clusters", 4i64),
+            },
+            Response::PastSessions {
+                sessions: vec![Document::new().with("session", "a")],
+            },
+            Response::Health {
+                doc: Document::new().with("status", "ok"),
+            },
+            Response::Metrics {
+                doc: Document::new().with("past_sessions", 0i64),
+                prometheus: "ada_service_degraded 0\n".into(),
+            },
+            Response::Busy {
+                retry_after: Duration::from_millis(250),
+            },
+            Response::Degraded {
+                detail: "read-only".into(),
+            },
+            Response::Error {
+                code: "unknown_session".into(),
+                message: "session#12".into(),
+            },
+        ];
+        for resp in resps {
+            let bytes = resp.encode(42);
+            let (id, back) = Response::decode(&bytes).unwrap();
+            assert_eq!(id, 42);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let spec = WireJobSpec::quick("det", CohortSpec::small(11));
+        let a = spec.materialize();
+        let b = spec.materialize();
+        assert_eq!(a.config.session, b.config.session);
+        assert_eq!(a.log.records().len(), b.log.records().len());
+    }
+
+    #[test]
+    fn garbage_payloads_are_typed_errors() {
+        assert!(Request::decode(b"not a doc").is_err());
+        assert!(Response::decode(b"S3:abc").is_err());
+        // A document missing the envelope fields is refused too.
+        let doc = Value::Doc(Document::new().with("x", 1i64)).encode();
+        assert!(Request::decode(doc.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,547 @@
+//! Loopback integration: the wire must be semantically transparent.
+//!
+//! - A fleet submitted by remote clients leaves the K-DB in exactly the
+//!   state the same fleet submitted in-process does (timing-bearing
+//!   session records aside).
+//! - Backpressure, cancellation, pool-capacity rejection, and sticky
+//!   degraded mode all cross the wire as their typed responses — no
+//!   client ever hangs on them.
+//! - The combined Prometheus exposition keeps the service's stable
+//!   series names and adds the `ada_net_*` family.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ada_core::{PipelineObserver, PipelineStage};
+use ada_kdb::journal::Op;
+use ada_kdb::{FaultKind, FaultyStorage, Kdb, MemStorage, SharedKdb, StoreOptions, Value};
+use ada_net::proto::{CohortSpec, Request, Response, WireJobSpec};
+use ada_net::{AsyncClient, Client, NetConfig, NetError, NetServer};
+use ada_service::{AnalysisService, ServiceConfig};
+
+/// Overall deadline for any single wait in these tests: generous, but
+/// finite — a hang is a failure, not a timeout of the harness.
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn quick_spec(i: usize) -> WireJobSpec {
+    WireJobSpec::quick(format!("loop-{i}"), CohortSpec::small(400 + i as u64))
+}
+
+/// FNV-1a over the canonical encodings of `state_ops`, skipping one
+/// collection — the same digest as `Kdb::fingerprint`, minus the
+/// timing-bearing session records.
+fn fingerprint_excluding(kdb: &SharedKdb, skip: &str) -> u64 {
+    let guard = kdb.read();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut buf = String::new();
+    for op in guard.state_ops() {
+        let name = match &op {
+            Op::CreateCollection { name }
+            | Op::CreateIndex { name, .. }
+            | Op::Insert { name, .. }
+            | Op::Update { name, .. }
+            | Op::Delete { name, .. } => name,
+        };
+        if name == skip {
+            continue;
+        }
+        buf.clear();
+        op.encode_into(&mut buf);
+        for b in buf.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+/// `(session, state)` pairs from persisted session records, sorted —
+/// the timing-free projection both fleets must agree on.
+fn session_outcomes(docs: &[ada_kdb::Document]) -> Vec<(String, String)> {
+    let mut rows: Vec<(String, String)> = docs
+        .iter()
+        .map(|d| {
+            (
+                d.get("session").and_then(Value::as_str).unwrap().to_owned(),
+                d.get("state").and_then(Value::as_str).unwrap().to_owned(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn remote_fleet_matches_in_process_fleet() {
+    // Single worker on both sides: execution order is then a pure
+    // function of submission order, so document ids line up and the
+    // K-DB comparison can be exact.
+    let config = || ServiceConfig {
+        workers: 1,
+        queue_capacity: 16,
+        ..ServiceConfig::default()
+    };
+
+    // Remote arm: eight clients, one connection each.
+    let remote_service = Arc::new(AnalysisService::with_kdb(config(), Kdb::in_memory()));
+    let server = NetServer::start(Arc::clone(&remote_service), NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut remote_sessions = Vec::new();
+    for i in 0..8 {
+        let mut client = Client::connect(addr).unwrap();
+        match client.call(Request::Submit(quick_spec(i))).unwrap() {
+            Response::Submitted { session } => remote_sessions.push((session, client)),
+            other => panic!("expected Submitted, got {other:?}"),
+        }
+    }
+    for (session, client) in &mut remote_sessions {
+        let (state, reason) = client.wait_terminal(*session, DEADLINE).unwrap();
+        assert_eq!(state, "completed", "session {session}: {reason}");
+        // Results carries a non-empty summary for completed sessions.
+        match client.call(Request::Results { session: *session }).unwrap() {
+            Response::ResultSummary { state, summary, .. } => {
+                assert_eq!(state, "completed");
+                assert!(summary.get("clusters").and_then(Value::as_i64).unwrap() > 0);
+                assert!(summary.get("selected_k").and_then(Value::as_i64).unwrap() > 0);
+            }
+            other => panic!("expected ResultSummary, got {other:?}"),
+        }
+    }
+    let remote_past = match remote_sessions[0].1.call(Request::PastSessions).unwrap() {
+        Response::PastSessions { sessions } => sessions,
+        other => panic!("expected PastSessions, got {other:?}"),
+    };
+    let net = server.shutdown();
+    assert_eq!(
+        net.protocol_errors, 0,
+        "loopback fleet must be protocol-clean"
+    );
+    assert_eq!(net.accepts, 8);
+    let remote_kdb = remote_service.kdb();
+
+    // In-process arm: the same specs, materialized by the same code.
+    let local_service = AnalysisService::with_kdb(config(), Kdb::in_memory());
+    let ids: Vec<_> = (0..8)
+        .map(|i| local_service.submit(quick_spec(i).materialize()).unwrap())
+        .collect();
+    for id in ids {
+        assert!(matches!(
+            local_service.wait(id).unwrap(),
+            ada_service::SessionState::Completed(_)
+        ));
+    }
+    let local_past = local_service.past_sessions();
+    let local_kdb = local_service.kdb();
+    local_service.shutdown();
+
+    // Byte-identical knowledge state (session records excluded: they
+    // embed wall-clock spans)...
+    assert_eq!(
+        fingerprint_excluding(&remote_kdb, "sessions"),
+        fingerprint_excluding(&local_kdb, "sessions"),
+        "remote and in-process fleets diverged in K-DB state"
+    );
+    // ...and structurally identical session records.
+    assert_eq!(
+        session_outcomes(&remote_past),
+        session_outcomes(&local_past)
+    );
+    assert_eq!(remote_past.len(), 8);
+}
+
+/// Parks every session at its first stage until released, so the tests
+/// can hold the lone worker busy while filling the queue behind it.
+#[derive(Default)]
+struct GateObserver {
+    started: AtomicUsize,
+    open: Mutex<bool>,
+    bell: Condvar,
+}
+
+impl GateObserver {
+    fn wait_for_start(&self) {
+        while self.started.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+    }
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.bell.notify_all();
+    }
+}
+
+impl PipelineObserver for GateObserver {
+    fn on_stage_start(&self, _session: &str, stage: PipelineStage) {
+        if stage != PipelineStage::Characterize {
+            return;
+        }
+        self.started.fetch_add(1, Ordering::Release);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.bell.wait(open).unwrap();
+        }
+    }
+}
+
+#[test]
+fn busy_cancel_and_unknown_session_cross_the_wire_typed() {
+    let gate = Arc::new(GateObserver::default());
+    let service = Arc::new(AnalysisService::with_kdb(
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            observer: Some(gate.clone()),
+            ..ServiceConfig::default()
+        },
+        Kdb::in_memory(),
+    ));
+    let server = NetServer::start(Arc::clone(&service), NetConfig::default()).unwrap();
+    let client = AsyncClient::connect(server.local_addr()).unwrap();
+
+    // One running (parked at the gate), one queued, and the third
+    // submission bounces with typed retry guidance — all multiplexed
+    // over a single connection.
+    let running = match client
+        .call(Request::Submit(quick_spec(0)), DEADLINE)
+        .unwrap()
+    {
+        Response::Submitted { session } => session,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    gate.wait_for_start();
+    let queued = match client
+        .call(Request::Submit(quick_spec(1)), DEADLINE)
+        .unwrap()
+    {
+        Response::Submitted { session } => session,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    match client
+        .call(Request::Submit(quick_spec(2)), DEADLINE)
+        .unwrap()
+    {
+        Response::Busy { retry_after } => {
+            assert!(retry_after >= Duration::from_millis(25));
+            assert!(retry_after <= Duration::from_secs(30));
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // Cancel the queued session remotely; in-flight status queries keep
+    // answering while the first session is still parked.
+    match client
+        .call(Request::Cancel { session: queued }, DEADLINE)
+        .unwrap()
+    {
+        Response::Cancelled { session } => assert_eq!(session, queued),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    match client
+        .call(Request::Status { session: running }, DEADLINE)
+        .unwrap()
+    {
+        Response::State { state, .. } => assert_eq!(state, "running"),
+        other => panic!("expected State, got {other:?}"),
+    }
+    match client
+        .call(Request::Status { session: 99_999 }, DEADLINE)
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, "unknown_session"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    gate.release();
+    // Both sessions resolve; poll the multiplexed tickets to terminal.
+    let mut done = false;
+    let deadline = std::time::Instant::now() + DEADLINE;
+    while !done {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sessions never terminal"
+        );
+        let run = client
+            .call(Request::Status { session: running }, DEADLINE)
+            .unwrap();
+        let q = client
+            .call(Request::Status { session: queued }, DEADLINE)
+            .unwrap();
+        match (run, q) {
+            (Response::State { state: s1, .. }, Response::State { state: s2, .. }) => {
+                done = s1 == "completed" && s2 == "cancelled";
+            }
+            other => panic!("expected two States, got {other:?}"),
+        }
+        if !done {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    let net = server.shutdown();
+    assert_eq!(net.protocol_errors, 0);
+    drop(service);
+}
+
+#[test]
+fn pool_capacity_rejection_is_a_typed_notification() {
+    let service = Arc::new(AnalysisService::with_kdb(
+        ServiceConfig::default(),
+        Kdb::in_memory(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&service),
+        NetConfig {
+            max_connections: 1,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut first = Client::connect(addr).unwrap();
+    assert!(matches!(
+        first.call(Request::Health).unwrap(),
+        Response::Health { .. }
+    ));
+
+    // Second connection: the handshake completes, then the server sends
+    // an unsolicited connection-level pool_full error and closes.
+    let mut second = Client::connect(addr).unwrap();
+    match second.call(Request::Health) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, "pool_full"),
+        other => panic!("expected pool_full rejection, got {other:?}"),
+    }
+
+    // Freeing the slot lets a new connection in (the server reaps the
+    // closed connection asynchronously — poll briefly).
+    drop(first);
+    let deadline = std::time::Instant::now() + DEADLINE;
+    loop {
+        let mut third = Client::connect(addr).unwrap();
+        match third.call(Request::Health) {
+            Ok(Response::Health { .. }) => break,
+            Err(NetError::Remote { ref code, .. }) if code == "pool_full" => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "slot never freed after client disconnect"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected Health or pool_full, got {other:?}"),
+        }
+    }
+
+    let net = server.shutdown();
+    assert!(net.rejects >= 1);
+}
+
+#[test]
+fn degraded_service_keeps_serving_reads_over_the_wire() {
+    let mem: Arc<MemStorage> = Arc::new(MemStorage::new());
+    let (storage, faults) = FaultyStorage::wrap(mem);
+    let kdb = Kdb::open_with(
+        Path::new("net_degraded.journal"),
+        StoreOptions::with_storage(storage),
+    )
+    .unwrap();
+    let service = Arc::new(AnalysisService::with_kdb(
+        ServiceConfig {
+            workers: 2,
+            degrade_after: 2,
+            ..ServiceConfig::default()
+        },
+        kdb,
+    ));
+    let server = NetServer::start(Arc::clone(&service), NetConfig::default()).unwrap();
+    let client = AsyncClient::connect(server.local_addr()).unwrap();
+
+    // Healthy fleet completes and persists.
+    let mut healthy = Vec::new();
+    for i in 0..2 {
+        match client
+            .call(Request::Submit(quick_spec(i)), DEADLINE)
+            .unwrap()
+        {
+            Response::Submitted { session } => healthy.push(session),
+            other => panic!("expected Submitted, got {other:?}"),
+        }
+    }
+    for session in &healthy {
+        wait_terminal_async(&client, *session, "completed");
+    }
+
+    // Storage starts rejecting every write mid-fleet.
+    faults.fail_persistently(FaultKind::NoSpace);
+    let mut doomed = Vec::new();
+    for i in 10..13 {
+        match client
+            .call(Request::Submit(quick_spec(i)), DEADLINE)
+            .unwrap()
+        {
+            Response::Submitted { session } => doomed.push(session),
+            // The service may already have tripped degraded from an
+            // earlier doomed session's faults — also a valid outcome.
+            Response::Degraded { .. } => {}
+            other => panic!("expected Submitted or Degraded, got {other:?}"),
+        }
+    }
+    // Every accepted session still reaches a terminal state — no hangs.
+    for session in &doomed {
+        let deadline = std::time::Instant::now() + DEADLINE;
+        loop {
+            match client
+                .call(Request::Status { session: *session }, DEADLINE)
+                .unwrap()
+            {
+                Response::State { state, .. } => {
+                    if matches!(state.as_str(), "completed" | "failed" | "cancelled") {
+                        break;
+                    }
+                }
+                other => panic!("expected State, got {other:?}"),
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "session {session} never reached a terminal state under faults"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // The service is now degraded: new submissions bounce typed...
+    assert!(
+        service.is_degraded(),
+        "faulted fleet did not trip degraded mode"
+    );
+    match client
+        .call(Request::Submit(quick_spec(99)), DEADLINE)
+        .unwrap()
+    {
+        Response::Degraded { detail } => assert!(detail.contains("read-only")),
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+
+    // ...while every read path keeps answering over the same wire.
+    match client
+        .call(
+            Request::Status {
+                session: healthy[0],
+            },
+            DEADLINE,
+        )
+        .unwrap()
+    {
+        Response::State { state, .. } => assert_eq!(state, "completed"),
+        other => panic!("expected State, got {other:?}"),
+    }
+    match client
+        .call(
+            Request::Results {
+                session: healthy[0],
+            },
+            DEADLINE,
+        )
+        .unwrap()
+    {
+        Response::ResultSummary { state, .. } => assert_eq!(state, "completed"),
+        other => panic!("expected ResultSummary, got {other:?}"),
+    }
+    match client.call(Request::PastSessions, DEADLINE).unwrap() {
+        Response::PastSessions { sessions } => {
+            // The pre-fault records are still readable.
+            assert!(sessions.len() >= healthy.len());
+        }
+        other => panic!("expected PastSessions, got {other:?}"),
+    }
+    match client.call(Request::Health, DEADLINE).unwrap() {
+        Response::Health { doc } => {
+            assert_eq!(doc.get("status"), Some(&Value::Str("degraded".into())));
+            assert_eq!(doc.get("accepting_writes"), Some(&Value::Bool(false)));
+        }
+        other => panic!("expected Health, got {other:?}"),
+    }
+
+    let net = server.shutdown();
+    assert_eq!(
+        net.protocol_errors, 0,
+        "degraded mode must not corrupt the protocol"
+    );
+    drop(service);
+}
+
+/// Polls a session to the expected terminal state via the async client.
+fn wait_terminal_async(client: &AsyncClient, session: u64, expect: &str) {
+    let deadline = std::time::Instant::now() + DEADLINE;
+    loop {
+        match client.call(Request::Status { session }, DEADLINE).unwrap() {
+            Response::State { state, reason, .. } => {
+                if state == expect {
+                    return;
+                }
+                assert!(
+                    !matches!(state.as_str(), "completed" | "failed" | "cancelled"),
+                    "session {session}: expected {expect}, got terminal {state} ({reason})"
+                );
+            }
+            other => panic!("expected State, got {other:?}"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session {session} never reached {expect}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn prometheus_exposition_keeps_stable_names_and_adds_net_series() {
+    let service = Arc::new(AnalysisService::with_kdb(
+        ServiceConfig::default(),
+        Kdb::in_memory(),
+    ));
+    let server = NetServer::start(Arc::clone(&service), NetConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let session = match client.call(Request::Submit(quick_spec(0))).unwrap() {
+        Response::Submitted { session } => session,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    client.wait_terminal(session, DEADLINE).unwrap();
+
+    // Both surfaces must agree: the server-side accessor and the
+    // MetricsSnapshot response carry the same combined exposition.
+    let direct = server.snapshot_prometheus();
+    let remote = match client.call(Request::MetricsSnapshot).unwrap() {
+        Response::Metrics { doc, prometheus } => {
+            // The document carries the net sub-document too.
+            assert!(doc.get("net").and_then(Value::as_doc).is_some());
+            prometheus
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    };
+
+    for exposition in [direct.as_str(), remote.as_str()] {
+        // Pre-existing service series keep their exact names (dashboards
+        // depend on them).
+        assert!(exposition.contains("# TYPE ada_service_degraded gauge\n"));
+        assert!(exposition.contains("\nada_service_degraded 0\n"));
+        assert!(exposition.contains("# TYPE ada_jobs_total counter\n"));
+        assert!(exposition.contains("ada_jobs_total{outcome=\"submitted\"} 1\n"));
+        assert!(exposition.contains("# TYPE ada_session_latency_ns summary\n"));
+        assert!(exposition.contains("ada_session_latency_ns_count 1\n"));
+        // The net family is present with its full shape.
+        assert!(exposition.contains("# TYPE ada_net_accepts_total counter\n"));
+        assert!(exposition.contains("ada_net_accepts_total 1\n"));
+        assert!(exposition.contains("ada_net_requests_total{kind=\"submit\"} 1\n"));
+        assert!(exposition.contains("# TYPE ada_net_request_latency_ns summary\n"));
+        assert!(exposition.contains("ada_net_request_latency_ns{quantile=\"0.5\"}"));
+        assert!(exposition.contains("ada_net_bytes_total{dir=\"in\"}"));
+        assert!(exposition.contains("ada_net_bytes_total{dir=\"out\"}"));
+        assert!(exposition.contains("ada_net_protocol_errors_total 0\n"));
+    }
+
+    server.shutdown();
+    drop(service);
+}

@@ -1,6 +1,7 @@
 //! Service-level errors.
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::registry::SessionId;
 
@@ -8,10 +9,15 @@ use crate::registry::SessionId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The bounded job queue is at capacity — backpressure: the caller
-    /// should retry later or shed load.
-    QueueFull {
+    /// should retry after `retry_after_hint` or shed load. (This is the
+    /// error formerly named `QueueFull`; the hint is derived from queue
+    /// depth × recent p50 session latency, so wire and in-process
+    /// callers see identical retry guidance.)
+    Busy {
         /// The queue's configured capacity.
         capacity: usize,
+        /// Estimated wait until a retry could be accepted.
+        retry_after_hint: Duration,
     },
     /// No session with that id was ever registered.
     UnknownSession(SessionId),
@@ -23,11 +29,32 @@ pub enum ServiceError {
     Degraded,
 }
 
+impl ServiceError {
+    /// Retry guidance: `Some(wait)` when retrying can help (`Busy`),
+    /// `None` when it cannot — `Degraded` is sticky until an operator
+    /// restarts the service, and the other variants are not
+    /// retry-shaped at all.
+    pub fn retry_after_hint(&self) -> Option<Duration> {
+        match self {
+            ServiceError::Busy {
+                retry_after_hint, ..
+            } => Some(*retry_after_hint),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::QueueFull { capacity } => {
-                write!(f, "job queue is full (capacity {capacity})")
+            ServiceError::Busy {
+                capacity,
+                retry_after_hint,
+            } => {
+                write!(
+                    f,
+                    "job queue is full (capacity {capacity}); retry after ~{retry_after_hint:?}"
+                )
             }
             ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
@@ -46,8 +73,13 @@ mod tests {
 
     #[test]
     fn errors_display_and_implement_error() {
-        let full = ServiceError::QueueFull { capacity: 8 };
-        assert_eq!(full.to_string(), "job queue is full (capacity 8)");
+        let busy = ServiceError::Busy {
+            capacity: 8,
+            retry_after_hint: Duration::from_millis(40),
+        };
+        assert!(busy.to_string().contains("capacity 8"));
+        assert!(busy.to_string().contains("retry after"));
+        assert_eq!(busy.retry_after_hint(), Some(Duration::from_millis(40)));
         assert!(ServiceError::UnknownSession(SessionId(3))
             .to_string()
             .contains('3'));
@@ -56,6 +88,7 @@ mod tests {
             "service is shutting down"
         );
         assert!(ServiceError::Degraded.to_string().contains("read-only"));
-        let _: &dyn std::error::Error = &full;
+        assert_eq!(ServiceError::Degraded.retry_after_hint(), None);
+        let _: &dyn std::error::Error = &busy;
     }
 }

@@ -8,7 +8,9 @@
 //!
 //! - [`AnalysisService`]: a fixed pool of worker threads draining a
 //!   bounded, prioritized job queue. Submission applies backpressure
-//!   ([`ServiceError::QueueFull`]) instead of buffering without bound.
+//!   ([`ServiceError::Busy`], carrying a retry hint derived from queue
+//!   depth × recent p50 session latency) instead of buffering without
+//!   bound.
 //! - [`SessionRegistry`] semantics via [`SessionState`]:
 //!   `Queued → Running → Completed | Failed | Cancelled`, with blocking
 //!   [`AnalysisService::wait`] and cooperative [`CancelToken`]s that the

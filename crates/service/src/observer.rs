@@ -35,6 +35,7 @@ pub struct MetricsObserver {
     max_queue_depth: AtomicUsize,
     stages: [Log2Histogram; PipelineStage::ALL.len()],
     queue_wait: Log2Histogram,
+    session_latency: Log2Histogram,
 }
 
 impl MetricsObserver {
@@ -99,6 +100,19 @@ impl MetricsObserver {
         self.queue_wait.record_duration(wait);
     }
 
+    /// Records one session's wall-clock execution latency (worker
+    /// pickup → terminal state, retries included). Feeds the p50 the
+    /// `Busy` retry hint is derived from.
+    pub(crate) fn observe_session_latency(&self, latency: Duration) {
+        self.session_latency.record_duration(latency);
+    }
+
+    /// Median session execution latency so far (zero before any session
+    /// finished).
+    pub(crate) fn session_latency_p50(&self) -> Duration {
+        Duration::from_nanos(self.session_latency.quantile(0.5))
+    }
+
     /// A point-in-time snapshot of every metric.
     pub fn snapshot(&self) -> ServiceMetrics {
         let stages = PipelineStage::ALL
@@ -120,6 +134,7 @@ impl MetricsObserver {
             degraded_transitions: self.degraded_transitions.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             queue_wait: StageMetrics::from_snapshot(&self.queue_wait.snapshot()),
+            session_latency: StageMetrics::from_snapshot(&self.session_latency.snapshot()),
             stages,
         }
     }
@@ -191,7 +206,7 @@ pub struct ServiceMetrics {
     pub cancelled: u64,
     /// Individual retry attempts across all sessions.
     pub retried: u64,
-    /// Submissions refused with `QueueFull`.
+    /// Submissions refused with `Busy` (queue full).
     pub rejected: u64,
     /// Terminal session records that failed to persist to the K-DB.
     pub persist_failures: u64,
@@ -204,6 +219,9 @@ pub struct ServiceMetrics {
     pub max_queue_depth: usize,
     /// Latency jobs spent queued before a worker picked them up.
     pub queue_wait: StageMetrics,
+    /// Whole-session execution latency (worker pickup → terminal state,
+    /// retries included). Its p50 feeds the `Busy` retry hint.
+    pub session_latency: StageMetrics,
     /// Per-stage latency statistics, keyed by stage name.
     pub stages: BTreeMap<&'static str, StageMetrics>,
 }
@@ -242,6 +260,10 @@ impl ServiceMetrics {
                 i64::try_from(self.max_queue_depth).unwrap_or(i64::MAX),
             )
             .with("queue_wait", Value::Doc(self.queue_wait.to_document()))
+            .with(
+                "session_latency",
+                Value::Doc(self.session_latency.to_document()),
+            )
             .with("stages", Value::Doc(stages))
     }
 
@@ -286,6 +308,13 @@ impl ServiceMetrics {
         out.push_str(&format!("ada_queue_depth_max {}\n", self.max_queue_depth));
         out.push_str("# TYPE ada_queue_wait_ns summary\n");
         write_summary(&mut out, "ada_queue_wait_ns", "", &self.queue_wait);
+        out.push_str("# TYPE ada_session_latency_ns summary\n");
+        write_summary(
+            &mut out,
+            "ada_session_latency_ns",
+            "",
+            &self.session_latency,
+        );
         out.push_str("# TYPE ada_stage_latency_ns summary\n");
         for (name, stat) in &self.stages {
             write_summary(

@@ -12,7 +12,6 @@ use std::sync::Mutex;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::error::ServiceError;
 use crate::job::Priority;
 
 /// What a worker wakes up to do.
@@ -78,13 +77,13 @@ impl<T> JobQueue<T> {
         }
     }
 
-    /// Enqueues a job, or refuses with `QueueFull` (backpressure).
-    pub(crate) fn push(&self, priority: Priority, payload: T) -> Result<(), ServiceError> {
+    /// Enqueues a job, or refuses with the queue's capacity
+    /// (backpressure — the service layers a retry hint on top to build
+    /// the caller-facing `ServiceError::Busy`).
+    pub(crate) fn push(&self, priority: Priority, payload: T) -> Result<(), usize> {
         let mut heap = self.heap.lock().expect("queue lock");
         if heap.jobs.len() >= self.capacity {
-            return Err(ServiceError::QueueFull {
-                capacity: self.capacity,
-            });
+            return Err(self.capacity);
         }
         let seq = heap.next_seq;
         heap.next_seq += 1;
@@ -144,10 +143,7 @@ mod tests {
         let q = JobQueue::bounded(2);
         q.push(Priority::Normal, 1).unwrap();
         q.push(Priority::Normal, 2).unwrap();
-        assert_eq!(
-            q.push(Priority::Normal, 3),
-            Err(ServiceError::QueueFull { capacity: 2 })
-        );
+        assert_eq!(q.push(Priority::Normal, 3), Err(2));
         assert_eq!(q.len(), 2);
         q.pop();
         q.push(Priority::Normal, 3).unwrap();

@@ -71,7 +71,7 @@ impl RetryPolicy {
 pub struct ServiceConfig {
     /// Worker threads in the pool.
     pub workers: usize,
-    /// Bounded queue capacity; submissions beyond it get `QueueFull`.
+    /// Bounded queue capacity; submissions beyond it get `Busy`.
     pub queue_capacity: usize,
     /// Retry schedule for panicking attempts.
     pub retry: RetryPolicy,
@@ -205,8 +205,9 @@ impl AnalysisService {
     }
 
     /// Submits a job; returns its session id, or refuses with
-    /// `QueueFull` (backpressure), `ShuttingDown`, or `Degraded` (the
-    /// store is no longer accepting writes it could lose).
+    /// `Busy` (backpressure, with a retry hint), `ShuttingDown`, or
+    /// `Degraded` (the store is no longer accepting writes it could
+    /// lose).
     pub fn submit(&self, spec: JobSpec) -> Result<SessionId, ServiceError> {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
@@ -217,10 +218,13 @@ impl AnalysisService {
         let token = spec.cancel.clone().unwrap_or_default();
         let id = self.inner.registry.register(&spec.config.session, token);
         let priority = spec.priority;
-        if let Err(err) = self.inner.queue.push(priority, (id, spec, Instant::now())) {
+        if let Err(capacity) = self.inner.queue.push(priority, (id, spec, Instant::now())) {
             self.inner.registry.remove(id);
             self.inner.metrics.job_rejected();
-            return Err(err);
+            return Err(ServiceError::Busy {
+                capacity,
+                retry_after_hint: self.retry_after_hint(),
+            });
         }
         self.inner.metrics.job_submitted();
         self.inner
@@ -256,6 +260,29 @@ impl AnalysisService {
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
         self.inner.metrics.snapshot()
+    }
+
+    /// Current depth of the job queue.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Estimated wait until a refused submission could be accepted:
+    /// queue depth × the p50 session execution latency observed so far
+    /// (100 ms prior before any session finished), clamped to
+    /// `[25 ms, 30 s]`. The same hint travels in `ServiceError::Busy`
+    /// and in the wire protocol's `Busy` response, so in-process and
+    /// remote callers see identical backpressure semantics.
+    pub fn retry_after_hint(&self) -> Duration {
+        let p50 = self.inner.metrics.session_latency_p50();
+        let p50 = if p50.is_zero() {
+            Duration::from_millis(100)
+        } else {
+            p50
+        };
+        let depth = self.inner.queue.len().max(1) as u32;
+        p50.saturating_mul(depth)
+            .clamp(Duration::from_millis(25), Duration::from_secs(30))
     }
 
     /// Whether the service has entered degraded read-only mode.
@@ -433,6 +460,9 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
     }
     let observer: Arc<dyn PipelineObserver> = Arc::new(FanoutObserver::new(targets));
 
+    // Execution latency (pickup → terminal, retries included) feeds
+    // the p50 behind the `Busy` retry hint.
+    let started = Instant::now();
     let mut attempt = 0u32;
     loop {
         inner
@@ -456,6 +486,7 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
 
         match outcome {
             Ok(Ok(report)) => {
+                inner.metrics.observe_session_latency(started.elapsed());
                 persist_session(inner, &session, "completed", "");
                 inner.metrics.job_completed();
                 inner
@@ -464,6 +495,7 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
                 return;
             }
             Ok(Err(err @ PipelineError::Cancelled { .. })) => {
+                inner.metrics.observe_session_latency(started.elapsed());
                 inner
                     .recorder
                     .mark(&session, MARK_CANCELLED, Duration::ZERO);
@@ -474,6 +506,7 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
             }
             Ok(Err(err @ PipelineError::DeadlineExceeded { .. })) => {
                 // A blown deadline would blow it again on retry.
+                inner.metrics.observe_session_latency(started.elapsed());
                 persist_session(inner, &session, "failed", &err.to_string());
                 inner.metrics.job_failed();
                 inner.registry.transition(
@@ -498,6 +531,7 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "attempt panicked".to_string());
                     let reason = format!("failed after {} attempts: {reason}", attempt + 1);
+                    inner.metrics.observe_session_latency(started.elapsed());
                     persist_session(inner, &session, "failed", &reason);
                     inner.metrics.job_failed();
                     inner

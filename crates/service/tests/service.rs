@@ -317,7 +317,19 @@ fn a_full_queue_applies_backpressure_and_a_queued_job_can_be_cancelled() {
             Arc::clone(&log),
         ))
         .unwrap_err();
-    assert_eq!(err, ada_service::ServiceError::QueueFull { capacity: 1 });
+    match &err {
+        ada_service::ServiceError::Busy {
+            capacity,
+            retry_after_hint,
+        } => {
+            assert_eq!(*capacity, 1);
+            // The hint is typed retry guidance, never zero or absurd.
+            assert!(*retry_after_hint >= Duration::from_millis(25));
+            assert!(*retry_after_hint <= Duration::from_secs(30));
+            assert_eq!(err.retry_after_hint(), Some(*retry_after_hint));
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
 
     // A still-queued job can be cancelled before it ever runs.
     service.cancel(queued).unwrap();

@@ -7,7 +7,8 @@
 //! together, the [`obs`] observability layer (lock-free tracing,
 //! latency histograms, the session flight recorder), and the
 //! [`service`] layer that runs many concurrent analysis sessions over
-//! one shared K-DB.
+//! one shared K-DB, and the [`net`] front-end that serves that service
+//! to remote clients over a framed, checksummed TCP wire protocol.
 //!
 //! ## End-to-end usage
 //!
@@ -47,6 +48,7 @@ pub use ada_dataset as dataset;
 pub use ada_kdb as kdb;
 pub use ada_metrics as metrics;
 pub use ada_mining as mining;
+pub use ada_net as net;
 pub use ada_obs as obs;
 pub use ada_service as service;
 pub use ada_vsm as vsm;
