@@ -21,6 +21,13 @@ echo "== observability smoke gate =="
 # ada-kdb::schema, and kernel tracing overhead must stay within 5%.
 cargo run -q -p ada-bench --release --bin obs_smoke
 
+echo "== safety-signal smoke gate (quick) =="
+# Ranked safety signals on the bench cohort: non-empty descending
+# ranking with bracketing CIs, serial == 8-way parallel == observed,
+# the pinned ada_signals_* exposition families live after a service
+# session, and tracing overhead within 5%.
+cargo run -q -p ada-bench --release --bin signals_smoke -- --quick
+
 echo "== network front-end smoke gate (quick) =="
 # Loopback fleet over the ADAN1 wire: blocking + multiplexed async
 # clients, reads answered mid-fleet, then a drain audit (zero protocol

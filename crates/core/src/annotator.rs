@@ -90,6 +90,32 @@ impl SimulatedPhysician {
         self.finalize(self.specialty_boost(base, touches))
     }
 
+    /// Labels a *safety-signal* knowledge item from its
+    /// disproportionality statistics (`ror_low` = lower 95% CI bound of
+    /// the reporting odds ratio, `shrunk` = EBGM-style shrunken
+    /// reporting ratio).
+    ///
+    /// Policy: a signal whose CI excludes the null from above and whose
+    /// shrunken estimate survives is interesting; a positive but
+    /// fragile association is `Medium`; CI-crossing-1 or shrunk-to-null
+    /// findings are `Low`. A specialty match upgrades one level.
+    pub fn label_signal(
+        &mut self,
+        support: f64,
+        ror_low: f64,
+        shrunk: f64,
+        touches: &[ConditionGroup],
+    ) -> Interestingness {
+        let base = if ror_low >= 1.5 && shrunk >= 1.5 && support >= 0.01 {
+            Interestingness::High
+        } else if ror_low >= 1.0 && shrunk >= 1.2 {
+            Interestingness::Medium
+        } else {
+            Interestingness::Low
+        };
+        self.finalize(self.specialty_boost(base, touches))
+    }
+
     fn specialty_boost(
         &self,
         base: Interestingness,

@@ -45,11 +45,32 @@ pub enum PipelineStage {
     GoalIdentification,
     /// Step 7: knowledge navigation (ranking + feedback).
     Navigation,
+    /// Safety-signal mining (the `ada-signals` workload): contingency
+    /// tables, disproportionality statistics, shrinkage, and ranking.
+    /// Not part of the paper's seven-stage pipeline; a session runs
+    /// either the pipeline stages or this one.
+    SignalMining,
 }
 
 impl PipelineStage {
-    /// All stages in execution order.
-    pub const ALL: [PipelineStage; 7] = [
+    /// All stages across every workload, in a stable order. Sizes
+    /// per-stage arrays (histogram banks, span grouping).
+    pub const ALL: [PipelineStage; 8] = [
+        PipelineStage::Characterize,
+        PipelineStage::Transform,
+        PipelineStage::PartialMining,
+        PipelineStage::Optimize,
+        PipelineStage::KnowledgeExtraction,
+        PipelineStage::GoalIdentification,
+        PipelineStage::Navigation,
+        PipelineStage::SignalMining,
+    ];
+
+    /// The paper's seven pipeline stages, in execution order. A
+    /// `Pipeline` workload session runs exactly these; the
+    /// [`SignalMining`](PipelineStage::SignalMining) stage belongs to
+    /// the safety-signal workload instead.
+    pub const PIPELINE: [PipelineStage; 7] = [
         PipelineStage::Characterize,
         PipelineStage::Transform,
         PipelineStage::PartialMining,
@@ -70,6 +91,7 @@ impl PipelineStage {
             PipelineStage::KnowledgeExtraction => 4,
             PipelineStage::GoalIdentification => 5,
             PipelineStage::Navigation => 6,
+            PipelineStage::SignalMining => 7,
         }
     }
 
@@ -83,6 +105,7 @@ impl PipelineStage {
             PipelineStage::KnowledgeExtraction => "knowledge-extraction",
             PipelineStage::GoalIdentification => "goal-identification",
             PipelineStage::Navigation => "navigation",
+            PipelineStage::SignalMining => "signal-mining",
         }
     }
 }
@@ -398,10 +421,18 @@ mod tests {
 
     #[test]
     fn stage_names_are_stable_and_ordered() {
-        assert_eq!(PipelineStage::ALL.len(), 7);
+        assert_eq!(PipelineStage::ALL.len(), 8);
+        assert_eq!(PipelineStage::PIPELINE.len(), 7);
         let names: Vec<_> = PipelineStage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names[0], "characterize");
         assert_eq!(names[6], "navigation");
+        assert_eq!(names[7], "signal-mining");
         assert!(PipelineStage::Characterize < PipelineStage::Navigation);
+        // PIPELINE is a prefix of ALL, so dense indices agree.
+        for (i, stage) in PipelineStage::PIPELINE.iter().enumerate() {
+            assert_eq!(PipelineStage::ALL[i], *stage);
+            assert_eq!(stage.index(), i);
+        }
+        assert_eq!(PipelineStage::SignalMining.index(), 7);
     }
 }

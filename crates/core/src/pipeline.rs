@@ -307,6 +307,13 @@ impl AdaHealth {
                     get_f64("confidence").unwrap_or(0.0),
                     get_f64("lift").unwrap_or(0.0),
                 ),
+                Some("signal") => KnowledgeItem::signal(
+                    item_id as u64,
+                    description,
+                    get_f64("support").unwrap_or(0.0),
+                    get_f64("ci_low").unwrap_or(0.0),
+                    get_f64("shrunk").unwrap_or(0.0),
+                ),
                 _ => continue, // compliance items are not ranked
             };
             ranker.record_feedback(&item, label);
@@ -646,10 +653,20 @@ impl AdaHealth {
                             item.features[4] / (1.0 - item.features[4]).max(1e-9),
                             &[],
                         ),
+                        // Signal items are produced by the ada-signals
+                        // workload, never by pipeline sessions; keep the
+                        // arm functional so a mixed item list still ranks.
+                        crate::rank::ItemKind::Signal => physician.label_signal(
+                            item.features[2],
+                            item.features[8] / (1.0 - item.features[8]).max(1e-9),
+                            item.features[9] / (1.0 - item.features[9]).max(1e-9),
+                            &[],
+                        ),
                     };
                     let coll = match item.kind {
                         crate::rank::ItemKind::Cluster => names::CLUSTER_KNOWLEDGE,
                         crate::rank::ItemKind::Pattern => names::PATTERN_KNOWLEDGE,
+                        crate::rank::ItemKind::Signal => names::SIGNAL_KNOWLEDGE,
                     };
                     schema::insert_feedback(&mut self.kdb.write(), &session, coll, item.id, label)
                         .expect("K-DB insert failed");

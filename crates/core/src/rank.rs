@@ -26,6 +26,9 @@ pub enum ItemKind {
     Cluster,
     /// A frequent pattern / association rule.
     Pattern,
+    /// A ranked safety signal (disproportionality finding from
+    /// `ada-signals`).
+    Signal,
 }
 
 impl ItemKind {
@@ -33,6 +36,7 @@ impl ItemKind {
         match self {
             ItemKind::Cluster => 0,
             ItemKind::Pattern => 1,
+            ItemKind::Signal => 2,
         }
     }
 }
@@ -52,8 +56,12 @@ pub struct KnowledgeItem {
 }
 
 impl KnowledgeItem {
-    /// Feature-vector length (shared by both kinds).
-    pub const NUM_FEATURES: usize = 7;
+    /// Feature-vector length (shared by all kinds). Layout:
+    /// `[is_cluster, is_pattern, support, confidence, lift', size,
+    /// cohesion, is_signal, ror', shrunk']` — indices 0–6 predate the
+    /// signal kind and must never shift (the navigation stage and the
+    /// ranker rebuild read them positionally); signal features append.
+    pub const NUM_FEATURES: usize = 10;
 
     /// A cluster item: `size_fraction` of the cohort, `cohesion` =
     /// within-cluster overall similarity.
@@ -67,8 +75,18 @@ impl KnowledgeItem {
             id,
             kind: ItemKind::Cluster,
             description: description.into(),
-            // [is_cluster, is_pattern, support, confidence, lift', size, cohesion]
-            features: vec![1.0, 0.0, 0.0, 0.0, 0.0, size_fraction, cohesion],
+            features: vec![
+                1.0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                size_fraction,
+                cohesion,
+                0.0,
+                0.0,
+                0.0,
+            ],
         }
     }
 
@@ -90,7 +108,43 @@ impl KnowledgeItem {
             id,
             kind: ItemKind::Pattern,
             description: description.into(),
-            features: vec![0.0, 1.0, support, confidence, squashed, 0.0, 0.0],
+            features: vec![
+                0.0, 1.0, support, confidence, squashed, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        }
+    }
+
+    /// A safety-signal item from its disproportionality statistics:
+    /// `support` = exposed-with-outcome fraction of the cohort,
+    /// `ror_low` = lower bound of the 95% ROR confidence interval
+    /// (the conservative association strength), `shrunk` = the
+    /// EBGM-style shrunken reporting ratio. The unbounded statistics
+    /// are squashed to `x/(1+x)` so features stay in [0, 1] (0.5 is
+    /// the no-association point for both).
+    pub fn signal(
+        id: u64,
+        description: impl Into<String>,
+        support: f64,
+        ror_low: f64,
+        shrunk: f64,
+    ) -> Self {
+        let squash = |x: f64| if x.is_finite() { x / (1.0 + x) } else { 1.0 };
+        Self {
+            id,
+            kind: ItemKind::Signal,
+            description: description.into(),
+            features: vec![
+                0.0,
+                0.0,
+                support,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                1.0,
+                squash(ror_low.max(0.0)),
+                squash(shrunk.max(0.0)),
+            ],
         }
     }
 
@@ -110,6 +164,17 @@ impl KnowledgeItem {
                 let lift = self.features[4];
                 (support + confidence + lift) / 3.0
             }
+            ItemKind::Signal => {
+                // The combined ranking score of the tentpole: the
+                // conservative CI lower bound carries the most weight,
+                // the shrunken estimate guards against sparse-cell
+                // noise, and support rewards signals that are actually
+                // observed (saturating at 10% of the cohort).
+                let support = (self.features[2] * 10.0).min(1.0);
+                let ror_low = self.features[8];
+                let shrunk = self.features[9];
+                0.45 * ror_low + 0.35 * shrunk + 0.2 * support
+            }
         }
     }
 }
@@ -118,7 +183,7 @@ impl KnowledgeItem {
 #[derive(Debug, Clone)]
 pub struct KnowledgeRanker {
     /// Per-kind preference weights, adapted by feedback (EMA).
-    kind_weight: [f64; 2],
+    kind_weight: [f64; 3],
     /// Labelled history: (features, label index 0/1/2).
     history: Vec<(Vec<f64>, usize)>,
     /// Trained interestingness classifier, once history suffices.
@@ -140,7 +205,7 @@ impl KnowledgeRanker {
     /// A fresh ranker with neutral preferences.
     pub fn new() -> Self {
         Self {
-            kind_weight: [1.0, 1.0],
+            kind_weight: [1.0, 1.0, 1.0],
             history: Vec::new(),
             model: None,
             alpha: 0.2,
@@ -289,8 +354,54 @@ mod tests {
 
     #[test]
     fn feature_vectors_have_fixed_length() {
-        for item in items() {
+        let mut all = items();
+        all.push(KnowledgeItem::signal(9, "signal", 0.05, 2.4, 1.8));
+        for item in all {
             assert_eq!(item.features.len(), KnowledgeItem::NUM_FEATURES);
         }
+    }
+
+    #[test]
+    fn signal_prior_prefers_strong_associations() {
+        let strong = KnowledgeItem::signal(1, "strong", 0.08, 3.0, 2.5);
+        let neutral = KnowledgeItem::signal(2, "neutral", 0.08, 1.0, 1.0);
+        let sparse = KnowledgeItem::signal(3, "sparse", 0.001, 0.4, 0.9);
+        assert!(strong.prior_score() > neutral.prior_score());
+        assert!(neutral.prior_score() > sparse.prior_score());
+        for item in [&strong, &neutral, &sparse] {
+            assert!((0.0..=1.0).contains(&item.prior_score()));
+        }
+    }
+
+    #[test]
+    fn signal_ties_break_by_kind_then_id() {
+        // Three kinds engineered onto one score: kind index then id
+        // decides, exactly like the cluster/pattern tie-break fix.
+        let ranker = KnowledgeRanker::new();
+        let twins = vec![
+            KnowledgeItem::signal(5, "a", 0.1, 2.0, 2.0),
+            KnowledgeItem::signal(2, "b", 0.1, 2.0, 2.0),
+        ];
+        let ranked = ranker.rank(&twins);
+        assert_eq!(ranked[0].id, 2, "signal ties break by id");
+    }
+
+    #[test]
+    fn signal_feedback_does_not_perturb_other_kinds() {
+        let mut ranker = KnowledgeRanker::new();
+        let all = items();
+        let before: Vec<f64> = all.iter().map(|i| ranker.score(i)).collect();
+
+        // Fewer than MIN_HISTORY labels, so only the per-kind EMA path
+        // runs — and that path is kind-isolated by construction.
+        let signal = KnowledgeItem::signal(9, "renal signal", 0.05, 2.4, 1.8);
+        for _ in 0..8 {
+            ranker.record_feedback(&signal, Interestingness::High);
+        }
+        assert!(!ranker.model_active());
+        assert!(ranker.kind_weight[ItemKind::Signal.index()] > 1.0);
+
+        let after: Vec<f64> = all.iter().map(|i| ranker.score(i)).collect();
+        assert_eq!(before, after, "cluster/pattern scores must not move");
     }
 }

@@ -34,6 +34,11 @@ pub mod names {
     /// flight recorder so a restarted service can answer questions
     /// about past runs. Not one of the paper's six data collections.
     pub const SESSIONS: &str = "sessions";
+    /// Safety-signal knowledge items mined by `ada-signals`:
+    /// disproportionality findings (2×2 contingency table, reporting
+    /// odds ratio with CI, shrunken estimate, combined rank score).
+    /// A seventh knowledge collection beyond the paper's six.
+    pub const SIGNAL_KNOWLEDGE: &str = "signal_knowledge";
 
     /// All six, in paper order.
     pub const ALL: [&str; 6] = [
@@ -46,14 +51,15 @@ pub mod names {
     ];
 
     /// Every collection the schema manages: the paper's six plus the
-    /// operational session-history collection.
-    pub const ALL_WITH_OPS: [&str; 7] = [
+    /// signal-knowledge and operational session-history collections.
+    pub const ALL_WITH_OPS: [&str; 8] = [
         RAW_DATA,
         TRANSFORMED_DATA,
         DESCRIPTORS,
         CLUSTER_KNOWLEDGE,
         PATTERN_KNOWLEDGE,
         FEEDBACK,
+        SIGNAL_KNOWLEDGE,
         SESSIONS,
     ];
 }
@@ -114,7 +120,11 @@ pub fn init_schema(db: &mut Kdb) -> Result<(), KdbError> {
     for name in names::ALL_WITH_OPS {
         db.ensure_collection(name)?;
     }
-    for coll in [names::CLUSTER_KNOWLEDGE, names::PATTERN_KNOWLEDGE] {
+    for coll in [
+        names::CLUSTER_KNOWLEDGE,
+        names::PATTERN_KNOWLEDGE,
+        names::SIGNAL_KNOWLEDGE,
+    ] {
         for path in ["session", "score"] {
             if !db.collection(coll).expect("just created").has_index(path) {
                 db.create_index(coll, path)?;
@@ -312,6 +322,104 @@ pub fn insert_pattern_item(
     )
 }
 
+/// Validates a safety-signal knowledge item against the
+/// `signal_knowledge` collection schema.
+///
+/// Required shape (see DESIGN.md §12):
+///
+/// * `session`, `exposure`, `outcome`, `description` — non-empty
+///   strings; `exposure_id` — non-negative integer;
+/// * `kind` — the literal `"signal"`;
+/// * `a`, `b`, `c`, `d` — the 2×2 contingency-table cells,
+///   non-negative integers;
+/// * `ror`, `ci_low`, `ci_high` — finite positive numbers with
+///   `ci_low <= ror <= ci_high` (the CI must bracket the estimate);
+/// * `shrunk` — finite non-negative number; `support` — number in
+///   [0, 1]; `score` — finite number;
+/// * `corrected` — boolean (whether the Haldane–Anscombe zero-cell
+///   correction was applied).
+///
+/// # Errors
+/// Returns [`KdbError::Schema`] naming the first violated rule.
+pub fn validate_signal_doc(doc: &Document) -> Result<(), KdbError> {
+    let bad = |reason: String| Err(KdbError::Schema(reason));
+    for key in ["session", "exposure", "outcome", "description"] {
+        match doc.get(key).and_then(Value::as_str) {
+            Some(s) if !s.is_empty() => {}
+            _ => {
+                return bad(format!(
+                    "signal_knowledge: `{key}` must be a non-empty string"
+                ))
+            }
+        }
+    }
+    match doc.get("kind").and_then(Value::as_str) {
+        Some("signal") => {}
+        other => {
+            return bad(format!(
+                "signal_knowledge: `kind` must be \"signal\", got {other:?}"
+            ))
+        }
+    }
+    for key in ["exposure_id", "a", "b", "c", "d"] {
+        match doc.get(key).and_then(Value::as_i64) {
+            Some(v) if v >= 0 => {}
+            _ => {
+                return bad(format!(
+                    "signal_knowledge: `{key}` must be a non-negative integer"
+                ))
+            }
+        }
+    }
+    let num = |key: &str| doc.get(key).and_then(Value::as_f64);
+    for key in ["ror", "ci_low", "ci_high"] {
+        match num(key) {
+            Some(v) if v.is_finite() && v > 0.0 => {}
+            _ => {
+                return bad(format!(
+                    "signal_knowledge: `{key}` must be a finite positive number"
+                ))
+            }
+        }
+    }
+    let (ci_low, ror, ci_high) = (
+        num("ci_low").expect("checked"),
+        num("ror").expect("checked"),
+        num("ci_high").expect("checked"),
+    );
+    if !(ci_low <= ror && ror <= ci_high) {
+        return bad(format!(
+            "signal_knowledge: CI must bracket the estimate, got [{ci_low}, {ci_high}] around {ror}"
+        ));
+    }
+    match num("shrunk") {
+        Some(v) if v.is_finite() && v >= 0.0 => {}
+        _ => return bad("signal_knowledge: `shrunk` must be a finite non-negative number".into()),
+    }
+    match num("support") {
+        Some(v) if (0.0..=1.0).contains(&v) => {}
+        _ => return bad("signal_knowledge: `support` must be a number in [0, 1]".into()),
+    }
+    match num("score") {
+        Some(v) if v.is_finite() => {}
+        _ => return bad("signal_knowledge: `score` must be a finite number".into()),
+    }
+    if doc.get("corrected").and_then(Value::as_bool).is_none() {
+        return bad("signal_knowledge: `corrected` must be a boolean".into());
+    }
+    Ok(())
+}
+
+/// Validates and inserts a safety-signal knowledge item.
+///
+/// # Errors
+/// Returns [`KdbError::Schema`] on a malformed item, otherwise store
+/// errors (missing collection / journal I/O).
+pub fn insert_signal_item(db: &mut Kdb, item: Document) -> Result<DocId, KdbError> {
+    validate_signal_doc(&item)?;
+    db.insert(names::SIGNAL_KNOWLEDGE, item)
+}
+
 /// Records physician feedback on a knowledge item.
 ///
 /// # Errors
@@ -507,6 +615,74 @@ mod tests {
         );
         // The rejected inserts must not have left documents behind.
         assert_eq!(db.collection(names::SESSIONS).unwrap().len(), 0);
+    }
+
+    fn sample_signal_doc() -> Document {
+        Document::new()
+            .with("session", "sig-1")
+            .with("kind", "signal")
+            .with("exposure", "fundus-exam")
+            .with("exposure_id", 17i64)
+            .with("outcome", "ophthalmic")
+            .with("a", 40i64)
+            .with("b", 60i64)
+            .with("c", 120i64)
+            .with("d", 480i64)
+            .with("ror", 2.67)
+            .with("ci_low", 1.70)
+            .with("ci_high", 4.18)
+            .with("shrunk", 2.1)
+            .with("support", 0.057)
+            .with("score", 0.62)
+            .with("corrected", false)
+            .with("description", "fundus-exam => ophthalmic complication")
+    }
+
+    #[test]
+    fn signal_items_validate_and_round_trip() {
+        let mut db = Kdb::in_memory();
+        init_schema(&mut db).unwrap();
+        let coll = db.collection(names::SIGNAL_KNOWLEDGE).unwrap();
+        assert!(coll.has_index("session"));
+        assert!(coll.has_index("score"));
+        let id = insert_signal_item(&mut db, sample_signal_doc()).unwrap();
+        let found = db
+            .find(names::SIGNAL_KNOWLEDGE, &Filter::eq("session", "sig-1"))
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, id);
+        validate_signal_doc(&found[0].1).unwrap();
+    }
+
+    #[test]
+    fn signal_validation_rejects_malformed_items() {
+        let rejects = |doc: Document, what: &str| {
+            let mut db = Kdb::in_memory();
+            init_schema(&mut db).unwrap();
+            assert!(
+                matches!(insert_signal_item(&mut db, doc), Err(KdbError::Schema(_))),
+                "expected rejection: {what}"
+            );
+            assert_eq!(db.collection(names::SIGNAL_KNOWLEDGE).unwrap().len(), 0);
+        };
+        rejects(sample_signal_doc().with("session", ""), "empty session");
+        rejects(sample_signal_doc().with("kind", "pattern"), "wrong kind");
+        rejects(sample_signal_doc().with("a", -1i64), "negative cell");
+        rejects(sample_signal_doc().with("ror", f64::NAN), "NaN ror");
+        rejects(
+            sample_signal_doc().with("ror", f64::INFINITY),
+            "infinite ror",
+        );
+        rejects(
+            sample_signal_doc().with("ci_low", 3.0),
+            "CI not bracketing the estimate",
+        );
+        rejects(sample_signal_doc().with("support", 1.5), "support > 1");
+        rejects(sample_signal_doc().with("shrunk", -0.1), "negative shrunk");
+        rejects(
+            sample_signal_doc().with("corrected", 1i64),
+            "non-bool corrected",
+        );
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub fn generate(
             let count_b = *support
                 .get(&consequent)
                 .expect("subsets of frequent itemsets are frequent (downward closure)");
+            // Zero-support marginals make every measure degenerate
+            // (confidence and lift are *defined* as 0.0 then, never
+            // NaN/Inf — see `RuleCounts` — but such a rule carries no
+            // information, so it never enters the ranking).
+            if count_a == 0 || count_b == 0 || f.support == 0 {
+                continue;
+            }
             let counts = RuleCounts::new(num_transactions, count_a, count_b, f.support);
             if counts.confidence() >= min_confidence {
                 rules.push(Rule {
@@ -94,9 +101,10 @@ pub fn generate(
         }
     }
     rules.sort_by(|a, b| {
+        // total_cmp: the sort stays total even if a measure ever went
+        // non-finite, instead of panicking mid-ranking.
         b.confidence()
-            .partial_cmp(&a.confidence())
-            .expect("finite confidence")
+            .total_cmp(&a.confidence())
             .then_with(|| b.counts.count_ab.cmp(&a.counts.count_ab))
             .then_with(|| a.antecedent.cmp(&b.antecedent))
             .then_with(|| a.consequent.cmp(&b.consequent))
@@ -196,5 +204,54 @@ mod tests {
     #[should_panic(expected = "confidence")]
     fn rejects_bad_confidence() {
         let _ = generate(&[], 10, 1.5);
+    }
+
+    /// Zero-support itemsets (possible with hand-built or filtered
+    /// collections) must not produce rules — and no measure of any
+    /// generated rule may go NaN/Inf into the ranking.
+    #[test]
+    fn zero_support_marginals_never_reach_the_ranking() {
+        let frequent = vec![
+            FrequentItemset {
+                items: vec![1],
+                support: 0,
+            },
+            FrequentItemset {
+                items: vec![2],
+                support: 4,
+            },
+            FrequentItemset {
+                items: vec![1, 2],
+                support: 0,
+            },
+        ];
+        assert!(generate(&frequent, 10, 0.0).is_empty());
+
+        let t = market_basket();
+        let rules = generate(&fpgrowth::mine(&t, 1), t.len(), 0.0);
+        assert!(!rules.is_empty());
+        for r in &rules {
+            for v in [r.support(), r.confidence(), r.lift()] {
+                assert!(v.is_finite(), "non-finite measure in {r:?}");
+            }
+            assert!(r.counts.count_a > 0 && r.counts.count_b > 0);
+        }
+    }
+
+    /// The defined-value contract for degenerate divisions: a
+    /// zero-antecedent (or zero-consequent) rule has confidence 0 and
+    /// lift 0 — not NaN, not Inf.
+    #[test]
+    fn degenerate_counts_have_defined_confidence_and_lift() {
+        let zero_a = RuleCounts::new(10, 0, 5, 0);
+        assert_eq!(zero_a.confidence(), 0.0);
+        assert_eq!(zero_a.lift(), 0.0);
+        let zero_b = RuleCounts::new(10, 5, 0, 0);
+        assert_eq!(zero_b.confidence(), 0.0);
+        assert_eq!(zero_b.lift(), 0.0);
+        let empty = RuleCounts::new(0, 0, 0, 0);
+        for v in [empty.support(), empty.confidence(), empty.lift()] {
+            assert_eq!(v, 0.0);
+        }
     }
 }

@@ -18,7 +18,8 @@ use std::time::Duration;
 use ada_core::AdaHealthConfig;
 use ada_dataset::synthetic::{generate, SyntheticConfig};
 use ada_kdb::{Document, Value};
-use ada_service::{JobSpec, Priority};
+use ada_service::{JobSpec, Priority, Workload};
+use ada_signals::SignalConfig;
 
 /// Request id reserved for unsolicited connection-level notifications.
 pub const CONNECTION_ID: u64 = 0;
@@ -46,6 +47,10 @@ pub enum Preset {
     Quick,
     /// [`AdaHealthConfig::paper`] — the full Table-I configuration.
     Paper,
+    /// Safety-signal mining (`ada_signals`) over the cohort instead of
+    /// the clustering/pattern pipeline; the wire seed drives the
+    /// simulated-physician feedback loop.
+    Signals,
 }
 
 impl Preset {
@@ -53,6 +58,7 @@ impl Preset {
         match self {
             Preset::Quick => "quick",
             Preset::Paper => "paper",
+            Preset::Signals => "signals",
         }
     }
 
@@ -60,6 +66,7 @@ impl Preset {
         match s {
             "quick" => Ok(Preset::Quick),
             "paper" => Ok(Preset::Paper),
+            "signals" => Ok(Preset::Signals),
             other => Err(err(format!("unknown preset {other:?}"))),
         }
     }
@@ -141,7 +148,7 @@ impl WireJobSpec {
     /// same session on both sides of the wire.
     pub fn materialize(&self) -> JobSpec {
         let mut config = match self.preset {
-            Preset::Quick => AdaHealthConfig::quick(self.session.clone()),
+            Preset::Quick | Preset::Signals => AdaHealthConfig::quick(self.session.clone()),
             Preset::Paper => AdaHealthConfig::paper(self.session.clone()),
         };
         config.seed = self.seed;
@@ -156,6 +163,12 @@ impl WireJobSpec {
             .priority(self.priority)
             .max_retries(self.max_retries)
             .inject_failures(self.inject_failures);
+        if self.preset == Preset::Signals {
+            spec = spec.workload(Workload::SafetySignals(SignalConfig {
+                seed: self.seed,
+                ..SignalConfig::default()
+            }));
+        }
         if let Some(t) = self.timeout {
             spec = spec.timeout(t);
         }
@@ -647,6 +660,26 @@ mod tests {
             assert_eq!(id, 42);
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn signals_preset_round_trips_and_selects_the_workload() {
+        let mut spec = WireJobSpec::quick("sig-9", CohortSpec::small(7));
+        spec.preset = Preset::Signals;
+        spec.seed = 99;
+        let req = Request::Submit(spec.clone());
+        let (_, back) = Request::decode(&req.encode(1)).unwrap();
+        assert_eq!(back, req);
+        match spec.materialize().workload {
+            Workload::SafetySignals(cfg) => assert_eq!(cfg.seed, 99),
+            Workload::Pipeline => panic!("signals preset must select the signals workload"),
+        }
+        assert!(matches!(
+            WireJobSpec::quick("p", CohortSpec::small(1))
+                .materialize()
+                .workload,
+            Workload::Pipeline
+        ));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ada_kdb::{Document, Value};
-use ada_service::{AnalysisService, ServiceError, SessionId, SessionState};
+use ada_service::{AnalysisService, ServiceError, SessionId, SessionOutcome, SessionState};
 
 use crate::frame::{frame_bytes, Decoded, FrameDecoder, MAGIC};
 use crate::metrics::NetMetrics;
@@ -481,7 +481,12 @@ fn serve_request(shared: &ServerShared, request: Request) -> Response {
                 session,
                 state: state.label().to_owned(),
                 summary: match &state {
-                    SessionState::Completed(report) => report_summary(report),
+                    SessionState::Completed(SessionOutcome::Pipeline(report)) => {
+                        report_summary(report)
+                    }
+                    SessionState::Completed(SessionOutcome::Signals(report)) => {
+                        signals_summary(report)
+                    }
                     _ => Document::new(),
                 },
             },
@@ -536,6 +541,34 @@ fn service_error_response(err: &ServiceError) -> Response {
             message: err.to_string(),
         },
     }
+}
+
+/// Compact result summary for a completed safety-signal session: the
+/// top-ranked association plus the table/feedback counts.
+fn signals_summary(report: &ada_signals::SignalSessionReport) -> Document {
+    let top = report.signals.first();
+    Document::new()
+        .with(
+            "signals",
+            i64::try_from(report.signals.len()).unwrap_or(i64::MAX),
+        )
+        .with(
+            "tables_built",
+            i64::try_from(report.tables_built).unwrap_or(i64::MAX),
+        )
+        .with(
+            "top_exposure",
+            top.map_or_else(String::new, |s| s.exposure.clone()),
+        )
+        .with(
+            "top_outcome",
+            top.map_or_else(String::new, |s| s.outcome.to_string()),
+        )
+        .with("top_score", top.map_or(0.0, |s| s.score))
+        .with(
+            "feedback_recorded",
+            i64::try_from(report.feedback_recorded).unwrap_or(i64::MAX),
+        )
 }
 
 /// Compact result summary for a completed session: enough for a remote

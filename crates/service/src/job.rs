@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use ada_core::AdaHealthConfig;
 use ada_dataset::ExamLog;
+use ada_signals::SignalConfig;
 
 use crate::cancel::CancelToken;
 
@@ -31,6 +32,19 @@ impl fmt::Display for Priority {
     }
 }
 
+/// Which analysis workload a session runs. All workloads share the
+/// same lifecycle, scheduling, cancellation, retry, and observability
+/// machinery; only the work inside the session differs.
+#[derive(Debug, Clone, Default)]
+pub enum Workload {
+    /// The paper's full seven-stage pipeline (the default).
+    #[default]
+    Pipeline,
+    /// Ranked safety-signal mining (ROR + Bayesian shrinkage) over the
+    /// same cohort, persisting into the `signal_knowledge` collection.
+    SafetySignals(SignalConfig),
+}
+
 /// One analysis session to run: a pipeline configuration plus its input
 /// log and scheduling knobs.
 #[derive(Debug, Clone)]
@@ -38,6 +52,8 @@ pub struct JobSpec {
     /// The pipeline configuration (its `session` string names the
     /// session in K-DB documents and observer events).
     pub config: AdaHealthConfig,
+    /// The workload the session runs (default: the full pipeline).
+    pub workload: Workload,
     /// The examination log to analyze; `Arc` so a fleet of jobs can
     /// share one cohort without copying it.
     pub log: Arc<ExamLog>,
@@ -62,6 +78,7 @@ impl JobSpec {
     pub fn new(config: AdaHealthConfig, log: impl Into<Arc<ExamLog>>) -> Self {
         Self {
             config,
+            workload: Workload::Pipeline,
             log: log.into(),
             priority: Priority::Normal,
             timeout: None,
@@ -69,6 +86,13 @@ impl JobSpec {
             inject_failures: 0,
             cancel: None,
         }
+    }
+
+    /// Selects the workload the session runs.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
     }
 
     /// Sets the scheduling priority.

@@ -40,7 +40,7 @@ mod service;
 
 pub use cancel::CancelToken;
 pub use error::ServiceError;
-pub use job::{JobSpec, Priority};
+pub use job::{JobSpec, Priority, Workload};
 pub use observer::{FanoutObserver, MetricsObserver, ServiceMetrics, StageMetrics};
-pub use registry::{SessionId, SessionRegistry, SessionState};
+pub use registry::{SessionId, SessionOutcome, SessionRegistry, SessionState};
 pub use service::{AnalysisService, RetryPolicy, ServiceConfig};

@@ -33,6 +33,10 @@ pub struct MetricsObserver {
     journal_faults: AtomicU64,
     degraded_transitions: AtomicU64,
     max_queue_depth: AtomicUsize,
+    signals_tables_built: AtomicU64,
+    signals_zero_cell_corrections: AtomicU64,
+    signals_shrinkage_iterations: AtomicU64,
+    signals_emitted: AtomicU64,
     stages: [Log2Histogram; PipelineStage::ALL.len()],
     queue_wait: Log2Histogram,
     session_latency: Log2Histogram,
@@ -133,6 +137,12 @@ impl MetricsObserver {
             journal_faults: self.journal_faults.load(Ordering::Relaxed),
             degraded_transitions: self.degraded_transitions.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            signals_tables_built: self.signals_tables_built.load(Ordering::Relaxed),
+            signals_zero_cell_corrections: self
+                .signals_zero_cell_corrections
+                .load(Ordering::Relaxed),
+            signals_shrinkage_iterations: self.signals_shrinkage_iterations.load(Ordering::Relaxed),
+            signals_emitted: self.signals_emitted.load(Ordering::Relaxed),
             queue_wait: StageMetrics::from_snapshot(&self.queue_wait.snapshot()),
             session_latency: StageMetrics::from_snapshot(&self.session_latency.snapshot()),
             stages,
@@ -143,6 +153,19 @@ impl MetricsObserver {
 impl PipelineObserver for MetricsObserver {
     fn on_stage_end(&self, _session: &str, stage: PipelineStage, elapsed: Duration) {
         self.stages[stage.index()].record_duration(elapsed);
+    }
+
+    fn on_counters(&self, _session: &str, _stage: PipelineStage, counters: &[(&'static str, u64)]) {
+        for &(name, value) in counters {
+            let target = match name {
+                "signals_tables_built" => &self.signals_tables_built,
+                "signals_zero_cell_corrections" => &self.signals_zero_cell_corrections,
+                "signals_shrinkage_iterations" => &self.signals_shrinkage_iterations,
+                "signals_emitted" => &self.signals_emitted,
+                _ => continue,
+            };
+            target.fetch_add(value, Ordering::Relaxed);
+        }
     }
 }
 
@@ -217,6 +240,14 @@ pub struct ServiceMetrics {
     pub degraded_transitions: u64,
     /// High-water mark of the job queue depth.
     pub max_queue_depth: usize,
+    /// Contingency tables built by safety-signal sessions.
+    pub signals_tables_built: u64,
+    /// Haldane–Anscombe zero-cell corrections applied by signal sessions.
+    pub signals_zero_cell_corrections: u64,
+    /// Shrinkage prior-fit iterations across signal sessions.
+    pub signals_shrinkage_iterations: u64,
+    /// Ranked safety signals emitted (post-truncation).
+    pub signals_emitted: u64,
     /// Latency jobs spent queued before a worker picked them up.
     pub queue_wait: StageMetrics,
     /// Whole-session execution latency (worker pickup → terminal state,
@@ -252,9 +283,21 @@ impl ServiceMetrics {
             .with("journal_faults", count(self.journal_faults))
             .with("degraded_transitions", count(self.degraded_transitions))
             .with("degraded", self.degraded());
+        let signals = Document::new()
+            .with("tables_built", count(self.signals_tables_built))
+            .with(
+                "zero_cell_corrections",
+                count(self.signals_zero_cell_corrections),
+            )
+            .with(
+                "shrinkage_iterations",
+                count(self.signals_shrinkage_iterations),
+            )
+            .with("emitted", count(self.signals_emitted));
         Document::new()
             .with("jobs", Value::Doc(jobs))
             .with("reliability", Value::Doc(reliability))
+            .with("signals", Value::Doc(signals))
             .with(
                 "max_queue_depth",
                 i64::try_from(self.max_queue_depth).unwrap_or(i64::MAX),
@@ -299,6 +342,20 @@ impl ServiceMetrics {
             "ada_journal_faults_total {}\n",
             self.journal_faults
         ));
+        for (metric, value) in [
+            ("ada_signals_tables_built_total", self.signals_tables_built),
+            (
+                "ada_signals_zero_cell_corrections_total",
+                self.signals_zero_cell_corrections,
+            ),
+            (
+                "ada_signals_shrinkage_iterations_total",
+                self.signals_shrinkage_iterations,
+            ),
+            ("ada_signals_emitted_total", self.signals_emitted),
+        ] {
+            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+        }
         out.push_str("# TYPE ada_service_degraded gauge\n");
         out.push_str(&format!(
             "ada_service_degraded {}\n",
@@ -434,6 +491,32 @@ mod tests {
         }
         // The largest observed depth wins regardless of interleaving.
         assert_eq!(m.snapshot().max_queue_depth, 999 * 4 + 3);
+    }
+
+    #[test]
+    fn signal_counters_aggregate_and_ignore_unknown_names() {
+        let m = MetricsObserver::new();
+        m.on_counters(
+            "s",
+            PipelineStage::SignalMining,
+            &[
+                ("signals_tables_built", 30),
+                ("signals_zero_cell_corrections", 4),
+                ("signals_shrinkage_iterations", 9),
+                ("signals_emitted", 12),
+                ("iterations", 999),
+            ],
+        );
+        m.on_counters("t", PipelineStage::SignalMining, &[("signals_emitted", 3)]);
+        let snap = m.snapshot();
+        assert_eq!(snap.signals_tables_built, 30);
+        assert_eq!(snap.signals_zero_cell_corrections, 4);
+        assert_eq!(snap.signals_shrinkage_iterations, 9);
+        assert_eq!(snap.signals_emitted, 15);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("ada_signals_tables_built_total 30"));
+        assert!(prom.contains("ada_signals_emitted_total 15"));
+        assert!(snap.to_json().contains("\"signals\":{"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::{Condvar, Mutex};
 
 use ada_core::SessionReport;
+use ada_signals::SignalSessionReport;
 
 use crate::cancel::CancelToken;
 use crate::error::ServiceError;
@@ -16,6 +17,35 @@ pub struct SessionId(pub u64);
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "session#{}", self.0)
+    }
+}
+
+/// What a completed session produced, by workload. Either variant is
+/// the same value a serial run of the same spec produces — concurrency
+/// changes wall-clock, never results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutcome {
+    /// A full seven-stage pipeline run.
+    Pipeline(Box<SessionReport>),
+    /// A safety-signal mining run.
+    Signals(Box<SignalSessionReport>),
+}
+
+impl SessionOutcome {
+    /// The pipeline report, if this was a pipeline session.
+    pub fn pipeline(&self) -> Option<&SessionReport> {
+        match self {
+            SessionOutcome::Pipeline(report) => Some(report),
+            SessionOutcome::Signals(_) => None,
+        }
+    }
+
+    /// The signal-mining report, if this was a signals session.
+    pub fn signals(&self) -> Option<&SignalSessionReport> {
+        match self {
+            SessionOutcome::Signals(report) => Some(report),
+            SessionOutcome::Pipeline(_) => None,
+        }
     }
 }
 
@@ -33,8 +63,8 @@ pub enum SessionState {
         /// 0-based attempt counter (> 0 after retries).
         attempt: u32,
     },
-    /// Finished; the report is the same value a serial run produces.
-    Completed(Box<SessionReport>),
+    /// Finished; the outcome is the same value a serial run produces.
+    Completed(SessionOutcome),
     /// Gave up: panicked past the retry budget, or exceeded its deadline.
     Failed {
         /// Human-readable failure cause.

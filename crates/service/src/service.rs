@@ -17,10 +17,10 @@ use parking_lot::RwLock;
 
 use crate::cancel::CancelToken;
 use crate::error::ServiceError;
-use crate::job::JobSpec;
+use crate::job::{JobSpec, Workload};
 use crate::observer::{FanoutObserver, MetricsObserver, ServiceMetrics};
 use crate::queue::{JobQueue, Token};
-use crate::registry::{SessionId, SessionRegistry, SessionState};
+use crate::registry::{SessionId, SessionOutcome, SessionRegistry, SessionState};
 
 /// Deterministic capped exponential backoff for retried attempts.
 #[derive(Debug, Clone, Copy)]
@@ -479,9 +479,23 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
             if attempt < spec.inject_failures {
                 panic!("injected failure on attempt {attempt}");
             }
-            let mut pipeline =
-                AdaHealth::with_shared_kdb_isolated(spec.config.clone(), inner.kdb.clone());
-            pipeline.run_controlled(&spec.log, &control)
+            match &spec.workload {
+                Workload::Pipeline => {
+                    let mut pipeline =
+                        AdaHealth::with_shared_kdb_isolated(spec.config.clone(), inner.kdb.clone());
+                    pipeline
+                        .run_controlled(&spec.log, &control)
+                        .map(|report| SessionOutcome::Pipeline(Box::new(report)))
+                }
+                Workload::SafetySignals(signal_config) => ada_signals::run_session(
+                    &session,
+                    signal_config,
+                    &spec.log,
+                    &inner.kdb,
+                    &control,
+                )
+                .map(|report| SessionOutcome::Signals(Box::new(report))),
+            }
         }));
 
         match outcome {
@@ -491,7 +505,7 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
                 inner.metrics.job_completed();
                 inner
                     .registry
-                    .transition(id, SessionState::Completed(Box::new(report)));
+                    .transition(id, SessionState::Completed(report));
                 return;
             }
             Ok(Err(err @ PipelineError::Cancelled { .. })) => {

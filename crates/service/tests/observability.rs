@@ -92,7 +92,7 @@ fn observer_fanout_under_eight_concurrent_sessions() {
 
         // Exactly-once stage events: each of the seven stages opens
         // once and closes once, despite 4 workers running 8 sessions.
-        for stage in PipelineStage::ALL {
+        for stage in PipelineStage::PIPELINE {
             let starts = events
                 .iter()
                 .filter(|e| matches!(e.kind, EventKind::Start { .. }) && *e.name == *stage.name())
@@ -118,7 +118,7 @@ fn observer_fanout_under_eight_concurrent_sessions() {
                 .position(|(n, _)| n == stage.name())
                 .unwrap_or_else(|| panic!("{name}: no {stage} span")) as i64
         };
-        for stage in PipelineStage::ALL {
+        for stage in PipelineStage::PIPELINE {
             let idx = stage_idx(stage) as usize;
             assert_eq!(spans[idx].1, 0, "{name}: {stage} span must parent to root");
         }
@@ -287,7 +287,7 @@ fn snapshot_renders_json_and_prometheus_end_to_end() {
     let json = service.snapshot_json();
     assert!(json.contains("\"metrics\":{"), "json: {json}");
     assert!(json.contains("\"queue_wait\":{"), "json: {json}");
-    for stage in PipelineStage::ALL {
+    for stage in PipelineStage::PIPELINE {
         assert!(
             json.contains(&format!("\"{}\":{{", stage.name())),
             "{stage}"

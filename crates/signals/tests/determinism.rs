@@ -1,0 +1,157 @@
+//! Serial vs. chunk-parallel determinism of the signal workload, and
+//! session-level persistence / cancellation behaviour.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ada_core::{PipelineError, PipelineStage, RunControl};
+use ada_dataset::synthetic::{generate, SyntheticConfig};
+use ada_kdb::schema::{names, validate_signal_doc};
+use ada_kdb::{Filter, Kdb, SharedKdb, Value};
+use ada_signals::{mine_signals, run_session, SignalConfig};
+use parking_lot::RwLock;
+
+fn cohort_cfg() -> SyntheticConfig {
+    SyntheticConfig {
+        num_patients: 150,
+        num_exam_types: 24,
+        target_records: 2_400,
+        ..SyntheticConfig::small()
+    }
+}
+
+fn shared(db: Kdb) -> SharedKdb {
+    Arc::new(RwLock::new(db))
+}
+
+#[test]
+fn serial_and_threaded_mining_are_identical() {
+    let log = generate(&cohort_cfg(), 404);
+    let serial = mine_signals(&log, &SignalConfig::default(), &RunControl::new()).unwrap();
+    for threads in [2, 4, 8] {
+        let config = SignalConfig {
+            threads,
+            ..SignalConfig::default()
+        };
+        let parallel = mine_signals(&log, &config, &RunControl::new()).unwrap();
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+    assert!(!serial.signals.is_empty(), "cohort must yield signals");
+    assert!(serial.tables_built >= serial.signals.len() as u64);
+}
+
+#[test]
+fn session_persists_schema_valid_ranked_documents() {
+    let log = generate(&cohort_cfg(), 405);
+    let kdb = shared(Kdb::in_memory());
+    let report = run_session(
+        "sig-run",
+        &SignalConfig::default(),
+        &log,
+        &kdb,
+        &RunControl::new(),
+    )
+    .unwrap();
+    assert!(!report.signals.is_empty());
+    assert_eq!(report.ranked.len(), report.signals.len());
+    assert!(report.feedback_recorded > 0);
+
+    let guard = kdb.read();
+    let docs = guard
+        .find(names::SIGNAL_KNOWLEDGE, &Filter::eq("session", "sig-run"))
+        .unwrap();
+    assert_eq!(docs.len(), report.signals.len());
+    for (_, doc) in &docs {
+        validate_signal_doc(doc).unwrap();
+    }
+    // Persisted in ranked order: scores never increase.
+    let scores: Vec<f64> = docs
+        .iter()
+        .map(|(_, d)| d.get("score").and_then(Value::as_f64).unwrap())
+        .collect();
+    assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{scores:?}");
+
+    // Feedback joined to the signal collection.
+    let feedback = guard
+        .find(names::FEEDBACK, &Filter::eq("session", "sig-run"))
+        .unwrap();
+    assert_eq!(feedback.len(), report.feedback_recorded);
+    for (_, doc) in &feedback {
+        assert_eq!(
+            doc.get("item_collection").and_then(Value::as_str),
+            Some(names::SIGNAL_KNOWLEDGE)
+        );
+    }
+}
+
+#[test]
+fn session_reports_are_identical_serial_vs_threaded() {
+    let log = generate(&cohort_cfg(), 406);
+    let serial = run_session(
+        "det",
+        &SignalConfig::default(),
+        &log,
+        &shared(Kdb::in_memory()),
+        &RunControl::new(),
+    )
+    .unwrap();
+    let threaded = run_session(
+        "det",
+        &SignalConfig {
+            threads: 8,
+            ..SignalConfig::default()
+        },
+        &log,
+        &shared(Kdb::in_memory()),
+        &RunControl::new(),
+    )
+    .unwrap();
+    assert_eq!(serial, threaded);
+}
+
+#[test]
+fn cancelled_session_leaves_no_signal_documents() {
+    let log = generate(&cohort_cfg(), 407);
+    let flag = Arc::new(AtomicBool::new(true));
+    let kdb = shared(Kdb::in_memory());
+    let control = RunControl::new().with_cancel_flag(flag);
+    let err = run_session("doomed", &SignalConfig::default(), &log, &kdb, &control).unwrap_err();
+    assert_eq!(
+        err,
+        PipelineError::Cancelled {
+            stage: PipelineStage::SignalMining
+        }
+    );
+    let guard = kdb.read();
+    let docs = guard
+        .find(names::SIGNAL_KNOWLEDGE, &Filter::eq("session", "doomed"))
+        .unwrap();
+    assert!(docs.is_empty(), "cancelled run must not persist signals");
+}
+
+#[test]
+fn mining_observes_mid_run_cancellation_at_chunk_checkpoints() {
+    let log = generate(&cohort_cfg(), 408);
+    // The flag flips during the cohort-index span, so the very next
+    // chunk checkpoint observes it.
+    struct FlipOnSpan(Arc<AtomicBool>);
+    impl ada_core::PipelineObserver for FlipOnSpan {
+        fn on_span_end(
+            &self,
+            _session: &str,
+            _stage: PipelineStage,
+            name: &str,
+            _elapsed: std::time::Duration,
+        ) {
+            if name == "cohort-index" {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+    }
+    let flag = Arc::new(AtomicBool::new(false));
+    let control = RunControl::new()
+        .with_cancel_flag(Arc::clone(&flag))
+        .with_observer(Arc::new(FlipOnSpan(Arc::clone(&flag))));
+    let err = mine_signals(&log, &SignalConfig::default(), &control).unwrap_err();
+    assert!(matches!(err, PipelineError::Cancelled { .. }));
+}

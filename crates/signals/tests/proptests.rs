@@ -1,0 +1,100 @@
+//! Property tests: permutation-invariant counting and CI bracketing.
+
+use ada_dataset::record::{ExamRecord, ExamType, Patient};
+use ada_dataset::taxonomy::ConditionGroup;
+use ada_dataset::{Date, ExamLog, ExamTypeId, PatientId};
+use ada_signals::{estimate_ror, CohortIndex, ContingencyTable, SignalConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random cohort: patient count, exam-type count, raw (patient,
+/// exam, day) triples, and a shuffle seed.
+fn cohort() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, u8)>, u64)> {
+    (4usize..30, 3usize..12).prop_flat_map(|(patients, exams)| {
+        let records = prop::collection::vec((0..patients, 0..exams, 1u8..28), 1..250);
+        (Just(patients), Just(exams), records, any::<u64>())
+    })
+}
+
+fn build_log(patients: usize, exams: usize, records: &[(usize, usize, u8)]) -> ExamLog {
+    let registry: Vec<Patient> = (0..patients)
+        .map(|i| Patient::new(PatientId(i as u32), 40 + (i % 50) as u16).unwrap())
+        .collect();
+    // Cycle exam types through every condition group so cross-group
+    // (exposure, outcome) pairs exist.
+    let catalog: Vec<ExamType> = (0..exams)
+        .map(|i| {
+            ExamType::new(
+                ExamTypeId(i as u32),
+                format!("exam-{i}"),
+                ConditionGroup::ALL[i % ConditionGroup::ALL.len()],
+            )
+        })
+        .collect();
+    let mut log = ExamLog::new(registry, catalog).unwrap();
+    for &(p, e, day) in records {
+        log.push_record(ExamRecord::new(
+            PatientId(p as u32),
+            ExamTypeId(e as u32),
+            Date::new(2012, 3, day).unwrap(),
+        ))
+        .unwrap();
+    }
+    log
+}
+
+fn all_tables(log: &ExamLog) -> Vec<(u32, ConditionGroup, ContingencyTable)> {
+    let index = CohortIndex::build(log);
+    let exposures: Vec<ExamTypeId> = log.catalog().iter().map(|e| e.id).collect();
+    let outcomes = SignalConfig::default().outcomes;
+    index
+        .count_chunk(&exposures, &outcomes)
+        .into_iter()
+        .map(|p| (p.exposure.0, p.outcome, p.table))
+        .collect()
+}
+
+proptest! {
+    // Contingency-table counting is invariant under any permutation of
+    // the raw record order (counting runs over per-patient *sets*).
+    #[test]
+    fn counting_is_permutation_invariant((patients, exams, records, seed) in cohort()) {
+        let baseline = all_tables(&build_log(patients, exams, &records));
+
+        // Fisher–Yates with a proptest-chosen seed.
+        let mut shuffled = records.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let permuted = all_tables(&build_log(patients, exams, &shuffled));
+        prop_assert_eq!(baseline, permuted);
+    }
+
+    // Every table's cell sums are conserved: a+b = exposed count,
+    // a+c = outcome count, n = patient count.
+    #[test]
+    fn table_marginals_are_conserved((patients, exams, records, _) in cohort()) {
+        let log = build_log(patients, exams, &records);
+        for (_, _, t) in all_tables(&log) {
+            prop_assert_eq!(t.n(), patients as u64);
+            prop_assert!(t.support() >= 0.0 && t.support() <= 1.0);
+        }
+    }
+
+    // The 95% CI always brackets the ROR point estimate, and all three
+    // values are finite and positive — zero cells included.
+    #[test]
+    fn ror_ci_brackets_the_point_estimate(
+        a in 0u64..400, b in 0u64..400, c in 0u64..400, d in 0u64..400,
+    ) {
+        let est = estimate_ror(&ContingencyTable::new(a, b, c, d));
+        prop_assert!(est.ror.is_finite() && est.ror > 0.0);
+        prop_assert!(est.ci_low.is_finite() && est.ci_low > 0.0);
+        prop_assert!(est.ci_high.is_finite());
+        prop_assert!(est.ci_low <= est.ror && est.ror <= est.ci_high);
+        prop_assert_eq!(est.corrected, a == 0 || b == 0 || c == 0 || d == 0);
+    }
+}

@@ -96,15 +96,18 @@ fn main() {
     println!("\n== registry final states ==");
     for (id, name, state) in service.sessions() {
         let detail = match &state {
-            SessionState::Completed(report) => format!(
-                "{} clusters, {} rules, top goal {}",
-                report.clusters.len(),
-                report.rules.len(),
-                report
-                    .goals
-                    .first()
-                    .map_or_else(|| "-".to_string(), |(g, _, _)| g.name().to_string()),
-            ),
+            SessionState::Completed(outcome) => match outcome.pipeline() {
+                Some(report) => format!(
+                    "{} clusters, {} rules, top goal {}",
+                    report.clusters.len(),
+                    report.rules.len(),
+                    report
+                        .goals
+                        .first()
+                        .map_or_else(|| "-".to_string(), |(g, _, _)| g.name().to_string()),
+                ),
+                None => "signals session".to_string(),
+            },
             SessionState::Failed { reason } => reason.clone(),
             _ => String::new(),
         };

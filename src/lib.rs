@@ -7,8 +7,10 @@
 //! together, the [`obs`] observability layer (lock-free tracing,
 //! latency histograms, the session flight recorder), and the
 //! [`service`] layer that runs many concurrent analysis sessions over
-//! one shared K-DB, and the [`net`] front-end that serves that service
-//! to remote clients over a framed, checksummed TCP wire protocol.
+//! one shared K-DB, the [`signals`] safety-signal mining workload
+//! (disproportionality statistics with Bayesian shrinkage), and the
+//! [`net`] front-end that serves that service to remote clients over a
+//! framed, checksummed TCP wire protocol.
 //!
 //! ## End-to-end usage
 //!
@@ -51,4 +53,5 @@ pub use ada_mining as mining;
 pub use ada_net as net;
 pub use ada_obs as obs;
 pub use ada_service as service;
+pub use ada_signals as signals;
 pub use ada_vsm as vsm;
