@@ -34,13 +34,28 @@ echo "== network front-end smoke gate (quick) =="
 # errors, accept/request counters matching the fleet).
 cargo run -q -p ada-bench --release --bin net_smoke -- --quick
 
-echo "== crash torture gate (quick) =="
+echo "== crash torture gate (quick, incl. multi-producer) =="
 # Byte-level journal cuts, injected storage faults at every schedule
-# point, and single-bit corruption: reopened state must always equal the
-# state after some prefix of acknowledged ops, fsynced ops must survive,
-# and corruption must never decode silently. Prints a replayable seed on
-# failure.
+# point, single-bit corruption, and N interleaved writers racing the
+# group committer under every fault kind: reopened state must always
+# equal the state after some prefix of acknowledged ops (per collection
+# in the multi-producer phase), fsynced ops must survive, and corruption
+# must never decode silently. Prints a replayable seed on failure.
 cargo run -q -p ada-bench --release --bin kdb_torture -- --quick
+
+echo "== kdb write scaling gate (quick) =="
+# 1 vs 8 writers through the sharded group-committed write path under
+# Always durability: every committed op must survive reopen and the
+# 8-writer aggregate must beat the single-writer baseline (group commit
+# batching fsyncs, not one fsync per op).
+cargo run -q -p ada-bench --release --bin kdb_write_scaling -- --quick
+
+if [ "$(nproc)" -ge 4 ]; then
+  echo "== kdb write scaling bench (full, >=4 cores) =="
+  # Regenerates BENCH_kdb_write.json; the 3x acceptance target at 8
+  # writers is only meaningful with real parallelism.
+  cargo run -q -p ada-bench --release --bin kdb_write_scaling
+fi
 
 if [ "$(nproc)" -ge 4 ]; then
   echo "== kmeans kernel perf gate (full, >=4 cores) =="

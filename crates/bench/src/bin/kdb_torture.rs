@@ -20,6 +20,13 @@
 //! 3. **Bit flips** — single-bit read-side corruption at sampled byte
 //!    offsets: strict replay must fail loudly (never panic, never
 //!    silently accept), and salvage replay must recover a clean prefix.
+//! 4. **Multi-producer group commit** — N writer threads interleave
+//!    frames through the sharded [`SharedKdb`] group committer, one
+//!    collection each, under every write-side fault kind. The invariant
+//!    becomes per-collection: the reopened state of each collection must
+//!    be the prefix of *that writer's* acknowledged ops at some length
+//!    between its fsync-covered floor and its acked count — regardless
+//!    of how the writers interleaved in the journal.
 //!
 //! Any failure prints the seed and attack coordinates, so
 //! `kdb_torture --seed N` replays it exactly.
@@ -33,7 +40,8 @@ use std::time::Instant;
 
 use ada_kdb::journal::{replay_bytes, DurabilityPolicy, Op, RecoveryMode};
 use ada_kdb::{
-    Document, FaultKind, FaultyStorage, Kdb, KdbError, MemStorage, Storage, StoreOptions,
+    fingerprint_ops, Document, FaultKind, FaultyStorage, Kdb, KdbError, MemStorage, SharedKdb,
+    Storage, StoreOptions,
 };
 
 const DEFAULT_SEED: u64 = 0xADA4;
@@ -361,6 +369,195 @@ fn check_bit_flip(seed: u64, golden: &Golden, golden_ops: &[Op], byte: usize, bi
     }
 }
 
+impl Step {
+    /// Issues the step through the sharded facade. `Ok((acked,
+    /// durable))`: `acked` mirrors [`Step::issue`], `durable` is the
+    /// commit receipt (always `false` for schema ops, which have no
+    /// receipt variant — a conservative floor).
+    fn issue_shared(&self, db: &SharedKdb) -> Result<(bool, bool), KdbError> {
+        let outcome = match self {
+            Step::CreateColl(name) => db.create_collection(name).map(|()| false),
+            Step::CreateIndex(name, path) => db.create_index(name, path).map(|()| false),
+            Step::Insert(name, doc) => db.insert_committed(name, doc.clone()).map(|(_, d)| d),
+            Step::Update(name, id, doc) => db.update_committed(name, *id, doc.clone()),
+            Step::Delete(name, id) => db.delete_committed(name, *id),
+        };
+        match outcome {
+            Ok(durable) => Ok((true, durable)),
+            Err(e @ KdbError::Io(_)) => Err(e),
+            Err(_) => Ok((false, false)),
+        }
+    }
+}
+
+/// Which collection an op touches — projects the recovered journal
+/// state onto a single writer in the multi-producer phase.
+fn op_collection(op: &Op) -> &str {
+    match op {
+        Op::CreateCollection { name }
+        | Op::CreateIndex { name, .. }
+        | Op::Insert { name, .. }
+        | Op::Update { name, .. }
+        | Op::Delete { name, .. } => name,
+    }
+}
+
+/// Per-writer seeded plan for the multi-producer phase: one collection
+/// (`w<writer>`) per writer, inserts interleaved with updates and
+/// deletes, every step valid when nothing fails.
+fn plan_writer_steps(seed: u64, writer: usize, ops: usize) -> Vec<Step> {
+    let coll = format!("w{writer}");
+    let mut rng = Rng(seed ^ (writer as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut steps = vec![
+        Step::CreateColl(coll.clone()),
+        Step::CreateIndex(coll.clone(), "diagnosis".into()),
+    ];
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 1u64;
+    while steps.len() < ops + 2 {
+        match rng.below(10) {
+            0..=1 if !live.is_empty() => {
+                let id = live[rng.below(live.len() as u64) as usize];
+                steps.push(Step::Update(
+                    coll.clone(),
+                    id,
+                    patient_doc(&mut rng, id as usize).with("revised", true),
+                ));
+            }
+            2 if live.len() > 1 => {
+                let id = live.swap_remove(rng.below(live.len() as u64) as usize);
+                steps.push(Step::Delete(coll.clone(), id));
+            }
+            _ => {
+                steps.push(Step::Insert(
+                    coll.clone(),
+                    patient_doc(&mut rng, next_id as usize),
+                ));
+                live.push(next_id);
+                next_id += 1;
+            }
+        }
+    }
+    steps
+}
+
+/// Fingerprint ladder for one writer: `ladder[j]` is the fingerprint of
+/// the writer's collection after its first `j` acknowledged ops,
+/// computed serially against a private in-memory store.
+fn writer_ladder(seed: u64, steps: &[Step]) -> Vec<u64> {
+    let mut db = Kdb::in_memory();
+    let mut ladder = vec![fingerprint_ops(&db.state_ops())];
+    for step in steps {
+        match step.issue(&mut db) {
+            Ok(true) => ladder.push(fingerprint_ops(&db.state_ops())),
+            Ok(false) => fail(seed, "writer golden plan contains an invalid step"),
+            Err(e) => fail(seed, &format!("writer golden step failed: {e}")),
+        }
+    }
+    ladder
+}
+
+/// Runs every writer's plan concurrently through the sharded facade.
+/// Returns per-writer `(acked, floor)`: ops acknowledged and the index
+/// of the last op whose commit receipt reported fsync-durable.
+fn run_writers(db: &SharedKdb, plans: &[Vec<Step>]) -> Vec<(usize, usize)> {
+    let mut out = vec![(0, 0); plans.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|steps| {
+                let db = db.clone();
+                scope.spawn(move || {
+                    let (mut acked, mut floor) = (0usize, 0usize);
+                    for step in steps {
+                        // Rejected or failed steps keep issuing — later
+                        // acks must be refused, not silently lost.
+                        if let Ok((true, durable)) = step.issue_shared(&db) {
+                            acked += 1;
+                            if durable {
+                                floor = acked;
+                            }
+                        }
+                    }
+                    (acked, floor)
+                })
+            })
+            .collect();
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            *slot = handle.join().expect("writer thread panicked");
+        }
+    });
+    out
+}
+
+/// Checks the per-collection prefix invariant after a multi-producer
+/// crash: each writer's recovered collection must be exactly its
+/// `acked`-op prefix (the journal orders a writer's frames in issue
+/// order, whatever the global interleaving), and the fsync-covered
+/// floor can never exceed what survived.
+fn check_writer_prefixes(
+    seed: u64,
+    coord: &str,
+    state: &[Op],
+    ladders: &[Vec<u64>],
+    results: &[(usize, usize)],
+) {
+    for (w, (ladder, &(acked, floor))) in ladders.iter().zip(results).enumerate() {
+        let coll = format!("w{w}");
+        let ops: Vec<Op> = state
+            .iter()
+            .filter(|op| op_collection(op) == coll)
+            .cloned()
+            .collect();
+        let fp = fingerprint_ops(&ops);
+        if floor > acked {
+            fail(
+                seed,
+                &format!("{coord}: writer {w} durable floor {floor} exceeds acked {acked}"),
+            );
+        }
+        if fp != ladder[acked] {
+            let found = ladder.iter().position(|&l| l == fp);
+            fail(
+                seed,
+                &format!(
+                    "{coord}: writer {w} recovered at prefix {found:?}, \
+                     expected its {acked}-op acked prefix"
+                ),
+            );
+        }
+    }
+}
+
+/// Multi-producer fault attack: all writers race through the group
+/// committer with one fault armed at one storage tick, then crash,
+/// clear, reopen fault-free, and check every writer's prefix.
+fn check_mp_fault_point(
+    seed: u64,
+    plans: &[Vec<Step>],
+    ladders: &[Vec<u64>],
+    tick: u64,
+    kind: FaultKind,
+) {
+    let coord = format!("multi-producer fault {} at tick {tick}", kind.name());
+    let mem = Arc::new(MemStorage::new());
+    let (storage, handle) = FaultyStorage::wrap(Arc::clone(&mem) as Arc<dyn Storage>);
+    handle.fail_at(tick, kind);
+    let options = StoreOptions {
+        storage,
+        durability: DurabilityPolicy::Always,
+        recovery: RecoveryMode::Strict,
+    };
+    let mut results = vec![(0, 0); plans.len()];
+    if let Ok(db) = SharedKdb::open_with(Path::new("journal"), options) {
+        results = run_writers(&db, plans);
+    }
+    handle.clear();
+    let db = open_mem(&mem, DurabilityPolicy::SnapshotOnly)
+        .unwrap_or_else(|e| fail(seed, &format!("{coord}: reopen failed: {e}")));
+    check_writer_prefixes(seed, &coord, &db.state_ops(), ladders, &results);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -472,6 +669,69 @@ fn main() {
     println!(
         "bit flips: {flips} of {} bytes attacked (one seeded bit each), none silent",
         golden.image.len()
+    );
+
+    // Phase 4: multi-producer group commit.
+    const WRITERS: usize = 4;
+    let writer_ops = if quick { 12 } else { 400 };
+    let plans: Vec<Vec<Step>> = (0..WRITERS)
+        .map(|w| plan_writer_steps(seed, w, writer_ops))
+        .collect();
+    let ladders: Vec<Vec<u64>> = plans.iter().map(|p| writer_ladder(seed, p)).collect();
+
+    // Interleaving invariance first: two clean runs schedule frames in
+    // different global orders; both must land every writer at its full
+    // prefix and the same final store fingerprint.
+    let mut clean_fp = None;
+    let mut mp_ticks = 0u64;
+    for round in 0..2u32 {
+        let mem = Arc::new(MemStorage::new());
+        let (storage, handle) = FaultyStorage::wrap(Arc::clone(&mem) as Arc<dyn Storage>);
+        let options = StoreOptions {
+            storage,
+            durability: DurabilityPolicy::Always,
+            recovery: RecoveryMode::Strict,
+        };
+        let db = SharedKdb::open_with(Path::new("journal"), options)
+            .unwrap_or_else(|e| fail(seed, &format!("multi-producer clean open failed: {e}")));
+        let results = run_writers(&db, &plans);
+        drop(db); // crash without shutdown sync
+        let reopened = open_mem(&mem, DurabilityPolicy::SnapshotOnly)
+            .unwrap_or_else(|e| fail(seed, &format!("multi-producer clean reopen failed: {e}")));
+        check_writer_prefixes(
+            seed,
+            &format!("multi-producer clean round {round}"),
+            &reopened.state_ops(),
+            &ladders,
+            &results,
+        );
+        let fp = reopened.fingerprint();
+        if *clean_fp.get_or_insert(fp) != fp {
+            fail(seed, "multi-producer final state depends on interleaving");
+        }
+        mp_ticks = mp_ticks.max(handle.ticks());
+    }
+
+    // Then the fault schedule against the concurrent run. Tick counts
+    // vary with interleaving (group fsync rounds are scheduling-
+    // dependent); a fault armed past the run's actual tick count simply
+    // never fires, which still exercises the clean path.
+    let mp_step = if quick { 1 } else { (mp_ticks / 40).max(1) };
+    let mut mp_points = 0usize;
+    for kind in [
+        FaultKind::ShortWrite,
+        FaultKind::NoSpace,
+        FaultKind::IoError,
+        FaultKind::SyncFail,
+    ] {
+        for tick in (0..mp_ticks).step_by(mp_step as usize) {
+            check_mp_fault_point(seed, &plans, &ladders, tick, kind);
+            mp_points += 1;
+        }
+    }
+    println!(
+        "multi-producer: {WRITERS} writers x {writer_ops} ops each, \
+         {mp_points} fault points consistent (schedule spans {mp_ticks} ticks x 4 kinds)"
     );
 
     println!(

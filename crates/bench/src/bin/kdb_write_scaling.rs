@@ -1,0 +1,228 @@
+//! N-writer K-DB write-path scaling bench (ISSUE 7 gate).
+//!
+//! Spawns N writer threads, one collection each, inserting synthetic
+//! patient rows through the sharded [`SharedKdb`] facade under
+//! `DurabilityPolicy::Always` over the real filesystem. Every insert
+//! waits until a completed fsync covers it, so aggregate committed
+//! ops/sec measures how well concurrent writers *share* fsyncs via the
+//! group committer — the pre-sharding global-lock write path paid one
+//! fsync per op no matter how many sessions were writing.
+//!
+//! The journal lives under `target/` (not `/tmp`, which may be tmpfs
+//! and would fake out fsync costs). After every point the store is
+//! reopened and each writer's collection is verified complete before
+//! the timing is trusted.
+//!
+//! Modes:
+//!
+//! * full (default): 1/2/4/8 writers, best-of-2 per point, writes
+//!   `BENCH_kdb_write.json` (override with `--out PATH`); warns when
+//!   the 8-writer speedup is below the 3x acceptance target;
+//! * `--quick`: reduced op count, 1 vs 8 writers only, no JSON —
+//!   fails (non-zero exit) when a committed op is missing after reopen
+//!   or the 8-writer aggregate is not at least 1.2x the single-writer
+//!   baseline (a deliberately loose anti-flake bound for CI).
+//!
+//! Run: `cargo run -p ada-bench --release --bin kdb_write_scaling [-- --quick]`
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::time::Instant;
+
+use ada_kdb::{Document, DurabilityPolicy, GroupCommitSnapshot, Kdb, SharedKdb, StoreOptions};
+
+struct Point {
+    writers: usize,
+    committed_ops: u64,
+    elapsed_s: f64,
+    ops_per_sec: f64,
+    group_commits: u64,
+    mean_batch: f64,
+    flush_p50_ns: f64,
+    flush_p99_ns: f64,
+}
+
+fn doc(writer: usize, i: usize) -> Document {
+    Document::new()
+        .with("patient", i as i64)
+        .with("writer", writer as i64)
+        .with("diagnosis", format!("D{:03}", (writer * 7 + i) % 140))
+        .with("cost", (i % 5000) as f64 / 100.0)
+}
+
+/// One timed run: `writers` threads each create a collection and insert
+/// `ops` documents, every ack backed by a covering fsync. Returns the
+/// run plus the reopened store for verification.
+fn run_once(journal: &Path, writers: usize, ops: usize) -> (f64, GroupCommitSnapshot) {
+    let _ = std::fs::remove_file(journal);
+    let db = SharedKdb::open_with(
+        journal,
+        StoreOptions::default().durability(DurabilityPolicy::Always),
+    )
+    .expect("opening the bench store");
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let db = db.clone();
+            scope.spawn(move || {
+                let coll = format!("w{w}");
+                db.create_collection(&coll).expect("create collection");
+                for i in 0..ops {
+                    let (_, durable) = db
+                        .insert_committed(&coll, doc(w, i))
+                        .expect("insert through the group committer");
+                    assert!(durable, "Always policy must ack durable");
+                }
+            });
+        }
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    let stats = db.group_commit_stats();
+    assert_eq!(
+        stats.acked_ops, stats.durable_ops,
+        "Always policy left a durability gap"
+    );
+    drop(db);
+
+    // Verify before trusting the timing: every op of every writer must
+    // survive a reopen.
+    let reopened = Kdb::open_with(journal, StoreOptions::default()).expect("reopen");
+    for w in 0..writers {
+        let len = reopened
+            .collection(&format!("w{w}"))
+            .map_or(0, ada_kdb::Collection::len);
+        if len != ops {
+            eprintln!("FAIL: writer {w} recovered {len} of {ops} committed ops");
+            exit(1);
+        }
+    }
+    (elapsed, stats)
+}
+
+fn run_point(dir: &Path, writers: usize, ops: usize, reps: usize) -> Point {
+    let journal = dir.join(format!("journal_{writers}w"));
+    let mut best: Option<(f64, GroupCommitSnapshot)> = None;
+    for _ in 0..reps.max(1) {
+        let (elapsed, stats) = run_once(&journal, writers, ops);
+        if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+            best = Some((elapsed, stats));
+        }
+    }
+    let _ = std::fs::remove_file(&journal);
+    let (elapsed_s, stats) = best.expect("at least one rep");
+    let committed_ops = stats.acked_ops;
+    Point {
+        writers,
+        committed_ops,
+        elapsed_s,
+        ops_per_sec: committed_ops as f64 / elapsed_s,
+        group_commits: stats.commits,
+        mean_batch: stats.mean_batch(),
+        flush_p50_ns: GroupCommitSnapshot::quantile(&stats.flush_hist, 0.5),
+        flush_p99_ns: GroupCommitSnapshot::quantile(&stats.flush_hist, 0.99),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kdb_write.json".to_string());
+
+    let dir = PathBuf::from("target/kdb_write_scaling");
+    std::fs::create_dir_all(&dir).expect("creating the bench directory");
+    let (points, ops, reps): (Vec<usize>, usize, usize) = if quick {
+        (vec![1, 8], 128, 1)
+    } else {
+        (vec![1, 2, 4, 8], 1_500, 2)
+    };
+    println!(
+        "kdb_write_scaling ({} mode): {} ops/writer, Always durability, journal under {}",
+        if quick { "quick" } else { "full" },
+        ops,
+        dir.display()
+    );
+    println!(
+        "{:>8} {:>10} {:>9} {:>11} {:>9} {:>7} {:>11} {:>11}",
+        "writers", "ops", "time s", "ops/sec", "commits", "batch", "p50 us", "p99 us"
+    );
+
+    let mut reports = Vec::new();
+    for &writers in &points {
+        let p = run_point(&dir, writers, ops, reps);
+        println!(
+            "{:>8} {:>10} {:>9.3} {:>11.0} {:>9} {:>7.2} {:>11.1} {:>11.1}",
+            p.writers,
+            p.committed_ops,
+            p.elapsed_s,
+            p.ops_per_sec,
+            p.group_commits,
+            p.mean_batch,
+            p.flush_p50_ns / 1e3,
+            p.flush_p99_ns / 1e3
+        );
+        reports.push(p);
+    }
+    let baseline = reports[0].ops_per_sec;
+    let top = reports.last().expect("at least one point");
+    let speedup = top.ops_per_sec / baseline;
+    println!(
+        "aggregate committed throughput: {:.0} -> {:.0} ops/sec => {speedup:.2}x at {} writers",
+        baseline, top.ops_per_sec, top.writers
+    );
+
+    if quick {
+        // CI gate: correctness was already enforced per point; the
+        // throughput bound only has to catch the write path regressing
+        // to one-fsync-per-op (speedup ~1.0x).
+        if speedup < 1.2 {
+            eprintln!(
+                "FAIL: {}-writer aggregate is only {speedup:.2}x the single-writer baseline \
+                 (group commit not batching?)",
+                top.writers
+            );
+            exit(1);
+        }
+        println!("quick gate passed (all ops durable, group commit batching).");
+        return;
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kdb_write_scaling\",");
+    let _ = writeln!(json, "  \"durability\": \"always\",");
+    let _ = writeln!(json, "  \"ops_per_writer\": {ops},");
+    let _ = writeln!(json, "  \"timing_reps\": {reps},");
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, p) in reports.iter().enumerate() {
+        let comma = if i + 1 == reports.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"writers\": {}, \"committed_ops\": {}, \"elapsed_s\": {:.4}, \
+             \"ops_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}, \"group_commits\": {}, \
+             \"mean_batch\": {:.3}, \"flush_p50_ns\": {:.0}, \"flush_p99_ns\": {:.0}}}{comma}",
+            p.writers,
+            p.committed_ops,
+            p.elapsed_s,
+            p.ops_per_sec,
+            p.ops_per_sec / baseline,
+            p.group_commits,
+            p.mean_batch,
+            p.flush_p50_ns,
+            p.flush_p99_ns
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_top_vs_1\": {speedup:.3}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("writing the benchmark artifact");
+    println!("wrote {out_path}");
+    if speedup < 3.0 {
+        eprintln!("WARN: speedup {speedup:.2}x is below the 3x acceptance target");
+    }
+}

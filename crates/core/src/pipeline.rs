@@ -18,18 +18,15 @@
 //! 7. **Knowledge navigation** — rank items, gather simulated-physician
 //!    feedback (collection 6), adapt, re-rank.
 
-use std::sync::Arc;
-
 use ada_dataset::taxonomy::ConditionGroup;
 use ada_dataset::ExamLog;
 use ada_kdb::schema::{self, names};
-use ada_kdb::{Document, Kdb, SharedKdb};
+use ada_kdb::{Document, Kdb, KdbRead, KdbSnapshot, SharedKdb};
 use ada_metrics::cluster;
 use ada_mining::kmeans::KMeans;
 use ada_mining::patterns::rules::{format_rule, Rule};
 use ada_mining::patterns::{fpgrowth, relative_min_support, rules};
 use ada_vsm::VsmBuilder;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use crate::annotator::SimulatedPhysician;
@@ -173,21 +170,19 @@ impl AdaHealth {
     /// # Panics
     /// Panics when the schema cannot be initialized (journal I/O).
     pub fn with_kdb(config: AdaHealthConfig, kdb: Kdb) -> Self {
-        Self::with_shared_kdb(config, Arc::new(RwLock::new(kdb)))
+        Self::with_shared_kdb(config, SharedKdb::new(kdb))
     }
 
     /// Creates an engine over a K-DB shared with other engines or
     /// readers (the multi-session service case). Every K-DB operation
-    /// the engine performs takes the lock for just that operation, so
-    /// concurrent engines interleave at document granularity.
+    /// the engine performs locks only the collection shard it touches,
+    /// so concurrent engines on different collections never contend and
+    /// same-collection writers interleave at document granularity.
     ///
     /// # Panics
     /// Panics when the schema cannot be initialized (journal I/O).
     pub fn with_shared_kdb(config: AdaHealthConfig, kdb: SharedKdb) -> Self {
-        {
-            let mut db = kdb.write();
-            schema::init_schema(&mut db).expect("K-DB schema initialization failed");
-        }
+        schema::init_schema(&mut kdb.write()).expect("K-DB schema initialization failed");
         // Reload past-session interactions: every descriptor document
         // carrying both a feature vector and a chosen goal becomes a
         // training example for the end-goal interest model.
@@ -236,10 +231,7 @@ impl AdaHealth {
     /// # Panics
     /// Panics when the schema cannot be initialized (journal I/O).
     pub fn with_shared_kdb_isolated(config: AdaHealthConfig, kdb: SharedKdb) -> Self {
-        {
-            let mut db = kdb.write();
-            schema::init_schema(&mut db).expect("K-DB schema initialization failed");
-        }
+        schema::init_schema(&mut kdb.write()).expect("K-DB schema initialization failed");
         Self {
             config,
             kdb,
@@ -254,7 +246,7 @@ impl AdaHealth {
     /// ranking features are reconstructed, and the (item, label) pair is
     /// replayed ("based on previous interactions … the algorithm
     /// dynamically adjusts the … order").
-    fn rebuild_ranker(kdb: &Kdb) -> KnowledgeRanker {
+    fn rebuild_ranker<R: KdbRead>(kdb: &R) -> KnowledgeRanker {
         use ada_kdb::schema::Interestingness;
         let mut ranker = KnowledgeRanker::new();
         let Some(feedback) = kdb.collection(names::FEEDBACK) else {
@@ -326,18 +318,17 @@ impl AdaHealth {
         self.ranker.feedback_count()
     }
 
-    /// Borrow the underlying K-DB for reading (inspection and tests).
-    ///
-    /// The returned guard holds the shared store's read lock; drop it
-    /// before running pipelines on engines sharing the same K-DB.
-    pub fn kdb(&self) -> impl std::ops::Deref<Target = Kdb> + '_ {
+    /// A point-in-time snapshot of the K-DB for reading (inspection and
+    /// tests). The snapshot holds no lock — it is an immutable image, so
+    /// it can be kept while pipelines run on engines sharing the store.
+    pub fn kdb(&self) -> KdbSnapshot {
         self.kdb.read()
     }
 
     /// A clone of the shared K-DB handle (for concurrent readers or
     /// further engines over the same store).
     pub fn shared_kdb(&self) -> SharedKdb {
-        Arc::clone(&self.kdb)
+        self.kdb.clone()
     }
 
     /// Feeds past session history into the end-goal interest model
@@ -399,7 +390,6 @@ impl AdaHealth {
                     schema::insert_descriptors(&mut self.kdb.write(), &session, descriptor_doc)
                         .expect("K-DB insert failed");
                 self.kdb
-                    .write()
                     .insert(
                         names::RAW_DATA,
                         Document::new()
@@ -416,7 +406,6 @@ impl AdaHealth {
         let transform = control.stage(&session, PipelineStage::Transform, || {
             let transform = self.config.transform.select(log);
             self.kdb
-                .write()
                 .insert(
                     names::TRANSFORMED_DATA,
                     Document::new()
@@ -597,7 +586,6 @@ impl AdaHealth {
                         let audit = compliance::assess(log, &guidelines);
                         for result in &audit.results {
                             self.kdb
-                                .write()
                                 .insert(
                                     names::PATTERN_KNOWLEDGE,
                                     Document::new()
@@ -684,24 +672,20 @@ impl AdaHealth {
                 // pursued. The choice is persisted into the session's
                 // descriptor document, so a store reopened later reloads the
                 // full interaction history ("the K-DB will be continuously
-                // enriched with new … feedbacks"). Read-modify-write under
-                // one write lock so concurrent sessions cannot interleave
-                // between the read and the update.
+                // enriched with new … feedbacks"). The atomic
+                // read-modify-write holds the descriptors shard lock, so
+                // concurrent sessions cannot interleave between the read
+                // and the update.
                 if let Some((chosen, _, _)) = goals.iter().find(|(_, _, v)| v.viable) {
                     self.goal_history.push(SessionExample {
                         features: descriptor.feature_vector(),
                         goal: *chosen,
                     });
                     self.goal_model = GoalInterestModel::train(&self.goal_history);
-                    let mut db = self.kdb.write();
-                    let updated = db
-                        .collection(names::DESCRIPTORS)
-                        .expect("schema initialized")
-                        .get(descriptor_id)
-                        .expect("descriptor just inserted")
-                        .clone()
-                        .with("chosen_goal", chosen.name());
-                    db.update(names::DESCRIPTORS, descriptor_id, updated)
+                    self.kdb
+                        .update_with(names::DESCRIPTORS, descriptor_id, |doc| {
+                            doc.clone().with("chosen_goal", chosen.name())
+                        })
                         .expect("K-DB update failed");
                 }
                 Ok((ranked_items, feedback_recorded))

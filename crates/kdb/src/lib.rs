@@ -19,11 +19,20 @@
 //!   range filters;
 //! * [`store`] — a named-collection database with append-only
 //!   [`journal`] persistence, snapshot compaction and crash recovery;
+//! * [`sharded`] — the concurrent face of the store: [`SharedKdb`]
+//!   shards the write path per collection and group-commits the
+//!   journal so independent sessions fsync together;
 //! * [`schema`] — the six ADA-HEALTH collections with typed helpers.
 //!
-//! Thread safety: wrap a [`Kdb`] in [`SharedKdb`] (a
-//! `parking_lot::RwLock`) when sharing across the optimizer's worker
-//! threads.
+//! Thread safety: wrap a [`Kdb`] in [`SharedKdb::new`] when sharing
+//! across the optimizer's worker threads. The facade takes no global
+//! lock: writers lock only the shard (collection) they touch, durability
+//! is settled by a shared group committer (one fsync covers every
+//! concurrently acked op), and [`SharedKdb::read`] hands back an
+//! immutable [`KdbSnapshot`] — epoch-cached `Arc` images that never
+//! block behind a committing writer. Exclusive single-threaded use can
+//! keep working with a plain [`Kdb`]; code generic over both goes
+//! through the [`KdbRead`]/[`KdbWrite`] traits.
 
 #![warn(missing_docs)]
 
@@ -34,6 +43,7 @@ pub mod index;
 pub mod journal;
 pub mod query;
 pub mod schema;
+pub mod sharded;
 pub mod storage;
 pub mod store;
 
@@ -45,8 +55,6 @@ pub use error::KdbError;
 pub use find::{count_by, find_with, FindOptions, Order};
 pub use journal::{CorruptionReport, DurabilityPolicy, JournalVersion, RecoveryMode};
 pub use query::Filter;
+pub use sharded::{GroupCommitSnapshot, KdbRead, KdbSnapshot, KdbWrite, KdbWriter, SharedKdb};
 pub use storage::{FaultHandle, FaultKind, FaultyStorage, FileStorage, MemStorage, Storage};
-pub use store::{Kdb, StoreOptions};
-
-/// A [`Kdb`] shareable across threads.
-pub type SharedKdb = std::sync::Arc<parking_lot::RwLock<Kdb>>;
+pub use store::{fingerprint_ops, Kdb, StoreOptions};

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::collection::DocId;
 use crate::document::{Document, Value};
 use crate::error::KdbError;
-use crate::store::Kdb;
+use crate::sharded::KdbWrite;
 
 /// Canonical collection names.
 pub mod names {
@@ -113,10 +113,15 @@ impl std::fmt::Display for Interestingness {
 
 /// Creates the six collections (idempotent) and the indexes the engine
 /// queries against (`session` everywhere; `score` on knowledge items).
+/// Generic over [`KdbWrite`], so it serves both an exclusive
+/// [`Kdb`](crate::store::Kdb) and the sharded
+/// [`SharedKdb`](crate::sharded::SharedKdb) facade — where the
+/// ensure-style helpers make concurrent initialization race-safe (a
+/// racing creator winning counts as done).
 ///
 /// # Errors
 /// Returns journal I/O errors.
-pub fn init_schema(db: &mut Kdb) -> Result<(), KdbError> {
+pub fn init_schema<W: KdbWrite + ?Sized>(db: &mut W) -> Result<(), KdbError> {
     for name in names::ALL_WITH_OPS {
         db.ensure_collection(name)?;
     }
@@ -126,28 +131,14 @@ pub fn init_schema(db: &mut Kdb) -> Result<(), KdbError> {
         names::SIGNAL_KNOWLEDGE,
     ] {
         for path in ["session", "score"] {
-            if !db.collection(coll).expect("just created").has_index(path) {
-                db.create_index(coll, path)?;
-            }
+            db.ensure_index(coll, path)?;
         }
     }
     for coll in [names::DESCRIPTORS, names::FEEDBACK] {
-        if !db
-            .collection(coll)
-            .expect("just created")
-            .has_index("session")
-        {
-            db.create_index(coll, "session")?;
-        }
+        db.ensure_index(coll, "session")?;
     }
     for path in ["session", "state"] {
-        if !db
-            .collection(names::SESSIONS)
-            .expect("just created")
-            .has_index(path)
-        {
-            db.create_index(names::SESSIONS, path)?;
-        }
+        db.ensure_index(names::SESSIONS, path)?;
     }
     Ok(())
 }
@@ -261,7 +252,10 @@ pub fn validate_session_doc(doc: &Document) -> Result<(), KdbError> {
 /// # Errors
 /// Returns [`KdbError::Schema`] on a malformed record, otherwise store
 /// errors (missing collection / journal I/O).
-pub fn insert_session_record(db: &mut Kdb, record: Document) -> Result<DocId, KdbError> {
+pub fn insert_session_record<W: KdbWrite + ?Sized>(
+    db: &mut W,
+    record: Document,
+) -> Result<DocId, KdbError> {
     validate_session_doc(&record)?;
     db.insert(names::SESSIONS, record)
 }
@@ -270,8 +264,8 @@ pub fn insert_session_record(db: &mut Kdb, record: Document) -> Result<DocId, Kd
 ///
 /// # Errors
 /// Returns store errors (missing collection / journal I/O).
-pub fn insert_cluster_item(
-    db: &mut Kdb,
+pub fn insert_cluster_item<W: KdbWrite + ?Sized>(
+    db: &mut W,
     session: &str,
     k: usize,
     cluster: usize,
@@ -296,8 +290,8 @@ pub fn insert_cluster_item(
 ///
 /// # Errors
 /// Returns store errors (missing collection / journal I/O).
-pub fn insert_pattern_item(
-    db: &mut Kdb,
+pub fn insert_pattern_item<W: KdbWrite + ?Sized>(
+    db: &mut W,
     session: &str,
     items: &[u32],
     support: f64,
@@ -415,7 +409,10 @@ pub fn validate_signal_doc(doc: &Document) -> Result<(), KdbError> {
 /// # Errors
 /// Returns [`KdbError::Schema`] on a malformed item, otherwise store
 /// errors (missing collection / journal I/O).
-pub fn insert_signal_item(db: &mut Kdb, item: Document) -> Result<DocId, KdbError> {
+pub fn insert_signal_item<W: KdbWrite + ?Sized>(
+    db: &mut W,
+    item: Document,
+) -> Result<DocId, KdbError> {
     validate_signal_doc(&item)?;
     db.insert(names::SIGNAL_KNOWLEDGE, item)
 }
@@ -424,8 +421,8 @@ pub fn insert_signal_item(db: &mut Kdb, item: Document) -> Result<DocId, KdbErro
 ///
 /// # Errors
 /// Returns store errors (missing collection / journal I/O).
-pub fn insert_feedback(
-    db: &mut Kdb,
+pub fn insert_feedback<W: KdbWrite + ?Sized>(
+    db: &mut W,
     session: &str,
     item_collection: &str,
     item_id: DocId,
@@ -445,8 +442,8 @@ pub fn insert_feedback(
 ///
 /// # Errors
 /// Returns store errors (missing collection / journal I/O).
-pub fn insert_descriptors(
-    db: &mut Kdb,
+pub fn insert_descriptors<W: KdbWrite + ?Sized>(
+    db: &mut W,
     session: &str,
     descriptors: Document,
 ) -> Result<DocId, KdbError> {
@@ -457,6 +454,7 @@ pub fn insert_descriptors(
 mod tests {
     use super::*;
     use crate::query::Filter;
+    use crate::store::Kdb;
 
     #[test]
     fn init_creates_all_six_collections() {

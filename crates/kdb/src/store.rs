@@ -220,6 +220,17 @@ impl Kdb {
         Ok(())
     }
 
+    /// Creates a secondary index if the path is not already indexed.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::UnknownCollection`] or a journal I/O error.
+    pub fn ensure_index(&mut self, collection: &str, path: &str) -> Result<(), KdbError> {
+        match self.create_index(collection, path) {
+            Err(KdbError::IndexExists(_)) => Ok(()),
+            other => other,
+        }
+    }
+
     /// Creates a secondary index.
     ///
     /// # Errors
@@ -368,20 +379,26 @@ impl Kdb {
     /// them there — the equality check behind the torture harness's
     /// prefix-consistency invariant.
     pub fn fingerprint(&self) -> u64 {
-        let mut buf = String::new();
-        let mut hash = 0xCBF2_9CE4_8422_2325u64;
-        for op in self.state_ops() {
-            buf.clear();
-            op.encode_into(&mut buf);
-            for b in buf.as_bytes() {
-                hash ^= u64::from(*b);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            // Separate ops so concatenation ambiguity cannot collide.
-            hash ^= 0xFF;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        hash
+        fingerprint_ops(&self.state_ops())
+    }
+
+    /// Decomposes the store into its raw parts for the sharded facade
+    /// ([`crate::SharedKdb`]): collections, journal, accumulated append
+    /// failures and any salvage report.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        BTreeMap<String, Collection>,
+        Option<Journal>,
+        u64,
+        Option<CorruptionReport>,
+    ) {
+        (
+            self.collections,
+            self.journal,
+            self.log_failures,
+            self.salvaged,
+        )
     }
 
     /// Compacts the journal to the minimal op sequence reconstructing
@@ -440,6 +457,26 @@ impl Kdb {
 /// journal.
 pub fn quarantine_path(journal: &Path) -> PathBuf {
     journal.with_extension("quarantine")
+}
+
+/// A 64-bit FNV-1a digest over a canonical op sequence — the shared
+/// fingerprint primitive behind [`Kdb::fingerprint`] and the per-shard
+/// digests of the sharded facade. Ops are separated by an out-of-band
+/// byte so concatenation ambiguity cannot collide.
+pub fn fingerprint_ops(ops: &[Op]) -> u64 {
+    let mut buf = String::new();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for op in ops {
+        buf.clear();
+        op.encode_into(&mut buf);
+        for b in buf.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash ^= 0xFF;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Concurrent access through [`SharedKdb`]: the optimizer's worker
 //! threads read knowledge items while the pipeline thread keeps
-//! inserting — the access pattern the `parking_lot` wrapper exists for.
+//! inserting — the access pattern the sharded facade exists for.
 
 use std::sync::Arc;
 
@@ -10,7 +10,7 @@ fn shared() -> SharedKdb {
     let mut db = Kdb::in_memory();
     db.create_collection("items").unwrap();
     db.create_index("items", "score").unwrap();
-    Arc::new(parking_lot::RwLock::new(db))
+    SharedKdb::new(db)
 }
 
 #[test]
@@ -21,25 +21,25 @@ fn concurrent_writers_and_readers_converge() {
 
     std::thread::scope(|scope| {
         for w in 0..WRITERS {
-            let db = Arc::clone(&db);
+            let db = db.clone();
             scope.spawn(move || {
                 for i in 0..PER_WRITER {
                     let doc = Document::new()
                         .with("writer", w as i64)
                         .with("score", (i % 100) as f64 / 100.0);
-                    db.write().insert("items", doc).unwrap();
+                    db.insert("items", doc).unwrap();
                 }
             });
         }
         // Readers run concurrently; every observed snapshot must be
         // internally consistent (find never panics, counts only grow).
         for _ in 0..2 {
-            let db = Arc::clone(&db);
+            let db = db.clone();
             scope.spawn(move || {
                 let mut last = 0usize;
                 for _ in 0..50 {
-                    let guard = db.read();
-                    let coll = guard.collection("items").unwrap();
+                    let snap = db.read();
+                    let coll = snap.collection("items").unwrap();
                     let n = coll.len();
                     assert!(n >= last, "collection shrank under readers");
                     last = n;
@@ -52,8 +52,8 @@ fn concurrent_writers_and_readers_converge() {
         }
     });
 
-    let guard = db.read();
-    let coll = guard.collection("items").unwrap();
+    let snap = db.read();
+    let coll = snap.collection("items").unwrap();
     assert_eq!(coll.len(), WRITERS * PER_WRITER);
     // Ids are unique and dense (1..=N) despite interleaved writers.
     let ids: Vec<u64> = coll.iter().map(|(id, _)| id).collect();
@@ -74,18 +74,17 @@ fn writers_interleave_on_a_persistent_store() {
     {
         let mut db = Kdb::open(&path).unwrap();
         db.create_collection("items").unwrap();
-        let db: SharedKdb = Arc::new(parking_lot::RwLock::new(db));
+        let db = SharedKdb::new(db);
         std::thread::scope(|scope| {
             for w in 0..3 {
-                let db = Arc::clone(&db);
+                let db = db.clone();
                 scope.spawn(move || {
                     for i in 0..100 {
-                        db.write()
-                            .insert(
-                                "items",
-                                Document::new().with("w", w as i64).with("i", i as i64),
-                            )
-                            .unwrap();
+                        db.insert(
+                            "items",
+                            Document::new().with("w", w as i64).with("i", i as i64),
+                        )
+                        .unwrap();
                     }
                 });
             }
@@ -109,15 +108,14 @@ fn journaled_multi_writer_stress_with_updates_deletes_and_compaction() {
         let mut db = Kdb::open(&path).unwrap();
         db.create_collection("items").unwrap();
         db.create_index("items", "writer").unwrap();
-        let db: SharedKdb = Arc::new(parking_lot::RwLock::new(db));
+        let db = SharedKdb::new(db);
         std::thread::scope(|scope| {
             for w in 0..WRITERS {
-                let db = Arc::clone(&db);
+                let db = db.clone();
                 scope.spawn(move || {
                     let mut mine = Vec::new();
                     for i in 0..PER_WRITER {
                         let id = db
-                            .write()
                             .insert(
                                 "items",
                                 Document::new().with("writer", w as i64).with("i", i as i64),
@@ -132,11 +130,11 @@ fn journaled_multi_writer_stress_with_updates_deletes_and_compaction() {
                                 .with("writer", w as i64)
                                 .with("i", i as i64)
                                 .with("updated", true);
-                            db.write().update("items", victim, doc).unwrap();
+                            db.update("items", victim, doc).unwrap();
                         }
                         if i % 5 == 0 && mine.len() > 2 {
                             let victim = mine.remove(0);
-                            db.write().delete("items", victim).unwrap();
+                            db.delete("items", victim).unwrap();
                         }
                     }
                     mine
@@ -145,12 +143,9 @@ fn journaled_multi_writer_stress_with_updates_deletes_and_compaction() {
         });
         // Compact mid-life: the snapshot plus tail journal must still
         // replay to the same state.
-        db.write().snapshot().unwrap();
-        let db_guard = db.read();
-        let live = db_guard.collection("items").unwrap().len();
-        drop(db_guard);
-        db.write()
-            .insert("items", Document::new().with("writer", -1i64))
+        db.snapshot().unwrap();
+        let live = db.read().collection("items").unwrap().len();
+        db.insert("items", Document::new().with("writer", -1i64))
             .unwrap();
         assert_eq!(db.read().collection("items").unwrap().len(), live + 1);
     }

@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use ada_core::control::{PipelineObserver, PipelineStage};
 use ada_kdb::schema;
-use ada_kdb::{DocId, Document, Kdb, KdbError, Value};
+use ada_kdb::{DocId, Document, KdbError, KdbRead, KdbWrite, Value};
 use parking_lot::Mutex;
 
 use crate::hist::Log2Histogram;
@@ -266,9 +266,9 @@ impl FlightRecorder {
     /// # Errors
     /// Returns [`KdbError::Schema`] on a malformed record, otherwise
     /// store errors.
-    pub fn persist(
+    pub fn persist<W: KdbWrite + ?Sized>(
         &self,
-        db: &mut Kdb,
+        db: &mut W,
         session: &str,
         state: &str,
         outcome: &str,
@@ -281,7 +281,7 @@ impl FlightRecorder {
 
 /// All session records currently persisted in `db`, in insertion order.
 /// This is how a restarted service answers queries about past runs.
-pub fn past_sessions(db: &Kdb) -> Vec<(DocId, Document)> {
+pub fn past_sessions<R: KdbRead + ?Sized>(db: &R) -> Vec<(DocId, Document)> {
     let Some(coll) = db.collection(schema::names::SESSIONS) else {
         return Vec::new();
     };
@@ -499,6 +499,7 @@ impl PipelineObserver for FlightRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ada_kdb::Kdb;
 
     fn drive_one_session(rec: &FlightRecorder, session: &str) {
         rec.mark(session, MARK_QUEUE_WAIT, Duration::from_micros(150));

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ada_core::{PipelineObserver, PipelineStage};
-use ada_kdb::{Document, Value};
+use ada_kdb::{Document, GroupCommitSnapshot, Value};
 use ada_obs::hist::HistogramSnapshot;
 use ada_obs::{document_to_json, Log2Histogram};
 
@@ -146,6 +146,7 @@ impl MetricsObserver {
             queue_wait: StageMetrics::from_snapshot(&self.queue_wait.snapshot()),
             session_latency: StageMetrics::from_snapshot(&self.session_latency.snapshot()),
             stages,
+            kdb: GroupCommitSnapshot::default(),
         }
     }
 }
@@ -255,6 +256,11 @@ pub struct ServiceMetrics {
     pub session_latency: StageMetrics,
     /// Per-stage latency statistics, keyed by stage name.
     pub stages: BTreeMap<&'static str, StageMetrics>,
+    /// The shared K-DB's group-commit counters (batch sizes, flush
+    /// latency, journal watermarks). Filled in by
+    /// `AnalysisService::metrics`; zero when the observer is snapshotted
+    /// directly.
+    pub kdb: GroupCommitSnapshot,
 }
 
 impl ServiceMetrics {
@@ -308,6 +314,17 @@ impl ServiceMetrics {
                 Value::Doc(self.session_latency.to_document()),
             )
             .with("stages", Value::Doc(stages))
+            .with(
+                "kdb",
+                Value::Doc(
+                    Document::new()
+                        .with("acked_ops", count(self.kdb.acked_ops))
+                        .with("durable_ops", count(self.kdb.durable_ops))
+                        .with("group_commits", count(self.kdb.commits))
+                        .with("group_commit_failures", count(self.kdb.failures))
+                        .with("group_commit_mean_batch", self.kdb.mean_batch()),
+                ),
+            )
     }
 
     /// The snapshot as a JSON object.
@@ -361,6 +378,30 @@ impl ServiceMetrics {
             "ada_service_degraded {}\n",
             u8::from(self.degraded())
         ));
+        for (metric, value) in [
+            ("ada_kdb_journal_acked_ops_total", self.kdb.acked_ops),
+            ("ada_kdb_journal_durable_ops_total", self.kdb.durable_ops),
+            ("ada_kdb_group_commits_total", self.kdb.commits),
+            ("ada_kdb_group_commit_failures_total", self.kdb.failures),
+        ] {
+            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+        }
+        out.push_str("# TYPE ada_kdb_group_commit_batch_size summary\n");
+        write_kdb_summary(
+            &mut out,
+            "ada_kdb_group_commit_batch_size",
+            &self.kdb.batch_hist,
+            self.kdb.ops,
+            self.kdb.commits,
+        );
+        out.push_str("# TYPE ada_kdb_group_commit_flush_ns summary\n");
+        write_kdb_summary(
+            &mut out,
+            "ada_kdb_group_commit_flush_ns",
+            &self.kdb.flush_hist,
+            self.kdb.flush_ns,
+            self.kdb.commits,
+        );
         out.push_str("# TYPE ada_queue_depth_max gauge\n");
         out.push_str(&format!("ada_queue_depth_max {}\n", self.max_queue_depth));
         out.push_str("# TYPE ada_queue_wait_ns summary\n");
@@ -383,6 +424,17 @@ impl ServiceMetrics {
         }
         out
     }
+}
+
+/// Renders one group-commit log2 histogram as a Prometheus summary:
+/// approximate quantiles (geometric bucket midpoints), exact sum/count.
+fn write_kdb_summary(out: &mut String, metric: &str, hist: &[u64], sum: u64, count: u64) {
+    for q in ["0.5", "0.9", "0.99"] {
+        let v = GroupCommitSnapshot::quantile(hist, q.parse().expect("literal"));
+        out.push_str(&format!("{metric}{{quantile=\"{q}\"}} {v:.1}\n"));
+    }
+    out.push_str(&format!("{metric}_sum {sum}\n"));
+    out.push_str(&format!("{metric}_count {count}\n"));
 }
 
 fn write_summary(out: &mut String, metric: &str, label_prefix: &str, stat: &StageMetrics) {

@@ -13,7 +13,6 @@ use ada_obs::{
     document_to_json, past_sessions, FlightRecorder, MARK_CANCELLED, MARK_DEGRADED,
     MARK_PERSIST_FAIL, MARK_QUEUE_WAIT, MARK_RETRY,
 };
-use parking_lot::RwLock;
 
 use crate::cancel::CancelToken;
 use crate::error::ServiceError;
@@ -85,8 +84,16 @@ pub struct ServiceConfig {
     /// read-only mode (clamped to at least 1).
     pub degrade_after: u32,
     /// Durability policy applied to the shared K-DB's journal at
-    /// startup (`None` keeps whatever the store was opened with).
+    /// startup (`None` keeps whatever the store was opened with). Under
+    /// the sharded store this is the *group-commit* policy: `Always`
+    /// still means every acked op is fsync-covered, but concurrent
+    /// writers share one fsync per commit round instead of paying one
+    /// each.
     pub durability: Option<DurabilityPolicy>,
+    /// Force a final journal fsync when the service shuts down, so ops
+    /// acknowledged non-durable under `Batch`/`SnapshotOnly` policies
+    /// are made durable before the process exits.
+    pub sync_on_shutdown: bool,
 }
 
 impl Default for ServiceConfig {
@@ -99,6 +106,7 @@ impl Default for ServiceConfig {
             recorder_capacity: 512,
             degrade_after: 3,
             durability: None,
+            sync_on_shutdown: true,
         }
     }
 }
@@ -119,6 +127,8 @@ struct ServiceInner {
     /// (faults are attributed to the process that caused them).
     initial_faults: u64,
     degrade_after: u64,
+    /// Run one final group fsync when the service stops.
+    sync_on_shutdown: bool,
 }
 
 impl ServiceInner {
@@ -126,7 +136,6 @@ impl ServiceInner {
     /// watch.
     fn journal_fault_delta(&self) -> u64 {
         self.kdb
-            .read()
             .journal_fault_count()
             .saturating_sub(self.initial_faults)
     }
@@ -159,13 +168,10 @@ impl AnalysisService {
     /// [`AnalysisService::with_kdb`]).
     pub fn new(config: ServiceConfig, kdb: SharedKdb) -> Self {
         let workers = config.workers.max(1);
-        let initial_faults = {
-            let mut db = kdb.write();
-            if let Some(policy) = config.durability {
-                db.set_durability(policy);
-            }
-            db.journal_fault_count()
-        };
+        if let Some(policy) = config.durability {
+            kdb.set_durability(policy);
+        }
+        let initial_faults = kdb.journal_fault_count();
         let inner = Arc::new(ServiceInner {
             kdb,
             queue: JobQueue::bounded(config.queue_capacity.max(1)),
@@ -178,6 +184,7 @@ impl AnalysisService {
             degraded: AtomicBool::new(false),
             initial_faults,
             degrade_after: u64::from(config.degrade_after.max(1)),
+            sync_on_shutdown: config.sync_on_shutdown,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -196,12 +203,12 @@ impl AnalysisService {
 
     /// Convenience: takes ownership of a `Kdb` and shares it.
     pub fn with_kdb(config: ServiceConfig, kdb: Kdb) -> Self {
-        Self::new(config, Arc::new(RwLock::new(kdb)))
+        Self::new(config, SharedKdb::new(kdb))
     }
 
     /// The shared K-DB handle all sessions write into.
     pub fn kdb(&self) -> SharedKdb {
-        Arc::clone(&self.inner.kdb)
+        self.inner.kdb.clone()
     }
 
     /// Submits a job; returns its session id, or refuses with
@@ -257,9 +264,12 @@ impl AnalysisService {
         self.inner.registry.sessions()
     }
 
-    /// A point-in-time metrics snapshot.
+    /// A point-in-time metrics snapshot, including the shared K-DB's
+    /// group-commit counters.
     pub fn metrics(&self) -> ServiceMetrics {
-        self.inner.metrics.snapshot()
+        let mut metrics = self.inner.metrics.snapshot();
+        metrics.kdb = self.inner.kdb.group_commit_stats();
+        metrics
     }
 
     /// Current depth of the job queue.
@@ -379,6 +389,12 @@ impl AnalysisService {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        if self.inner.sync_on_shutdown {
+            // Batch/SnapshotOnly acks may still be fsync-uncovered; one
+            // final group fsync closes the window (best-effort — the
+            // fault counter records a failure).
+            let _ = self.inner.kdb.sync();
+        }
     }
 }
 
@@ -408,18 +424,14 @@ fn worker_loop(inner: &ServiceInner) {
 /// violation is a bug (not an environmental fault), so debug builds
 /// still assert on that case.
 fn persist_session(inner: &ServiceInner, session: &str, state: &str, outcome: &str) {
-    let result = {
-        let mut db = inner.kdb.write();
-        if db.collection(schema::names::SESSIONS).is_some()
-            || db.ensure_collection(schema::names::SESSIONS).is_ok()
-        {
-            inner.recorder.persist(&mut db, session, state, outcome)
-        } else {
-            Err(ada_kdb::KdbError::UnknownCollection(
-                schema::names::SESSIONS.to_owned(),
-            ))
-        }
-    };
+    let result = inner
+        .kdb
+        .ensure_collection(schema::names::SESSIONS)
+        .and_then(|()| {
+            inner
+                .recorder
+                .persist(&mut inner.kdb.write(), session, state, outcome)
+        });
     if let Err(err) = result {
         debug_assert!(
             !matches!(err, ada_kdb::KdbError::Schema(_)),

@@ -9,7 +9,6 @@ use ada_dataset::synthetic::{generate, SyntheticConfig};
 use ada_kdb::schema::{names, validate_signal_doc};
 use ada_kdb::{Filter, Kdb, SharedKdb, Value};
 use ada_signals::{mine_signals, run_session, SignalConfig};
-use parking_lot::RwLock;
 
 fn cohort_cfg() -> SyntheticConfig {
     SyntheticConfig {
@@ -21,7 +20,7 @@ fn cohort_cfg() -> SyntheticConfig {
 }
 
 fn shared(db: Kdb) -> SharedKdb {
-    Arc::new(RwLock::new(db))
+    SharedKdb::new(db)
 }
 
 #[test]
