@@ -19,6 +19,10 @@ echo "== observability smoke gate =="
 # End-to-end session with tracing on: observer-on vs observer-off
 # reports must match, the exported session record must validate against
 # ada-kdb::schema, and kernel tracing overhead must stay within 5%.
+# Then the trace gate: one remote sampled session must persist a trace
+# linking queue-wait, every pipeline stage, and >= 1 group-commit fsync
+# round under valid parent indexes, and full-session sampling overhead
+# at rate 1 must also stay within 5% of rate 0 (paired minima).
 cargo run -q -p ada-bench --release --bin obs_smoke
 
 echo "== safety-signal smoke gate (quick) =="

@@ -1,6 +1,6 @@
 //! Observability smoke gate for CI.
 //!
-//! Three checks, any failure exits non-zero:
+//! Five checks, any failure exits non-zero:
 //!
 //! 1. **Determinism** — a quick end-to-end pipeline run with the flight
 //!    recorder attached must produce a report identical to an
@@ -12,18 +12,28 @@
 //!    kernel path (`fit_with_stats` + counter emission into a live
 //!    recorder, wrapped in a span) must stay within 5% of the plain
 //!    `fit` wall time and assign every row byte-identically.
+//! 4. **End-to-end trace** — one remote sampled session over the ADAN1
+//!    wire must persist exactly one trace whose span tree links queue
+//!    wait, every pipeline stage, and at least one group-commit fsync
+//!    round under valid parent indexes.
+//! 5. **Sampling overhead** — full service sessions at `sample_rate`
+//!    1.0 must stay within 5% of rate-0 sessions (paired minima).
 //!
 //! Run: `cargo run -p ada-bench --release --bin obs_smoke`
 
+use std::path::Path;
 use std::process::exit;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ada_bench::bench_log;
 use ada_core::{AdaHealth, AdaHealthConfig, PipelineStage, RunControl};
-use ada_kdb::{schema, Kdb, Value};
+use ada_kdb::{schema, DurabilityPolicy, Kdb, MemStorage, StoreOptions, Value};
 use ada_mining::kmeans::KMeans;
+use ada_net::proto::{CohortSpec, Request, Response, WireJobSpec};
+use ada_net::{Client, NetConfig, NetServer};
 use ada_obs::{document_to_json, past_sessions, FlightRecorder};
+use ada_service::{AnalysisService, ServiceConfig, SessionState, DEFAULT_TRACE_SEED};
 use ada_vsm::VsmBuilder;
 
 /// Wall-clock repetitions per timed variant; the minimum is compared.
@@ -160,6 +170,171 @@ fn main() {
         fail(&format!(
             "tracing overhead {:.2}% exceeds the {:.0}% budget",
             overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        ));
+    }
+
+    // 4. End-to-end trace: one remote sampled session over the wire,
+    // against a group-committed durable store so fsync rounds land in
+    // the span tree. The persisted trace must link the whole request
+    // path with valid pre-order parent indexes.
+    let mem: Arc<MemStorage> = Arc::new(MemStorage::new());
+    let kdb = Kdb::open_with(
+        Path::new("obs_trace.journal"),
+        StoreOptions::with_storage(mem).durability(DurabilityPolicy::Always),
+    )
+    .unwrap_or_else(|e| fail(&format!("durable kdb open failed: {e}")));
+    let service = Arc::new(AnalysisService::with_kdb(
+        ServiceConfig {
+            workers: 1,
+            sample_rate: 1.0,
+            ..ServiceConfig::default()
+        },
+        kdb,
+    ));
+    let server = NetServer::start(Arc::clone(&service), NetConfig::default())
+        .unwrap_or_else(|e| fail(&format!("net server failed to start: {e}")));
+    let mut client = Client::connect(server.local_addr())
+        .unwrap_or_else(|e| fail(&format!("client connect failed: {e}")))
+        .with_sampling(1.0, DEFAULT_TRACE_SEED);
+    let spec = WireJobSpec::quick("trace-gate".to_owned(), CohortSpec::small(907));
+    let session = match client.call(Request::Submit(spec)) {
+        Ok(Response::Submitted { session }) => session,
+        other => fail(&format!("expected Submitted, got {other:?}")),
+    };
+    match client.wait_terminal(session, Duration::from_secs(120)) {
+        Ok((state, reason)) if state == "completed" => drop(reason),
+        other => fail(&format!("sampled session not completed: {other:?}")),
+    }
+    let traces = match client.call(Request::TraceQuery {
+        session: Some("trace-gate".to_owned()),
+    }) {
+        Ok(Response::Traces { traces }) => traces,
+        other => fail(&format!("expected Traces, got {other:?}")),
+    };
+    if traces.len() != 1 {
+        fail(&format!(
+            "expected 1 persisted trace, found {}",
+            traces.len()
+        ));
+    }
+    let spans = traces[0]
+        .get("spans")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail("trace record has no span array"));
+    let mut names = Vec::with_capacity(spans.len());
+    let mut fsync_rounds = 0usize;
+    for (i, span) in spans.iter().enumerate() {
+        let span = span
+            .as_doc()
+            .unwrap_or_else(|| fail("span is not a document"));
+        let parent = span
+            .get("parent")
+            .and_then(Value::as_i64)
+            .unwrap_or_else(|| fail("span is missing its parent link"));
+        let valid = if i == 0 {
+            parent == -1
+        } else {
+            parent >= 0 && (parent as usize) < i
+        };
+        if !valid {
+            fail(&format!("span {i} has invalid parent {parent}"));
+        }
+        let name = span
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail("span is missing its name"));
+        if name == "fsync_round" {
+            let attrs = span
+                .get("attrs")
+                .and_then(Value::as_doc)
+                .unwrap_or_else(|| fail("fsync-round span has no attrs"));
+            if attrs.get("batch").and_then(Value::as_i64).unwrap_or(0) < 1 {
+                fail("fsync-round span has batch < 1");
+            }
+            fsync_rounds += 1;
+        }
+        names.push(name);
+    }
+    if !names.contains(&"queue_wait") {
+        fail(&format!("trace has no queue-wait span: {names:?}"));
+    }
+    for stage in PipelineStage::PIPELINE {
+        if !names.contains(&stage.name()) {
+            fail(&format!(
+                "trace missing stage span {}: {names:?}",
+                stage.name()
+            ));
+        }
+    }
+    if fsync_rounds == 0 {
+        fail(&format!("trace captured no fsync round: {names:?}"));
+    }
+    println!(
+        "trace gate: {} spans linked, {fsync_rounds} fsync rounds",
+        spans.len()
+    );
+    server.shutdown();
+    drop(client);
+    drop(service);
+
+    // 5. Sampling overhead: full service sessions at rate 1 vs rate 0,
+    // paired minima, the same 5% budget the kernel path gets.
+    let make = |rate: f64| {
+        AnalysisService::with_kdb(
+            ServiceConfig {
+                workers: 1,
+                sample_rate: rate,
+                ..ServiceConfig::default()
+            },
+            Kdb::in_memory(),
+        )
+    };
+    let base_service = make(0.0);
+    let traced_service = make(1.0);
+    // A cohort big enough that the session's analysis work dominates
+    // the fixed per-session cost of persisting its trace record —
+    // millisecond sessions would measure that constant, not a rate.
+    let cohort = CohortSpec {
+        patients: 400,
+        exam_types: 24,
+        records: 6_000,
+        seed: 31,
+    };
+    let run_session = |service: &AnalysisService, name: String| {
+        let spec = WireJobSpec::quick(name, cohort).materialize();
+        let id = service
+            .submit(spec)
+            .unwrap_or_else(|e| fail(&format!("overhead-arm submit failed: {e}")));
+        match service.wait(id) {
+            Ok(SessionState::Completed(_)) => {}
+            other => fail(&format!("overhead-arm session not completed: {other:?}")),
+        }
+    };
+    let (mut base_rep, mut traced_rep) = (0u32, 0u32);
+    let (base_ms, traced_ms, (), ()) = paired_best_of(
+        REPS,
+        || {
+            base_rep += 1;
+            run_session(&base_service, format!("base-{base_rep}"));
+        },
+        || {
+            traced_rep += 1;
+            run_session(&traced_service, format!("traced-{traced_rep}"));
+        },
+    );
+    base_service.shutdown();
+    traced_service.shutdown();
+    let sampling_overhead = (traced_ms - base_ms) / base_ms;
+    println!(
+        "sampling overhead: rate 0 {base_ms:.1} ms, rate 1 {traced_ms:.1} ms \
+         ({:+.2}%)",
+        sampling_overhead * 100.0
+    );
+    if sampling_overhead > MAX_OVERHEAD {
+        fail(&format!(
+            "sampling overhead {:.2}% exceeds the {:.0}% budget",
+            sampling_overhead * 100.0,
             MAX_OVERHEAD * 100.0
         ));
     }

@@ -190,6 +190,33 @@ pub struct NullObserver;
 
 impl PipelineObserver for NullObserver {}
 
+/// Wire-propagated trace identity attached to a controlled run: the
+/// 128-bit trace id and the sampling decision, as plain fields.
+///
+/// `ada-core` sits below the observability crate in the dependency
+/// order, so it cannot name the full trace-context type; the service
+/// layer flattens the context into this handle when it builds the
+/// [`RunControl`], and diagnostic surfaces inside the engine (panic
+/// messages, debug dumps) can cite the trace id without any new
+/// dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceHandle {
+    /// High 64 bits of the 128-bit trace id.
+    pub hi: u64,
+    /// Low 64 bits of the 128-bit trace id.
+    pub lo: u64,
+    /// Whether this run's request records spans.
+    pub sampled: bool,
+}
+
+impl TraceHandle {
+    /// The 128-bit trace id as 32 lowercase hex digits (the same
+    /// rendering the trace store keys on).
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
 /// Shared control handle for one pipeline run.
 #[derive(Clone, Default)]
 pub struct RunControl {
@@ -197,6 +224,7 @@ pub struct RunControl {
     deadline: Option<Instant>,
     observer: Option<Arc<dyn PipelineObserver>>,
     session: Option<Arc<str>>,
+    trace: Option<TraceHandle>,
 }
 
 impl fmt::Debug for RunControl {
@@ -205,6 +233,7 @@ impl fmt::Debug for RunControl {
             .field("cancelled", &self.is_cancelled())
             .field("deadline", &self.deadline)
             .field("has_observer", &self.observer.is_some())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -249,6 +278,18 @@ impl RunControl {
     /// The session label (empty when none was attached).
     pub fn session(&self) -> &str {
         self.session.as_deref().unwrap_or("")
+    }
+
+    /// Attaches the run's trace identity.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The run's trace identity, if one was attached.
+    pub fn trace(&self) -> Option<TraceHandle> {
+        self.trace
     }
 
     /// Whether an observer is attached (lets hot loops skip building
@@ -417,6 +458,22 @@ mod tests {
         };
         assert!(expired.to_string().contains("deadline"));
         let _: &dyn std::error::Error = &cancelled;
+    }
+
+    #[test]
+    fn trace_handle_rides_the_control() {
+        let control = RunControl::new();
+        assert_eq!(control.trace(), None);
+        let handle = TraceHandle {
+            hi: 0x0123_4567_89ab_cdef,
+            lo: 0xfedc_ba98_7654_3210,
+            sampled: true,
+        };
+        let control = control.with_trace(handle);
+        assert_eq!(control.trace(), Some(handle));
+        assert_eq!(handle.trace_id_hex(), "0123456789abcdeffedcba9876543210");
+        // Clones carry the handle with them (workers clone the control).
+        assert_eq!(control.clone().trace(), Some(handle));
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod report;
 pub mod transform;
 
 pub use characterize::DatasetDescriptor;
-pub use control::{NullObserver, PipelineError, PipelineObserver, PipelineStage, RunControl};
+pub use control::{
+    NullObserver, PipelineError, PipelineObserver, PipelineStage, RunControl, TraceHandle,
+};
 pub use optimize::{KEvaluation, Optimizer, OptimizerReport};
 pub use partial::{HorizontalPartialMiner, PartialMiningReport};
 pub use pipeline::{AdaHealth, AdaHealthConfig, SessionReport};

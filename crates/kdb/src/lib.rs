@@ -55,6 +55,9 @@ pub use error::KdbError;
 pub use find::{count_by, find_with, FindOptions, Order};
 pub use journal::{CorruptionReport, DurabilityPolicy, JournalVersion, RecoveryMode};
 pub use query::Filter;
-pub use sharded::{GroupCommitSnapshot, KdbRead, KdbSnapshot, KdbWrite, KdbWriter, SharedKdb};
+pub use sharded::{
+    CommitObserver, CommitRole, GroupCommitSnapshot, KdbRead, KdbSnapshot, KdbWrite, KdbWriter,
+    SharedKdb,
+};
 pub use storage::{FaultHandle, FaultKind, FaultyStorage, FileStorage, MemStorage, Storage};
 pub use store::{fingerprint_ops, Kdb, StoreOptions};

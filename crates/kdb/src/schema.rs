@@ -39,6 +39,13 @@ pub mod names {
     /// odds ratio with CI, shrunken estimate, combined rank score).
     /// A seventh knowledge collection beyond the paper's six.
     pub const SIGNAL_KNOWLEDGE: &str = "signal_knowledge";
+    /// Operational: persisted end-to-end request traces — one document
+    /// per *sampled* terminal session, holding the full span tree
+    /// (client submit → server decode → queue wait → pipeline stages →
+    /// group-commit fsync rounds) in deterministic pre-order, keyed by
+    /// a 128-bit wire-propagated trace id. Served remotely via the
+    /// `TraceQuery` wire message.
+    pub const TRACES: &str = "traces";
 
     /// All six, in paper order.
     pub const ALL: [&str; 6] = [
@@ -50,8 +57,13 @@ pub mod names {
         FEEDBACK,
     ];
 
-    /// Every collection the schema manages: the paper's six plus the
-    /// signal-knowledge and operational session-history collections.
+    /// Every collection [`init_schema`](super::init_schema) manages:
+    /// the paper's six plus the signal-knowledge and session-history
+    /// operational collections. [`TRACES`] is deliberately absent — it
+    /// is created lazily by
+    /// [`init_trace_schema`](super::init_trace_schema) only when a
+    /// sampled session actually persists a trace, so untraced journals
+    /// stay byte-identical to the pre-tracing write path.
     pub const ALL_WITH_OPS: [&str; 8] = [
         RAW_DATA,
         TRANSFORMED_DATA,
@@ -143,6 +155,22 @@ pub fn init_schema<W: KdbWrite + ?Sized>(db: &mut W) -> Result<(), KdbError> {
     Ok(())
 }
 
+/// Creates the `traces` collection and its `session`/`trace_id`
+/// indexes (idempotent). Kept out of [`init_schema`] on purpose: the
+/// trace store must only come into existence when a sampled session is
+/// about to write into it, so a service running with tracing disabled
+/// produces a journal byte-identical to one that predates tracing.
+///
+/// # Errors
+/// Returns journal I/O errors.
+pub fn init_trace_schema<W: KdbWrite + ?Sized>(db: &mut W) -> Result<(), KdbError> {
+    db.ensure_collection(names::TRACES)?;
+    for path in ["session", "trace_id"] {
+        db.ensure_index(names::TRACES, path)?;
+    }
+    Ok(())
+}
+
 /// The states a persisted session record may carry (terminal states of
 /// the service lifecycle).
 pub const SESSION_TERMINAL_STATES: [&str; 3] = ["completed", "failed", "cancelled"];
@@ -179,37 +207,7 @@ pub fn validate_session_doc(doc: &Document) -> Result<(), KdbError> {
             ))
         }
     }
-    let Some(spans) = doc.get("spans").and_then(Value::as_array) else {
-        return bad("sessions: `spans` must be an array".into());
-    };
-    for (i, span) in spans.iter().enumerate() {
-        let Some(span) = span.as_doc() else {
-            return bad(format!("sessions: spans[{i}] must be a document"));
-        };
-        match span.get("name").and_then(Value::as_str) {
-            Some(n) if !n.is_empty() => {}
-            _ => return bad(format!("sessions: spans[{i}].name must be non-empty")),
-        }
-        match span.get("parent").and_then(Value::as_i64) {
-            Some(-1) => {}
-            Some(p) if p >= 0 && (p as usize) < i => {}
-            other => {
-                return bad(format!(
-                    "sessions: spans[{i}].parent must be -1 or an earlier index, got {other:?}"
-                ))
-            }
-        }
-        for key in ["start_ns", "dur_ns"] {
-            match span.get(key).and_then(Value::as_i64) {
-                Some(v) if v >= 0 => {}
-                _ => {
-                    return bad(format!(
-                        "sessions: spans[{i}].{key} must be a non-negative integer"
-                    ))
-                }
-            }
-        }
-    }
+    validate_span_array("sessions", doc)?;
     let Some(stages) = doc.get("stages").and_then(Value::as_array) else {
         return bad("sessions: `stages` must be an array".into());
     };
@@ -247,6 +245,63 @@ pub fn validate_session_doc(doc: &Document) -> Result<(), KdbError> {
     Ok(())
 }
 
+/// Validates a `spans` array: pre-ordered span documents whose parents
+/// always point at earlier indexes (−1 for the root), with non-negative
+/// timings and, optionally, an `attrs` sub-document of non-negative
+/// integer attributes (batch sizes, role flags, wait/fsync splits).
+/// Shared by the `sessions` and `traces` validators; `coll` labels the
+/// error messages.
+fn validate_span_array(coll: &str, doc: &Document) -> Result<(), KdbError> {
+    let bad = |reason: String| Err(KdbError::Schema(reason));
+    let Some(spans) = doc.get("spans").and_then(Value::as_array) else {
+        return bad(format!("{coll}: `spans` must be an array"));
+    };
+    for (i, span) in spans.iter().enumerate() {
+        let Some(span) = span.as_doc() else {
+            return bad(format!("{coll}: spans[{i}] must be a document"));
+        };
+        match span.get("name").and_then(Value::as_str) {
+            Some(n) if !n.is_empty() => {}
+            _ => return bad(format!("{coll}: spans[{i}].name must be non-empty")),
+        }
+        match span.get("parent").and_then(Value::as_i64) {
+            Some(-1) => {}
+            Some(p) if p >= 0 && (p as usize) < i => {}
+            other => {
+                return bad(format!(
+                    "{coll}: spans[{i}].parent must be -1 or an earlier index, got {other:?}"
+                ))
+            }
+        }
+        for key in ["start_ns", "dur_ns"] {
+            match span.get(key).and_then(Value::as_i64) {
+                Some(v) if v >= 0 => {}
+                _ => {
+                    return bad(format!(
+                        "{coll}: spans[{i}].{key} must be a non-negative integer"
+                    ))
+                }
+            }
+        }
+        if let Some(attrs) = span.get("attrs") {
+            let Some(attrs) = attrs.as_doc() else {
+                return bad(format!("{coll}: spans[{i}].attrs must be a document"));
+            };
+            for (key, value) in attrs.iter() {
+                match value.as_i64() {
+                    Some(v) if v >= 0 => {}
+                    _ => {
+                        return bad(format!(
+                            "{coll}: spans[{i}].attrs.{key} must be a non-negative integer"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validates and inserts a terminal session record.
 ///
 /// # Errors
@@ -258,6 +313,73 @@ pub fn insert_session_record<W: KdbWrite + ?Sized>(
 ) -> Result<DocId, KdbError> {
     validate_session_doc(&record)?;
     db.insert(names::SESSIONS, record)
+}
+
+/// Validates a persisted request trace against the `traces` collection
+/// schema.
+///
+/// Required shape (see DESIGN.md §14):
+///
+/// * `session` — non-empty string;
+/// * `trace_id` — exactly 32 lowercase hex digits (the 128-bit
+///   wire-propagated trace id);
+/// * `state` — one of [`SESSION_TERMINAL_STATES`];
+/// * `forced` — boolean: whether the slow-session log forced sampling
+///   retroactively (vs. the seeded head decision);
+/// * `spans` — the same pre-ordered span array the `sessions` schema
+///   uses, with optional non-negative integer `attrs` per span;
+/// * `events_dropped` — non-negative integer (0 certifies the span
+///   tree is complete).
+///
+/// # Errors
+/// Returns [`KdbError::Schema`] naming the first violated rule.
+pub fn validate_trace_doc(doc: &Document) -> Result<(), KdbError> {
+    let bad = |reason: String| Err(KdbError::Schema(reason));
+    match doc.get("session").and_then(Value::as_str) {
+        Some(s) if !s.is_empty() => {}
+        _ => return bad("traces: `session` must be a non-empty string".into()),
+    }
+    match doc.get("trace_id").and_then(Value::as_str) {
+        Some(id)
+            if id.len() == 32
+                && id
+                    .bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) => {}
+        other => {
+            return bad(format!(
+                "traces: `trace_id` must be 32 lowercase hex digits, got {other:?}"
+            ))
+        }
+    }
+    match doc.get("state").and_then(Value::as_str) {
+        Some(s) if SESSION_TERMINAL_STATES.contains(&s) => {}
+        other => {
+            return bad(format!(
+                "traces: `state` must be one of {SESSION_TERMINAL_STATES:?}, got {other:?}"
+            ))
+        }
+    }
+    if doc.get("forced").and_then(Value::as_bool).is_none() {
+        return bad("traces: `forced` must be a boolean".into());
+    }
+    validate_span_array("traces", doc)?;
+    match doc.get("events_dropped").and_then(Value::as_i64) {
+        Some(v) if v >= 0 => Ok(()),
+        _ => bad("traces: `events_dropped` must be a non-negative integer".into()),
+    }
+}
+
+/// Validates and inserts a terminal request trace.
+///
+/// # Errors
+/// Returns [`KdbError::Schema`] on a malformed trace, otherwise store
+/// errors (missing collection / journal I/O).
+pub fn insert_trace_record<W: KdbWrite + ?Sized>(
+    db: &mut W,
+    record: Document,
+) -> Result<DocId, KdbError> {
+    validate_trace_doc(&record)?;
+    db.insert(names::TRACES, record)
 }
 
 /// Inserts a clustering knowledge item.
@@ -613,6 +735,122 @@ mod tests {
         );
         // The rejected inserts must not have left documents behind.
         assert_eq!(db.collection(names::SESSIONS).unwrap().len(), 0);
+    }
+
+    fn sample_trace_doc() -> Document {
+        let span = |name: &str, parent: i64, start: i64, dur: i64| {
+            Value::Doc(
+                Document::new()
+                    .with("name", name)
+                    .with("parent", parent)
+                    .with("start_ns", start)
+                    .with("dur_ns", dur),
+            )
+        };
+        let fsync = Value::Doc(
+            Document::new()
+                .with("name", "fsync_round")
+                .with("parent", 0i64)
+                .with("start_ns", 300i64)
+                .with("dur_ns", 80i64)
+                .with(
+                    "attrs",
+                    Value::Doc(
+                        Document::new()
+                            .with("batch", 4i64)
+                            .with("leader", 1i64)
+                            .with("wait_ns", 20i64)
+                            .with("fsync_ns", 60i64),
+                    ),
+                ),
+        );
+        Document::new()
+            .with("session", "s1")
+            .with("trace_id", "00112233445566778899aabbccddeeff")
+            .with("state", "completed")
+            .with("forced", false)
+            .with("events_dropped", 0i64)
+            .with(
+                "spans",
+                Value::Array(vec![
+                    span("session", -1, 0, 500),
+                    span("queue_wait", 0, 5, 40),
+                    span("optimize", 0, 50, 200),
+                    fsync,
+                ]),
+            )
+    }
+
+    #[test]
+    fn trace_records_validate_and_round_trip() {
+        let mut db = Kdb::in_memory();
+        init_schema(&mut db).unwrap();
+        // The base schema must NOT create the trace store: it only
+        // appears once a sampled session is about to persist.
+        assert!(db.collection(names::TRACES).is_none());
+        init_trace_schema(&mut db).unwrap();
+        let coll = db.collection(names::TRACES).unwrap();
+        assert!(coll.has_index("session"));
+        assert!(coll.has_index("trace_id"));
+        let id = insert_trace_record(&mut db, sample_trace_doc()).unwrap();
+        let found = db
+            .find(names::TRACES, &Filter::eq("session", "s1"))
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, id);
+        validate_trace_doc(&found[0].1).unwrap();
+    }
+
+    #[test]
+    fn trace_validation_rejects_malformed_records() {
+        let rejects = |doc: Document, what: &str| {
+            let mut db = Kdb::in_memory();
+            init_trace_schema(&mut db).unwrap();
+            assert!(
+                matches!(insert_trace_record(&mut db, doc), Err(KdbError::Schema(_))),
+                "expected rejection: {what}"
+            );
+            assert_eq!(db.collection(names::TRACES).unwrap().len(), 0);
+        };
+        rejects(sample_trace_doc().with("session", ""), "empty session");
+        rejects(sample_trace_doc().with("trace_id", "xyz"), "short trace id");
+        rejects(
+            sample_trace_doc().with("trace_id", "00112233445566778899AABBCCDDEEFF"),
+            "uppercase trace id",
+        );
+        rejects(sample_trace_doc().with("state", "running"), "non-terminal");
+        rejects(sample_trace_doc().with("forced", 1i64), "non-bool forced");
+        rejects(
+            sample_trace_doc().with("events_dropped", -1i64),
+            "negative drop count",
+        );
+        rejects(
+            sample_trace_doc().with(
+                "spans",
+                Value::Array(vec![Value::Doc(
+                    Document::new()
+                        .with("name", "x")
+                        .with("parent", 3i64)
+                        .with("start_ns", 0i64)
+                        .with("dur_ns", 0i64),
+                )]),
+            ),
+            "forward parent reference",
+        );
+        rejects(
+            sample_trace_doc().with(
+                "spans",
+                Value::Array(vec![Value::Doc(
+                    Document::new()
+                        .with("name", "x")
+                        .with("parent", -1i64)
+                        .with("start_ns", 0i64)
+                        .with("dur_ns", 0i64)
+                        .with("attrs", Value::Doc(Document::new().with("batch", -4i64))),
+                )]),
+            ),
+            "negative span attribute",
+        );
     }
 
     fn sample_signal_doc() -> Document {

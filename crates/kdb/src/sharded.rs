@@ -320,6 +320,59 @@ impl Default for GroupCommitSnapshot {
     }
 }
 
+/// The part a committing thread played in one group-commit fsync round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitRole {
+    /// This thread held the fsync baton: it waited the accumulation
+    /// window, took the journal mutex, and issued the round's fsync.
+    Leader,
+    /// This thread parked on the commit condvar and was covered by a
+    /// leader's round.
+    Follower,
+}
+
+impl CommitRole {
+    /// Canonical lowercase label (`"leader"` / `"follower"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommitRole::Leader => "leader",
+            CommitRole::Follower => "follower",
+        }
+    }
+}
+
+/// Observer of group-commit fsync rounds, registered on a [`SharedKdb`]
+/// by the layer that owns request attribution (the analysis service
+/// wires it to the flight recorder, keyed by the worker thread's
+/// current trace context).
+///
+/// Called once per *waiting thread* per round it took part in, after
+/// every K-DB lock the round held has been released — implementations
+/// may take their own locks but must never call back into the store.
+/// `wait` is the time this thread spent blocked on the round
+/// (accumulation window + journal mutex for the leader, condvar parking
+/// for a follower) excluding the fsync itself; `fsync` is the round's
+/// fsync duration (zero for followers — they never touched the device).
+pub trait CommitObserver: Send + Sync + std::fmt::Debug {
+    /// One thread's view of one finished commit round.
+    fn on_commit_round(
+        &self,
+        role: CommitRole,
+        batch: u64,
+        wait: Duration,
+        fsync: Duration,
+        durable: bool,
+    );
+}
+
+/// What one fsync round did: ops covered, fsync duration, and the I/O
+/// outcome (stats and watermarks are already published either way).
+struct RoundOutcome {
+    batch: u64,
+    flush: Duration,
+    result: Result<(), KdbError>,
+}
+
 impl GroupCommitSnapshot {
     /// Mean ops per completed fsync round (1.0 when no round ran).
     pub fn mean_batch(&self) -> f64 {
@@ -448,6 +501,9 @@ struct SharedInner {
     sync_failures: AtomicU64,
     stats: GroupCommitStats,
     salvaged: Option<CorruptionReport>,
+    /// Per-round observer hook (trace attribution). `None` — the
+    /// default — keeps the commit path exactly as it was.
+    commit_observer: RwLock<Option<Arc<dyn CommitObserver>>>,
 }
 
 /// A concurrently shareable K-DB: per-collection shard locks, one
@@ -504,6 +560,7 @@ impl SharedKdb {
                 sync_failures: AtomicU64::new(0),
                 stats: GroupCommitStats::default(),
                 salvaged,
+                commit_observer: RwLock::new(None),
             }),
         }
     }
@@ -562,7 +619,7 @@ impl SharedKdb {
                     // The appender that fills the batch performs the
                     // sync inline (same ack shape as `Journal::append`
                     // under `Batch`: the triggering op reports durable).
-                    Ok(Ticket::Done(self.sync_round(&mut journal).is_ok()))
+                    Ok(Ticket::Done(self.sync_round(&mut journal).result.is_ok()))
                 } else {
                     Ok(Ticket::Done(false))
                 }
@@ -572,8 +629,10 @@ impl SharedKdb {
 
     /// One fsync round over the locked journal: syncs, records stats,
     /// publishes the new attempted/durable watermarks and wakes every
-    /// covered commit waiter.
-    fn sync_round(&self, journal: &mut Journal) -> Result<(), KdbError> {
+    /// covered commit waiter. Returns the round's batch size, fsync
+    /// duration, and I/O outcome so callers (the commit-waiter leader
+    /// path) can report it to the [`CommitObserver`] hook.
+    fn sync_round(&self, journal: &mut Journal) -> RoundOutcome {
         let end = journal.acked_ops();
         let started = Instant::now();
         let result = journal.sync();
@@ -591,7 +650,11 @@ impl SharedKdb {
         state.last_batch = batch;
         drop(state);
         self.inner.commit_cv.notify_all();
-        result
+        RoundOutcome {
+            batch,
+            flush: elapsed,
+            result,
+        }
     }
 
     /// How long an elected leader waits for concurrent appenders before
@@ -610,19 +673,48 @@ impl SharedKdb {
         Duration::from_nanos((mean_flush_ns / 4).min(500_000))
     }
 
+    /// The registered commit observer, if any (one `RwLock` read —
+    /// nanoseconds against the round's fsync).
+    fn commit_observer(&self) -> Option<Arc<dyn CommitObserver>> {
+        self.inner.commit_observer.read().clone()
+    }
+
     /// The commit-waiter protocol: blocks until an fsync round covering
     /// `seq` has finished, electing this thread leader when no round is
     /// in flight. Returns whether `seq` is known durable.
+    ///
+    /// When a [`CommitObserver`] is registered, each exit path reports
+    /// this thread's view of the round it took part in — role, batch
+    /// size, time spent waiting vs. fsyncing — strictly after every
+    /// store lock has been released.
     fn wait_durable(&self, seq: u64) -> bool {
         let Some(journal_mx) = &self.inner.journal else {
             return false;
         };
+        let observer = self.commit_observer();
+        let entered = observer.as_ref().map(|_| Instant::now());
+        let mut parked = false;
         let mut state = lock(&self.inner.commit);
         loop {
             if state.attempted >= seq {
-                return state.durable >= seq;
+                let durable = state.durable >= seq;
+                let batch = state.last_batch;
+                drop(state);
+                if parked {
+                    if let (Some(obs), Some(t0)) = (&observer, entered) {
+                        obs.on_commit_round(
+                            CommitRole::Follower,
+                            batch,
+                            t0.elapsed(),
+                            Duration::ZERO,
+                            durable,
+                        );
+                    }
+                }
+                return durable;
             }
             if state.syncing {
+                parked = true;
                 state = self
                     .inner
                     .commit_cv
@@ -644,9 +736,22 @@ impl SharedKdb {
             if !window.is_zero() {
                 std::thread::sleep(window);
             }
-            {
+            let round = {
                 let mut journal = journal_mx.lock();
-                let _ = self.sync_round(&mut journal);
+                self.sync_round(&mut journal)
+            };
+            if let (Some(obs), Some(t0)) = (&observer, entered) {
+                obs.on_commit_round(
+                    CommitRole::Leader,
+                    round.batch,
+                    t0.elapsed().saturating_sub(round.flush),
+                    round.flush,
+                    round.result.is_ok(),
+                );
+                // The leader's own round is the one it reports; a prior
+                // condvar park (for an earlier, non-covering round) must
+                // not fire a second, follower-shaped report at return.
+                parked = false;
             }
             state = lock(&self.inner.commit);
             state.syncing = false;
@@ -928,7 +1033,7 @@ impl SharedKdb {
             return Ok(());
         };
         let mut journal = journal_mx.lock();
-        self.sync_round(&mut journal)
+        self.sync_round(&mut journal).result
     }
 
     /// Compacts the journal to the minimal op sequence reconstructing
@@ -967,6 +1072,14 @@ impl SharedKdb {
     /// Replaces the facade's durability policy for subsequent commits.
     pub fn set_durability(&self, durability: DurabilityPolicy) {
         *self.inner.policy.lock() = durability;
+    }
+
+    /// Registers (or, with `None`, removes) the per-round
+    /// [`CommitObserver`]. Unset — the default — the commit path is
+    /// byte-for-byte the pre-tracing one; the analysis service only
+    /// registers an observer when its trace `sample_rate` is non-zero.
+    pub fn set_commit_observer(&self, observer: Option<Arc<dyn CommitObserver>>) {
+        *self.inner.commit_observer.write() = observer;
     }
 
     /// The active durability policy.

@@ -12,6 +12,18 @@
 //!   [`wait`](Pending::wait)ed with a deadline. Responses are matched
 //!   to tickets by request id, so slow sessions never head-of-line
 //!   block fast status queries.
+//!
+//! Both flavours share two observability features:
+//!
+//! * **Trace minting** — [`Client::with_sampling`] /
+//!   [`AsyncClient::with_sampling`] arm the client to mint a
+//!   [`TraceContext`](ada_obs::TraceContext) for each submitted spec
+//!   that does not already carry one. Minting is deterministic in
+//!   `(seed, session, rate)`; unsampled submits put *nothing* on the
+//!   wire, so a rate-0 client is byte-identical to an unarmed one.
+//! * **Request-latency histograms** — every resolved response is
+//!   recorded in a per-kind log2 histogram, readable through
+//!   [`Client::client_metrics`] / [`AsyncClient::client_metrics`].
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -19,8 +31,74 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use ada_obs::{Log2Histogram, TraceContext};
+
 use crate::frame::{frame_bytes, Decoded, FrameDecoder, MAGIC};
+use crate::metrics::{kind_index, REQUEST_KINDS};
 use crate::proto::{Request, Response, CONNECTION_ID};
+
+/// Client-side request-latency histograms, one per request kind.
+///
+/// Recording is lock-free (the histograms are fixed-bucket atomics), so
+/// an [`AsyncClient`]'s tickets can resolve on any thread without
+/// contending.
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    latency: [Log2Histogram; REQUEST_KINDS.len()],
+}
+
+impl ClientMetrics {
+    pub(crate) fn record(&self, kind: &str, latency: Duration) {
+        if let Some(i) = kind_index(kind) {
+            self.latency[i].record_duration(latency);
+        }
+    }
+
+    /// Per-kind latency summaries, in the protocol's stable kind order.
+    /// Kinds this client never issued report zero counts.
+    pub fn snapshot(&self) -> Vec<ClientKindLatency> {
+        REQUEST_KINDS
+            .iter()
+            .zip(&self.latency)
+            .map(|(kind, hist)| ClientKindLatency {
+                kind,
+                count: hist.count(),
+                p50: Duration::from_nanos(hist.quantile(0.5)),
+                p99: Duration::from_nanos(hist.quantile(0.99)),
+            })
+            .collect()
+    }
+
+    /// The latency summary for one request kind, if the kind exists.
+    pub fn kind(&self, kind: &str) -> Option<ClientKindLatency> {
+        self.snapshot().into_iter().find(|k| k.kind == kind)
+    }
+}
+
+/// One request kind's latency summary from [`ClientMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientKindLatency {
+    /// The request kind label (matches [`Request::kind`]).
+    pub kind: &'static str,
+    /// Requests of this kind that resolved.
+    pub count: u64,
+    /// Median round-trip latency.
+    pub p50: Duration,
+    /// 99th-percentile round-trip latency.
+    pub p99: Duration,
+}
+
+/// Shared minting rule: a submit without an explicit context gets one
+/// drawn deterministically from `(seed, session, rate)`; everything
+/// else passes through untouched.
+fn maybe_mint(request: &mut Request, sampling: Option<(f64, u64)>) {
+    let (Request::Submit(spec), Some((rate, seed))) = (request, sampling) else {
+        return;
+    };
+    if spec.trace.is_none() {
+        spec.trace = TraceContext::mint(seed, &spec.session, rate);
+    }
+}
 
 /// What can go wrong talking to an ada-net server.
 #[derive(Debug)]
@@ -101,6 +179,8 @@ pub struct Client {
     next_id: u64,
     write_seq: u64,
     timeout: Duration,
+    sampling: Option<(f64, u64)>,
+    metrics: Arc<ClientMetrics>,
 }
 
 impl Client {
@@ -130,7 +210,26 @@ impl Client {
             next_id: 1,
             write_seq: 0,
             timeout,
+            sampling: None,
+            metrics: Arc::new(ClientMetrics::default()),
         })
+    }
+
+    /// Arms client-side trace minting: submits without an explicit
+    /// context get one drawn deterministically from
+    /// `(seed, session, rate)`. Use
+    /// [`ada_service::DEFAULT_TRACE_SEED`] to agree with a
+    /// default-configured server. Rate 0 (or never calling this) keeps
+    /// every submit byte-identical to an untraced one.
+    #[must_use]
+    pub fn with_sampling(mut self, rate: f64, seed: u64) -> Self {
+        self.sampling = Some((rate, seed));
+        self
+    }
+
+    /// This client's per-kind request-latency histograms.
+    pub fn client_metrics(&self) -> Arc<ClientMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Sends `request` and blocks for its response (or the deadline).
@@ -138,13 +237,16 @@ impl Client {
     /// # Errors
     /// IO failure, deadline, a framing violation, or a fatal
     /// connection-level server message.
-    pub fn call(&mut self, request: Request) -> Result<Response, NetError> {
+    pub fn call(&mut self, mut request: Request) -> Result<Response, NetError> {
+        maybe_mint(&mut request, self.sampling);
+        let kind = request.kind();
+        let started = Instant::now();
         let id = self.next_id;
         self.next_id += 1;
         let frame = frame_bytes(&request.encode(id), self.write_seq);
         self.write_seq += 1;
         self.stream.write_all(&frame)?;
-        let deadline = Instant::now() + self.timeout;
+        let deadline = started + self.timeout;
         let mut buf = [0u8; 16 * 1024];
         loop {
             loop {
@@ -156,6 +258,7 @@ impl Client {
                             return Err(connection_fatal(response));
                         }
                         if got_id == id {
+                            self.metrics.record(kind, started.elapsed());
                             return Ok(response);
                         }
                         // A stale response (e.g. from an abandoned call)
@@ -236,6 +339,8 @@ pub struct AsyncClient {
     writer: Mutex<WriterState>,
     mailbox: Arc<Mailbox>,
     reader: Option<std::thread::JoinHandle<()>>,
+    sampling: Option<(f64, u64)>,
+    metrics: Arc<ClientMetrics>,
 }
 
 struct WriterState {
@@ -275,7 +380,21 @@ impl AsyncClient {
             }),
             mailbox,
             reader: Some(reader),
+            sampling: None,
+            metrics: Arc::new(ClientMetrics::default()),
         })
+    }
+
+    /// Arms client-side trace minting (see [`Client::with_sampling`]).
+    #[must_use]
+    pub fn with_sampling(mut self, rate: f64, seed: u64) -> Self {
+        self.sampling = Some((rate, seed));
+        self
+    }
+
+    /// This client's per-kind request-latency histograms.
+    pub fn client_metrics(&self) -> Arc<ClientMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Sends `request` without waiting; the returned ticket resolves
@@ -283,13 +402,16 @@ impl AsyncClient {
     ///
     /// # Errors
     /// Write failure or an already-dead connection.
-    pub fn submit(&self, request: Request) -> Result<Pending, NetError> {
+    pub fn submit(&self, mut request: Request) -> Result<Pending, NetError> {
+        maybe_mint(&mut request, self.sampling);
+        let kind = request.kind();
         {
             let state = self.mailbox.state.lock().expect("mailbox lock");
             if let Some(reason) = &state.closed {
                 return Err(NetError::Closed(reason.clone()));
             }
         }
+        let started = Instant::now();
         let mut writer = self.writer.lock().expect("writer lock");
         let id = writer.next_id;
         writer.next_id += 1;
@@ -298,6 +420,9 @@ impl AsyncClient {
         writer.stream.write_all(&frame)?;
         Ok(Pending {
             id,
+            kind,
+            started,
+            metrics: Arc::clone(&self.metrics),
             mailbox: Arc::clone(&self.mailbox),
         })
     }
@@ -375,6 +500,9 @@ fn reader_loop(mut stream: TcpStream, mailbox: &Mailbox) {
 /// A ticket for one in-flight request on an [`AsyncClient`].
 pub struct Pending {
     id: u64,
+    kind: &'static str,
+    started: Instant,
+    metrics: Arc<ClientMetrics>,
     mailbox: Arc<Mailbox>,
 }
 
@@ -391,6 +519,7 @@ impl Pending {
     pub fn poll(&self) -> Option<Result<Response, NetError>> {
         let mut state = self.mailbox.state.lock().expect("mailbox lock");
         if let Some(response) = state.ready.remove(&self.id) {
+            self.metrics.record(self.kind, self.started.elapsed());
             return Some(Ok(response));
         }
         state
@@ -410,6 +539,7 @@ impl Pending {
         let mut state = self.mailbox.state.lock().expect("mailbox lock");
         loop {
             if let Some(response) = state.ready.remove(&self.id) {
+                self.metrics.record(self.kind, self.started.elapsed());
                 return Ok(response);
             }
             if let Some(reason) = &state.closed {

@@ -12,12 +12,17 @@
 //!   misparse. Torn tails (peer stalled mid-frame) are classified
 //!   separately from corruption, exactly as journal replay does.
 //! - [`proto`]: requests (`Submit`, `Status`, `Cancel`, `Results`,
-//!   `PastSessions`, `Health`, `MetricsSnapshot`) and typed responses,
-//!   encoded as K-DB [`Document`](ada_kdb::Document)s — one canonical
-//!   codec end to end. Submissions carry a [`WireJobSpec`] (preset +
-//!   cohort shape + seed) that the server materializes
-//!   deterministically, so remote and in-process submissions of the
-//!   same spec produce byte-identical K-DB state.
+//!   `PastSessions`, `TraceQuery`, `Health`, `MetricsSnapshot`) and
+//!   typed responses, encoded as K-DB
+//!   [`Document`](ada_kdb::Document)s — one canonical codec end to
+//!   end. Submissions carry a [`WireJobSpec`] (preset + cohort shape +
+//!   seed) that the server materializes deterministically, so remote
+//!   and in-process submissions of the same spec produce
+//!   byte-identical K-DB state. A spec may also carry a
+//!   [`TraceContext`](ada_obs::TraceContext) as an optional envelope
+//!   field — absent on the wire means unsampled, so untraced traffic
+//!   is byte-identical to the pre-tracing protocol — and `TraceQuery`
+//!   reads the persisted span trees back from the `traces` collection.
 //! - [`server`]: [`NetServer`], a bounded-accept pool with
 //!   per-connection deadlines and graceful drain. Queue-full
 //!   backpressure crosses the wire as [`Response::Busy`] carrying the
@@ -41,7 +46,7 @@ pub mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use client::{AsyncClient, Client, NetError, Pending};
+pub use client::{AsyncClient, Client, ClientKindLatency, ClientMetrics, NetError, Pending};
 pub use frame::{encode_frame, frame_bytes, Decoded, FrameDecoder, FrameError, MAGIC};
 pub use metrics::{NetMetrics, NetMetricsSnapshot};
 pub use proto::{CohortSpec, Preset, ProtoError, Request, Response, WireJobSpec, CONNECTION_ID};

@@ -13,17 +13,18 @@ use ada_obs::Log2Histogram;
 
 /// Request kinds tracked per-kind, aligned with
 /// [`Request::kind`](crate::proto::Request::kind) labels.
-pub(crate) const REQUEST_KINDS: [&str; 7] = [
+pub(crate) const REQUEST_KINDS: [&str; 8] = [
     "submit",
     "status",
     "cancel",
     "results",
     "past_sessions",
+    "trace_query",
     "health",
     "metrics",
 ];
 
-fn kind_index(kind: &str) -> Option<usize> {
+pub(crate) fn kind_index(kind: &str) -> Option<usize> {
     REQUEST_KINDS.iter().position(|k| *k == kind)
 }
 

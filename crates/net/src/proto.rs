@@ -18,6 +18,7 @@ use std::time::Duration;
 use ada_core::AdaHealthConfig;
 use ada_dataset::synthetic::{generate, SyntheticConfig};
 use ada_kdb::{Document, Value};
+use ada_obs::TraceContext;
 use ada_service::{JobSpec, Priority, Workload};
 use ada_signals::SignalConfig;
 
@@ -125,6 +126,12 @@ pub struct WireJobSpec {
     pub max_retries: u32,
     /// Chaos hook: first `n` attempts panic (exercises retry remotely).
     pub inject_failures: u32,
+    /// Trace context minted at `Client::submit`, carried as an
+    /// *optional* envelope field: absent on the wire ≡ unsampled, so
+    /// pre-tracing peers interoperate unchanged. A mangled sub-document
+    /// decodes to `None` (unsampled), never to an altered-but-valid
+    /// identity.
+    pub trace: Option<TraceContext>,
 }
 
 impl WireJobSpec {
@@ -139,7 +146,15 @@ impl WireJobSpec {
             timeout: None,
             max_retries: 2,
             inject_failures: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace context to ride the submission's envelope.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Materializes the spec into the [`JobSpec`] the service runs:
@@ -172,11 +187,14 @@ impl WireJobSpec {
         if let Some(t) = self.timeout {
             spec = spec.timeout(t);
         }
+        if let Some(ctx) = self.trace {
+            spec = spec.trace(ctx);
+        }
         spec
     }
 
     fn to_doc(&self) -> Document {
-        Document::new()
+        let mut doc = Document::new()
             .with("session", self.session.as_str())
             .with("preset", self.preset.label())
             .with("seed", self.seed as i64)
@@ -197,7 +215,14 @@ impl WireJobSpec {
                     .map_or(Value::Null, |t| Value::I64(to_i64(t.as_millis() as usize))),
             )
             .with("max_retries", i64::from(self.max_retries))
-            .with("inject_failures", i64::from(self.inject_failures))
+            .with("inject_failures", i64::from(self.inject_failures));
+        // Optional envelope field: written only when present, so an
+        // untraced submission is byte-identical to the pre-tracing wire
+        // format.
+        if let Some(ctx) = &self.trace {
+            doc = doc.with("trace", Value::Doc(ctx.to_doc()));
+        }
+        doc
     }
 
     fn from_doc(doc: &Document) -> Result<Self, ProtoError> {
@@ -223,6 +248,13 @@ impl WireJobSpec {
             },
             max_retries: take_u32(doc, "max_retries")?,
             inject_failures: take_u32(doc, "inject_failures")?,
+            // Absent, null, mistyped, or mangled ≡ unsampled: a trace
+            // context never *invalidates* a submission, and corruption
+            // can only degrade it to "no trace".
+            trace: doc
+                .get("trace")
+                .and_then(Value::as_doc)
+                .and_then(TraceContext::from_doc),
         })
     }
 }
@@ -250,6 +282,12 @@ pub enum Request {
     /// Terminal session records persisted in the K-DB `sessions`
     /// collection — including by previous server processes.
     PastSessions,
+    /// Terminal trace records persisted in the K-DB `traces`
+    /// collection, optionally filtered to one session name.
+    TraceQuery {
+        /// Session name to filter on (`None` = every trace).
+        session: Option<String>,
+    },
     /// The service health probe document.
     Health,
     /// The combined service + net metrics snapshot.
@@ -265,6 +303,7 @@ impl Request {
             Request::Cancel { .. } => "cancel",
             Request::Results { .. } => "results",
             Request::PastSessions => "past_sessions",
+            Request::TraceQuery { .. } => "trace_query",
             Request::Health => "health",
             Request::MetricsSnapshot => "metrics",
         }
@@ -281,6 +320,12 @@ impl Request {
             Request::Status { session }
             | Request::Cancel { session }
             | Request::Results { session } => doc.set("session", *session as i64),
+            Request::TraceQuery { session } => doc.set(
+                "session",
+                session
+                    .as_ref()
+                    .map_or(Value::Null, |s| Value::Str(s.clone())),
+            ),
             Request::PastSessions | Request::Health | Request::MetricsSnapshot => {}
         }
         Value::Doc(doc).encode().into_bytes()
@@ -312,6 +357,13 @@ impl Request {
                 session: take_i64(&doc, "session")? as u64,
             },
             "past_sessions" => Request::PastSessions,
+            "trace_query" => Request::TraceQuery {
+                session: match doc.get("session") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::Str(s)) => Some(s.clone()),
+                    Some(other) => return Err(err(format!("bad trace_query session {other:?}"))),
+                },
+            },
             "health" => Request::Health,
             "metrics" => Request::MetricsSnapshot,
             other => return Err(err(format!("unknown request kind {other:?}"))),
@@ -362,6 +414,12 @@ pub enum Response {
         /// One record per past session, as stored in the K-DB.
         sessions: Vec<Document>,
     },
+    /// Persisted terminal trace records.
+    Traces {
+        /// One record per trace, as stored in the K-DB `traces`
+        /// collection (deterministic pre-order span arrays).
+        traces: Vec<Document>,
+    },
     /// The health probe document.
     Health {
         /// Same shape as `AnalysisService::health`, plus net fields.
@@ -407,6 +465,7 @@ impl Response {
             Response::Cancelled { .. } => "cancelled",
             Response::ResultSummary { .. } => "result",
             Response::PastSessions { .. } => "past_sessions",
+            Response::Traces { .. } => "traces",
             Response::Health { .. } => "health",
             Response::Metrics { .. } => "metrics",
             Response::Busy { .. } => "busy",
@@ -445,6 +504,10 @@ impl Response {
             Response::PastSessions { sessions } => doc.set(
                 "sessions",
                 Value::Array(sessions.iter().cloned().map(Value::Doc).collect()),
+            ),
+            Response::Traces { traces } => doc.set(
+                "traces",
+                Value::Array(traces.iter().cloned().map(Value::Doc).collect()),
             ),
             Response::Health { doc: health } => doc.set("doc", Value::Doc(health.clone())),
             Response::Metrics {
@@ -505,6 +568,21 @@ impl Response {
                     );
                 }
                 Response::PastSessions { sessions }
+            }
+            "traces" => {
+                let items = doc
+                    .get("traces")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("traces missing traces"))?;
+                let mut traces = Vec::with_capacity(items.len());
+                for item in items {
+                    traces.push(
+                        item.as_doc()
+                            .cloned()
+                            .ok_or_else(|| err("traces item not a document"))?,
+                    );
+                }
+                Response::Traces { traces }
             }
             "health" => Response::Health {
                 doc: take_doc(&doc, "doc")?,
@@ -603,10 +681,18 @@ mod tests {
     fn requests_round_trip() {
         let reqs = vec![
             Request::Submit(WireJobSpec::quick("s-1", CohortSpec::small(7))),
+            Request::Submit(
+                WireJobSpec::quick("s-2", CohortSpec::small(7))
+                    .with_trace(TraceContext::forced(3, "s-2")),
+            ),
             Request::Status { session: 3 },
             Request::Cancel { session: 4 },
             Request::Results { session: 5 },
             Request::PastSessions,
+            Request::TraceQuery { session: None },
+            Request::TraceQuery {
+                session: Some("s-2".into()),
+            },
             Request::Health,
             Request::MetricsSnapshot,
         ];
@@ -635,6 +721,12 @@ mod tests {
             },
             Response::PastSessions {
                 sessions: vec![Document::new().with("session", "a")],
+            },
+            Response::Traces {
+                traces: vec![Document::new().with("session", "a").with(
+                    "trace_id",
+                    TraceContext::forced(1, "a").trace_id_hex().as_str(),
+                )],
             },
             Response::Health {
                 doc: Document::new().with("status", "ok"),
@@ -689,6 +781,29 @@ mod tests {
         let b = spec.materialize();
         assert_eq!(a.config.session, b.config.session);
         assert_eq!(a.log.records().len(), b.log.records().len());
+    }
+
+    #[test]
+    fn absent_or_mangled_trace_degrades_to_unsampled() {
+        // The pre-tracing wire format (no `trace` field) decodes to an
+        // untraced spec — and encodes back byte-identically.
+        let untraced = WireJobSpec::quick("s", CohortSpec::small(1));
+        let bytes = Request::Submit(untraced.clone()).encode(1);
+        let (_, back) = Request::decode(&bytes).unwrap();
+        assert_eq!(back, Request::Submit(untraced.clone()));
+        assert_eq!(Request::Submit(untraced).encode(1), bytes);
+
+        // A mangled trace sub-document degrades to None (unsampled),
+        // never to an error or a different-but-valid context.
+        let traced =
+            WireJobSpec::quick("s", CohortSpec::small(1)).with_trace(TraceContext::forced(9, "s"));
+        let mut doc = traced.to_doc();
+        let mut mangled = doc.get("trace").unwrap().as_doc().unwrap().clone();
+        mangled.remove("lo");
+        doc.set("trace", Value::Doc(mangled));
+        let back = WireJobSpec::from_doc(&doc).unwrap();
+        assert_eq!(back.trace, None);
+        assert_eq!(back.session, traced.session);
     }
 
     #[test]

@@ -442,8 +442,9 @@ fn handle_frame(
             return false;
         }
     };
+    let decode_latency = started.elapsed();
     let kind = request.kind();
-    let response = serve_request(shared, request);
+    let response = serve_request(shared, request, payload.len(), decode_latency);
     let elapsed = started.elapsed();
     shared.metrics.request(kind, elapsed);
     shared
@@ -454,13 +455,33 @@ fn handle_frame(
 }
 
 /// Maps one request onto the analysis service.
-fn serve_request(shared: &ServerShared, request: Request) -> Response {
+fn serve_request(
+    shared: &ServerShared,
+    request: Request,
+    frame_bytes: usize,
+    decode_latency: Duration,
+) -> Response {
     let service = &shared.service;
     match request {
-        Request::Submit(spec) => match service.submit(spec.materialize()) {
-            Ok(id) => Response::Submitted { session: id.0 },
-            Err(err) => service_error_response(&err),
-        },
+        Request::Submit(spec) => {
+            // A sampled context that crossed the wire gets its decode
+            // recorded as a span; the annotation folds into the trace
+            // once the session registers the context in `run_job`.
+            // Untraced submits record nothing, keeping the rate-0 path
+            // byte-identical.
+            if spec.trace.is_some_and(|ctx| ctx.sampled) {
+                service.recorder().trace_annotation(
+                    &spec.session,
+                    "server_decode",
+                    decode_latency,
+                    &[("frame_bytes", frame_bytes as u64)],
+                );
+            }
+            match service.submit(spec.materialize()) {
+                Ok(id) => Response::Submitted { session: id.0 },
+                Err(err) => service_error_response(&err),
+            }
+        }
         Request::Status { session } => match service.state(SessionId(session)) {
             Ok(state) => Response::State {
                 session,
@@ -494,6 +515,9 @@ fn serve_request(shared: &ServerShared, request: Request) -> Response {
         },
         Request::PastSessions => Response::PastSessions {
             sessions: service.past_sessions(),
+        },
+        Request::TraceQuery { session } => Response::Traces {
+            traces: service.past_traces(session.as_deref()),
         },
         Request::Health => {
             let doc = service

@@ -16,10 +16,12 @@ use std::time::Duration;
 
 use ada_core::{PipelineObserver, PipelineStage};
 use ada_kdb::journal::Op;
-use ada_kdb::{FaultKind, FaultyStorage, Kdb, MemStorage, SharedKdb, StoreOptions, Value};
+use ada_kdb::{
+    DurabilityPolicy, FaultKind, FaultyStorage, Kdb, MemStorage, SharedKdb, StoreOptions, Value,
+};
 use ada_net::proto::{CohortSpec, Request, Response, WireJobSpec};
 use ada_net::{AsyncClient, Client, NetConfig, NetError, NetServer};
-use ada_service::{AnalysisService, ServiceConfig};
+use ada_service::{AnalysisService, ServiceConfig, DEFAULT_TRACE_SEED};
 
 /// Overall deadline for any single wait in these tests: generous, but
 /// finite — a hang is a failure, not a timeout of the harness.
@@ -29,10 +31,10 @@ fn quick_spec(i: usize) -> WireJobSpec {
     WireJobSpec::quick(format!("loop-{i}"), CohortSpec::small(400 + i as u64))
 }
 
-/// FNV-1a over the canonical encodings of `state_ops`, skipping one
-/// collection — the same digest as `Kdb::fingerprint`, minus the
-/// timing-bearing session records.
-fn fingerprint_excluding(kdb: &SharedKdb, skip: &str) -> u64 {
+/// FNV-1a over the canonical encodings of `state_ops`, skipping the
+/// named collections — the same digest as `Kdb::fingerprint`, minus the
+/// timing-bearing session (and trace) records.
+fn fingerprint_excluding(kdb: &SharedKdb, skip: &[&str]) -> u64 {
     let guard = kdb.read();
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     let mut buf = String::new();
@@ -44,7 +46,7 @@ fn fingerprint_excluding(kdb: &SharedKdb, skip: &str) -> u64 {
             | Op::Update { name, .. }
             | Op::Delete { name, .. } => name,
         };
-        if name == skip {
+        if skip.contains(&name.as_str()) {
             continue;
         }
         buf.clear();
@@ -139,8 +141,8 @@ fn remote_fleet_matches_in_process_fleet() {
     // Byte-identical knowledge state (session records excluded: they
     // embed wall-clock spans)...
     assert_eq!(
-        fingerprint_excluding(&remote_kdb, "sessions"),
-        fingerprint_excluding(&local_kdb, "sessions"),
+        fingerprint_excluding(&remote_kdb, &["sessions"]),
+        fingerprint_excluding(&local_kdb, &["sessions"]),
         "remote and in-process fleets diverged in K-DB state"
     );
     // ...and structurally identical session records.
@@ -496,6 +498,181 @@ fn wait_terminal_async(client: &AsyncClient, session: u64, expect: &str) {
 }
 
 #[test]
+fn remote_sampled_session_persists_a_linked_trace() {
+    // Group-committed durable writes so fsync rounds actually happen
+    // while the worker holds the session's trace scope.
+    let mem: Arc<MemStorage> = Arc::new(MemStorage::new());
+    let kdb = Kdb::open_with(
+        Path::new("net_trace.journal"),
+        StoreOptions::with_storage(mem).durability(DurabilityPolicy::Always),
+    )
+    .unwrap();
+    let service = Arc::new(AnalysisService::with_kdb(
+        ServiceConfig {
+            workers: 1,
+            sample_rate: 1.0,
+            ..ServiceConfig::default()
+        },
+        kdb,
+    ));
+    let server = NetServer::start(Arc::clone(&service), NetConfig::default()).unwrap();
+    // The client mints under the same seed the server is configured
+    // with, so both sides agree on the request's identity.
+    let mut client = Client::connect(server.local_addr())
+        .unwrap()
+        .with_sampling(1.0, DEFAULT_TRACE_SEED);
+
+    let session = match client.call(Request::Submit(quick_spec(0))).unwrap() {
+        Response::Submitted { session } => session,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    let (state, reason) = client.wait_terminal(session, DEADLINE).unwrap();
+    assert_eq!(state, "completed", "{reason}");
+
+    // The client's own latency histograms saw the traffic, per kind.
+    let metrics = client.client_metrics();
+    assert_eq!(metrics.kind("submit").unwrap().count, 1);
+    assert!(metrics.kind("status").unwrap().count >= 1);
+    assert_eq!(metrics.kind("trace_query").unwrap().count, 0);
+
+    // One persisted trace, queryable over the wire by session name.
+    let traces = match client
+        .call(Request::TraceQuery {
+            session: Some("loop-0".to_owned()),
+        })
+        .unwrap()
+    {
+        Response::Traces { traces } => traces,
+        other => panic!("expected Traces, got {other:?}"),
+    };
+    assert_eq!(traces.len(), 1, "expected exactly one persisted trace");
+    let trace = &traces[0];
+    assert_eq!(trace.get("session").and_then(Value::as_str), Some("loop-0"));
+    assert_eq!(trace.get("forced"), Some(&Value::Bool(false)));
+    let trace_id = trace.get("trace_id").and_then(Value::as_str).unwrap();
+    assert_eq!(trace_id.len(), 32, "trace id must be 128 bits of hex");
+    let spans = trace.get("spans").and_then(Value::as_array).unwrap();
+
+    // Every span links to a parent that precedes it in the pre-order
+    // array (the root links to -1).
+    for (i, span) in spans.iter().enumerate() {
+        let span = span.as_doc().unwrap();
+        let parent = span.get("parent").and_then(Value::as_i64).unwrap();
+        if i == 0 {
+            assert_eq!(parent, -1, "first span must be the root");
+        } else {
+            assert!(
+                parent >= 0 && (parent as usize) < i,
+                "span {i} has a dangling parent {parent}"
+            );
+        }
+    }
+
+    let names: Vec<&str> = spans
+        .iter()
+        .map(|s| {
+            s.as_doc()
+                .unwrap()
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap()
+        })
+        .collect();
+    // The full request path is linked into one tree: client submit,
+    // server decode, queue wait, every executed pipeline stage.
+    for required in ["client_submit", "server_decode", "queue_wait"] {
+        assert!(
+            names.contains(&required),
+            "missing span {required}: {names:?}"
+        );
+    }
+    for stage in PipelineStage::PIPELINE {
+        assert!(
+            names.contains(&stage.name()),
+            "missing stage span {}: {names:?}",
+            stage.name()
+        );
+    }
+    // At least one fsync round was captured, with its batch size and
+    // commit role attached.
+    let fsync_rounds: Vec<&ada_kdb::Document> = spans
+        .iter()
+        .map(|s| s.as_doc().unwrap())
+        .filter(|s| s.get("name").and_then(Value::as_str) == Some("fsync_round"))
+        .collect();
+    assert!(!fsync_rounds.is_empty(), "no fsync-round span: {names:?}");
+    for round in fsync_rounds {
+        let attrs = round.get("attrs").and_then(Value::as_doc).unwrap();
+        assert!(attrs.get("batch").and_then(Value::as_i64).unwrap() >= 1);
+        let leader = attrs.get("leader").and_then(Value::as_i64).unwrap();
+        assert!(leader == 0 || leader == 1);
+        assert!(attrs.get("wait_ns").and_then(Value::as_i64).is_some());
+        assert!(attrs.get("fsync_ns").and_then(Value::as_i64).is_some());
+    }
+    // The server's trace counters agree.
+    let service_metrics = service.metrics();
+    assert_eq!(service_metrics.traces_persisted, 1);
+    assert_eq!(service_metrics.traces_forced, 0);
+
+    let net = server.shutdown();
+    assert_eq!(net.protocol_errors, 0);
+    drop(service);
+}
+
+#[test]
+fn sampling_rate_zero_vs_one_differs_only_in_trace_records() {
+    let run = |rate: f64| {
+        let service = Arc::new(AnalysisService::with_kdb(
+            ServiceConfig {
+                workers: 1,
+                sample_rate: rate,
+                ..ServiceConfig::default()
+            },
+            Kdb::in_memory(),
+        ));
+        let server = NetServer::start(Arc::clone(&service), NetConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr())
+            .unwrap()
+            .with_sampling(rate, DEFAULT_TRACE_SEED);
+        for i in 0..3 {
+            let session = match client.call(Request::Submit(quick_spec(i))).unwrap() {
+                Response::Submitted { session } => session,
+                other => panic!("expected Submitted, got {other:?}"),
+            };
+            let (state, _) = client.wait_terminal(session, DEADLINE).unwrap();
+            assert_eq!(state, "completed");
+        }
+        server.shutdown();
+        let kdb = service.kdb();
+        drop(service);
+        kdb
+    };
+    let zero = run(0.0);
+    let one = run(1.0);
+
+    // Outside session and trace records, sampling must not perturb a
+    // single byte of knowledge state.
+    assert_eq!(
+        fingerprint_excluding(&zero, &["sessions", "traces"]),
+        fingerprint_excluding(&one, &["sessions", "traces"]),
+        "sampling changed non-trace K-DB state"
+    );
+    // Rate 0 writes no trace ops at all: excluding the traces
+    // collection removes nothing.
+    assert_eq!(
+        fingerprint_excluding(&zero, &["sessions"]),
+        fingerprint_excluding(&zero, &["sessions", "traces"]),
+        "rate 0 must not touch the traces collection"
+    );
+    // Rate 1 does write them.
+    assert_ne!(
+        fingerprint_excluding(&one, &["sessions"]),
+        fingerprint_excluding(&one, &["sessions", "traces"]),
+        "rate 1 should have persisted trace records"
+    );
+}
+
+#[test]
 fn prometheus_exposition_keeps_stable_names_and_adds_net_series() {
     let service = Arc::new(AnalysisService::with_kdb(
         ServiceConfig::default(),
@@ -509,6 +686,11 @@ fn prometheus_exposition_keeps_stable_names_and_adds_net_series() {
         other => panic!("expected Submitted, got {other:?}"),
     };
     client.wait_terminal(session, DEADLINE).unwrap();
+    // One trace query (empty at rate 0) so its request kind registers.
+    match client.call(Request::TraceQuery { session: None }).unwrap() {
+        Response::Traces { traces } => assert!(traces.is_empty()),
+        other => panic!("expected Traces, got {other:?}"),
+    }
 
     // Both surfaces must agree: the server-side accessor and the
     // MetricsSnapshot response carry the same combined exposition.
@@ -523,24 +705,90 @@ fn prometheus_exposition_keeps_stable_names_and_adds_net_series() {
     };
 
     for exposition in [direct.as_str(), remote.as_str()] {
-        // Pre-existing service series keep their exact names (dashboards
-        // depend on them).
-        assert!(exposition.contains("# TYPE ada_service_degraded gauge\n"));
+        // The full pinned family set, in exposition order. Dashboards
+        // depend on these exact series names; a new exporter must not
+        // silently reorder, rename, or drop any of them.
+        let type_lines: Vec<&str> = exposition
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .collect();
+        assert_eq!(
+            type_lines,
+            vec![
+                "# TYPE ada_jobs_total counter",
+                "# TYPE ada_persist_failures_total counter",
+                "# TYPE ada_journal_faults_total counter",
+                "# TYPE ada_signals_tables_built_total counter",
+                "# TYPE ada_signals_zero_cell_corrections_total counter",
+                "# TYPE ada_signals_shrinkage_iterations_total counter",
+                "# TYPE ada_signals_emitted_total counter",
+                "# TYPE ada_service_degraded gauge",
+                "# TYPE ada_kdb_journal_acked_ops_total counter",
+                "# TYPE ada_kdb_journal_durable_ops_total counter",
+                "# TYPE ada_kdb_group_commits_total counter",
+                "# TYPE ada_kdb_group_commit_failures_total counter",
+                "# TYPE ada_kdb_group_commit_batch_size summary",
+                "# TYPE ada_kdb_group_commit_flush_ns summary",
+                "# TYPE ada_queue_depth_max gauge",
+                "# TYPE ada_queue_wait_ns summary",
+                "# TYPE ada_session_latency_ns summary",
+                "# TYPE ada_stage_latency_ns summary",
+                "# TYPE ada_obs_dropped_spans_total counter",
+                "# TYPE ada_obs_traces_persisted_total counter",
+                "# TYPE ada_obs_traces_forced_total counter",
+                "# TYPE ada_net_accepts_total counter",
+                "# TYPE ada_net_rejects_total counter",
+                "# TYPE ada_net_protocol_errors_total counter",
+                "# TYPE ada_net_connections_in_flight gauge",
+                "# TYPE ada_net_requests_total counter",
+                "# TYPE ada_net_request_latency_ns summary",
+                "# TYPE ada_net_bytes_total counter",
+            ],
+            "pinned exposition family set changed"
+        );
+        // Pre-existing service series keep their exact sample lines.
         assert!(exposition.contains("\nada_service_degraded 0\n"));
-        assert!(exposition.contains("# TYPE ada_jobs_total counter\n"));
         assert!(exposition.contains("ada_jobs_total{outcome=\"submitted\"} 1\n"));
-        assert!(exposition.contains("# TYPE ada_session_latency_ns summary\n"));
         assert!(exposition.contains("ada_session_latency_ns_count 1\n"));
-        // The net family is present with its full shape.
-        assert!(exposition.contains("# TYPE ada_net_accepts_total counter\n"));
+        // The new tracing counters render (all zero at rate 0)...
+        assert!(exposition.contains("\nada_obs_dropped_spans_total 0\n"));
+        assert!(exposition.contains("\nada_obs_traces_persisted_total 0\n"));
+        assert!(exposition.contains("\nada_obs_traces_forced_total 0\n"));
+        // ...and the net family keeps its full shape, every request
+        // kind labelled (including the new trace_query).
         assert!(exposition.contains("ada_net_accepts_total 1\n"));
         assert!(exposition.contains("ada_net_requests_total{kind=\"submit\"} 1\n"));
-        assert!(exposition.contains("# TYPE ada_net_request_latency_ns summary\n"));
+        assert!(exposition.contains("ada_net_requests_total{kind=\"trace_query\"} 1\n"));
+        for kind in [
+            "status",
+            "cancel",
+            "results",
+            "past_sessions",
+            "health",
+            "metrics",
+        ] {
+            assert!(
+                exposition.contains(&format!("ada_net_requests_total{{kind=\"{kind}\"}} ")),
+                "missing request-kind series {kind}"
+            );
+        }
         assert!(exposition.contains("ada_net_request_latency_ns{quantile=\"0.5\"}"));
         assert!(exposition.contains("ada_net_bytes_total{dir=\"in\"}"));
         assert!(exposition.contains("ada_net_bytes_total{dir=\"out\"}"));
         assert!(exposition.contains("ada_net_protocol_errors_total 0\n"));
     }
+
+    // The JSON snapshot surfaces the drop counter alongside the trace
+    // counters (the document face of `ada_obs_dropped_spans_total`).
+    let json = service.snapshot_json();
+    assert!(
+        json.contains("\"tracing\""),
+        "snapshot_json lost tracing: {json}"
+    );
+    assert!(
+        json.contains("\"dropped_spans\":0"),
+        "snapshot_json lost dropped_spans: {json}"
+    );
 
     server.shutdown();
     drop(service);

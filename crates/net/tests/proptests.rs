@@ -8,6 +8,7 @@ use std::time::Duration;
 use ada_kdb::{Document, Value};
 use ada_net::proto::{CohortSpec, Preset, Request, Response, WireJobSpec};
 use ada_net::{frame_bytes, Decoded, FrameDecoder, FrameError};
+use ada_obs::TraceContext;
 use ada_service::Priority;
 use proptest::prelude::*;
 
@@ -33,6 +34,17 @@ fn cohort_strategy() -> impl Strategy<Value = CohortSpec> {
     )
 }
 
+fn trace_strategy() -> impl Strategy<Value = TraceContext> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+        |(trace_hi, trace_lo, span_id, sampled)| TraceContext {
+            trace_hi,
+            trace_lo,
+            span_id,
+            sampled,
+        },
+    )
+}
+
 fn spec_strategy() -> impl Strategy<Value = WireJobSpec> {
     (
         (
@@ -50,10 +62,14 @@ fn spec_strategy() -> impl Strategy<Value = WireJobSpec> {
             prop_oneof![Just(None::<u64>), (0u64..100_000).prop_map(Some)],
             0u32..5,
             0u32..3,
+            prop_oneof![Just(None), trace_strategy().prop_map(Some)],
         ),
     )
         .prop_map(
-            |((session, preset, seed, cohort), (priority, timeout_ms, max_retries, inject))| {
+            |(
+                (session, preset, seed, cohort),
+                (priority, timeout_ms, max_retries, inject, trace),
+            )| {
                 WireJobSpec {
                     session,
                     preset,
@@ -63,6 +79,7 @@ fn spec_strategy() -> impl Strategy<Value = WireJobSpec> {
                     timeout: timeout_ms.map(Duration::from_millis),
                     max_retries,
                     inject_failures: inject,
+                    trace,
                 }
             },
         )
@@ -75,6 +92,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         any::<u64>().prop_map(|session| Request::Cancel { session }),
         any::<u64>().prop_map(|session| Request::Results { session }),
         Just(Request::PastSessions),
+        prop_oneof![Just(None), "[a-z0-9-]{1,16}".prop_map(Some)]
+            .prop_map(|session| Request::TraceQuery { session }),
         Just(Request::Health),
         Just(Request::MetricsSnapshot),
     ]
@@ -119,6 +138,8 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         ),
         prop::collection::vec(document_strategy(), 0..4)
             .prop_map(|sessions| Response::PastSessions { sessions }),
+        prop::collection::vec(document_strategy(), 0..4)
+            .prop_map(|traces| Response::Traces { traces }),
         document_strategy().prop_map(|doc| Response::Health { doc }),
         (document_strategy(), "[ -~]{0,40}")
             .prop_map(|(doc, prometheus)| Response::Metrics { doc, prometheus }),
@@ -261,5 +282,66 @@ proptest! {
     fn garbage_messages_are_typed_errors(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
         let _ = Request::decode(&bytes);
         let _ = Response::decode(&bytes);
+    }
+
+    // A trace context riding a submit survives any chunking of the
+    // framed byte stream bit-for-bit: same 128-bit trace id, span id,
+    // and sampling decision on the far side.
+    #[test]
+    fn trace_context_round_trips_under_arbitrary_chunking(
+        spec in spec_strategy(),
+        ctx in trace_strategy(),
+        chunk in 1usize..48,
+    ) {
+        let sent = spec.with_trace(ctx);
+        let framed = frame_bytes(&Request::Submit(sent.clone()).encode(1), 0);
+        let mut dec = FrameDecoder::new();
+        let mut payloads = Vec::new();
+        for piece in framed.chunks(chunk) {
+            dec.push(piece);
+            payloads.extend(drain(&mut dec).unwrap());
+        }
+        prop_assert_eq!(payloads.len(), 1);
+        let (_, got) = Request::decode(&payloads[0]).unwrap();
+        match got {
+            Request::Submit(got_spec) => {
+                prop_assert_eq!(got_spec.trace, Some(ctx));
+                prop_assert_eq!(got_spec, sent);
+            }
+            other => prop_assert!(false, "expected Submit, got {}", other.kind()),
+        }
+    }
+
+    // Flipping any single bit in a traced submit's frame never yields
+    // an *altered* trace context on the far side: the frame either
+    // fails checksum/framing (or decodes byte-identically, the benign
+    // checksum-hex case), so any context that does decode is exactly
+    // the one that was sent. A flipped bit can reroute an analysis
+    // request's identity only by being caught.
+    #[test]
+    fn single_bit_corruption_never_alters_a_trace_context(
+        spec in spec_strategy(),
+        ctx in trace_strategy(),
+        flip_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let sent = spec.with_trace(ctx);
+        let mut framed = frame_bytes(&Request::Submit(sent).encode(1), 0);
+        let pos = (flip_seed as usize) % framed.len();
+        framed[pos] ^= 1 << bit;
+        let mut dec = FrameDecoder::new();
+        dec.push(&framed);
+        if let Ok(Decoded::Frame(payload)) = dec.next_frame() {
+            // Survived the checksum: the payload must be byte-identical,
+            // so a successfully decoded context is the one sent.
+            if let Ok((_, Request::Submit(got_spec))) = Request::decode(&payload) {
+                prop_assert_eq!(
+                    got_spec.trace,
+                    Some(ctx),
+                    "bit flip at byte {} altered a trace context that still decoded",
+                    pos
+                );
+            }
+        }
     }
 }

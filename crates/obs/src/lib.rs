@@ -13,6 +13,11 @@
 //!   buffers, a global atomic sequence for total ordering, monotonic
 //!   timestamps, and parent/child span ids. Cheap enough to stay on
 //!   during mining.
+//! * [`context`] — request-scoped [`TraceContext`] identity
+//!   (128-bit trace id + seeded-deterministic sampling) that crosses
+//!   the ADAN1 wire and is published per worker thread via
+//!   [`TraceScope`] so even the K-DB group committer can attribute its
+//!   fsync rounds to the right session.
 //! * [`hist`] — fixed-bucket log2 latency histograms giving p50/p90/p99
 //!   without allocation, replacing total/count pair metrics.
 //! * [`recorder`] — a bounded flight recorder that folds traces into
@@ -30,15 +35,17 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod export;
 pub mod hist;
 pub mod recorder;
 pub mod trace;
 
+pub use context::{current_trace, TraceContext, TraceScope};
 pub use export::{document_to_json, value_to_json};
 pub use hist::{HistogramSnapshot, Log2Histogram, NUM_BUCKETS};
 pub use recorder::{
-    past_sessions, FlightRecorder, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL,
-    MARK_QUEUE_WAIT, MARK_RETRY,
+    past_sessions, past_traces, FlightRecorder, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL,
+    MARK_QUEUE_WAIT, MARK_RETRY, MARK_SLOW_SESSION,
 };
 pub use trace::{EventKind, TraceEvent, Tracer, PARENT_NONE};

@@ -28,6 +28,7 @@ use ada_kdb::schema;
 use ada_kdb::{DocId, Document, KdbError, KdbRead, KdbWrite, Value};
 use parking_lot::Mutex;
 
+use crate::context::TraceContext;
 use crate::hist::Log2Histogram;
 use crate::trace::{EventKind, TraceEvent, Tracer, PARENT_NONE};
 
@@ -44,6 +45,9 @@ pub const MARK_PERSIST_FAIL: &str = "persist_fail";
 /// Mark name for the service entering degraded read-only mode after
 /// repeated journal faults.
 pub const MARK_DEGRADED: &str = "degraded";
+/// Mark name for a session whose wall time crossed the slow-session
+/// threshold (p99-derived); its trace is forced retroactively.
+pub const MARK_SLOW_SESSION: &str = "slow_session";
 
 /// Producer-side parentage bookkeeping for one in-flight session.
 struct LiveSession {
@@ -66,6 +70,9 @@ struct SpanRec {
 struct SessionRec {
     events: VecDeque<TraceEvent>,
     spans: BTreeMap<u64, SpanRec>,
+    /// Per-span attributes from [`EventKind::Annotate`] events (fsync
+    /// batch sizes, leader role, wire span ids). Replace semantics.
+    span_attrs: BTreeMap<u64, BTreeMap<&'static str, u64>>,
     root: Option<u64>,
     stage_hist: [Log2Histogram; PipelineStage::ALL.len()],
     counters: BTreeMap<&'static str, u64>,
@@ -78,6 +85,7 @@ impl Default for SessionRec {
         Self {
             events: VecDeque::new(),
             spans: BTreeMap::new(),
+            span_attrs: BTreeMap::new(),
             root: None,
             stage_hist: std::array::from_fn(|_| Log2Histogram::new()),
             counters: BTreeMap::new(),
@@ -96,6 +104,8 @@ pub struct FlightRecorder {
     counters_name: Arc<str>,
     live: Mutex<HashMap<String, LiveSession>>,
     folded: Mutex<HashMap<String, SessionRec>>,
+    /// Registered trace contexts by session: `(context, forced)`.
+    traces: Mutex<HashMap<String, (TraceContext, bool)>>,
 }
 
 impl Default for FlightRecorder {
@@ -116,6 +126,7 @@ impl FlightRecorder {
             counters_name: Arc::from("counters"),
             live: Mutex::new(HashMap::new()),
             folded: Mutex::new(HashMap::new()),
+            traces: Mutex::new(HashMap::new()),
         }
     }
 
@@ -140,6 +151,81 @@ impl FlightRecorder {
             None,
             &name,
             EventKind::Mark {
+                dur_ns: u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX),
+            },
+        );
+    }
+
+    /// Registers the [`TraceContext`] under which `session` runs. A
+    /// sampled, non-forced context (one that arrived with the
+    /// submission) also records a root-parented `client_submit` span
+    /// carrying the wire span id, so the persisted trace links back to
+    /// the span that minted the context on the client. Re-registering
+    /// an already-known session only updates the context.
+    pub fn set_trace(&self, session: &str, ctx: TraceContext, forced: bool) {
+        let fresh = self
+            .traces
+            .lock()
+            .insert(session.to_string(), (ctx, forced))
+            .is_none();
+        if fresh && ctx.sampled && !forced {
+            self.trace_annotation(
+                session,
+                "client_submit",
+                Duration::ZERO,
+                &[("wire_span_id", ctx.span_id)],
+            );
+        }
+    }
+
+    /// Whether a trace context is registered for `session`.
+    pub fn has_trace(&self, session: &str) -> bool {
+        self.traces.lock().contains_key(session)
+    }
+
+    /// The registered `(context, forced)` pair for `session`, if any.
+    pub fn trace(&self, session: &str) -> Option<(TraceContext, bool)> {
+        self.traces.lock().get(session).copied()
+    }
+
+    /// Records a root-parented span for `session` with attached
+    /// attributes — the group committer's fsync rounds and the net
+    /// server's decode step report through here. The span is stamped at
+    /// report time with the measured `duration`; `attrs` are stable
+    /// `(name, value)` pairs with replace semantics.
+    pub fn trace_annotation(
+        &self,
+        session: &str,
+        name: &str,
+        duration: Duration,
+        attrs: &[(&'static str, u64)],
+    ) {
+        let mut live = self.live.lock();
+        let entry = self.live_entry(&mut live, session);
+        let span = self.tracer.next_span_id();
+        let root = entry.root;
+        let label = Arc::clone(&entry.label);
+        drop(live);
+        let name: Arc<str> = Arc::from(name);
+        self.tracer
+            .emit(&label, None, &name, EventKind::Start { span, parent: root });
+        if !attrs.is_empty() {
+            self.tracer.emit(
+                &label,
+                None,
+                &name,
+                EventKind::Annotate {
+                    span,
+                    pairs: attrs.to_vec(),
+                },
+            );
+        }
+        self.tracer.emit(
+            &label,
+            None,
+            &name,
+            EventKind::End {
+                span,
                 dur_ns: u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX),
             },
         );
@@ -220,6 +306,12 @@ impl FlightRecorder {
                         *rec.counters.entry(key).or_default() += value;
                     }
                 }
+                EventKind::Annotate { span, pairs } => {
+                    let attrs = rec.span_attrs.entry(*span).or_default();
+                    for (key, value) in pairs {
+                        attrs.insert(key, *value);
+                    }
+                }
             }
             rec.events.push_back(event);
             while rec.events.len() > self.capacity {
@@ -254,14 +346,35 @@ impl FlightRecorder {
     /// validation; `outcome` is a free-form detail string (empty to
     /// omit).
     pub fn finalize(&self, session: &str, state: &str, outcome: &str) -> Document {
+        self.finalize_with_trace(session, state, outcome).0
+    }
+
+    /// [`FlightRecorder::finalize`], also yielding the terminal *trace*
+    /// document when a sampled [`TraceContext`] was registered for
+    /// `session` (matching [`ada_kdb::schema::validate_trace_doc`]).
+    /// The session is forgotten either way.
+    pub fn finalize_with_trace(
+        &self,
+        session: &str,
+        state: &str,
+        outcome: &str,
+    ) -> (Document, Option<Document>) {
         self.sync();
         self.live.lock().remove(session);
         let rec = self.folded.lock().remove(session).unwrap_or_default();
-        build_session_doc(session, state, outcome, &rec, self.tracer.dropped())
+        let trace = self.traces.lock().remove(session);
+        let dropped = self.tracer.dropped();
+        let session_doc = build_session_doc(session, state, outcome, &rec, dropped);
+        let trace_doc = trace
+            .filter(|(ctx, _)| ctx.sampled)
+            .map(|(ctx, forced)| build_trace_doc(session, state, &ctx, forced, &rec, dropped));
+        (session_doc, trace_doc)
     }
 
     /// [`FlightRecorder::finalize`] + validated insert into the
-    /// `sessions` collection. Returns the document id and the document.
+    /// `sessions` collection — and, when a sampled trace context was
+    /// registered, into the `traces` collection too. Returns the
+    /// session document id and the session document.
     ///
     /// # Errors
     /// Returns [`KdbError::Schema`] on a malformed record, otherwise
@@ -273,8 +386,11 @@ impl FlightRecorder {
         state: &str,
         outcome: &str,
     ) -> Result<(DocId, Document), KdbError> {
-        let doc = self.finalize(session, state, outcome);
+        let (doc, trace_doc) = self.finalize_with_trace(session, state, outcome);
         let id = schema::insert_session_record(db, doc.clone())?;
+        if let Some(trace) = trace_doc {
+            schema::insert_trace_record(db, trace)?;
+        }
         Ok((id, doc))
     }
 }
@@ -290,10 +406,96 @@ pub fn past_sessions<R: KdbRead + ?Sized>(db: &R) -> Vec<(DocId, Document)> {
     rows
 }
 
+/// Trace records persisted in `db`, in insertion order, optionally
+/// filtered to one session. Backs the `TraceQuery` wire message.
+pub fn past_traces<R: KdbRead + ?Sized>(db: &R, session: Option<&str>) -> Vec<(DocId, Document)> {
+    let Some(coll) = db.collection(schema::names::TRACES) else {
+        return Vec::new();
+    };
+    let mut rows: Vec<(DocId, Document)> = coll
+        .iter()
+        .filter(|(_, d)| match session {
+            Some(wanted) => d.get("session").and_then(|v| v.as_str()) == Some(wanted),
+            None => true,
+        })
+        .map(|(id, d)| (id, d.clone()))
+        .collect();
+    rows.sort_by_key(|(id, _)| *id);
+    rows
+}
+
+/// Folds a session's reconstructed spans into the deterministic
+/// `spans` array shared by session and trace documents: pre-order DFS
+/// from the root with children sorted by `(name, seq)`, so parent
+/// indexes always point at earlier array positions. Spans that were
+/// annotated carry an `attrs` sub-document.
+fn build_span_array(rec: &SessionRec) -> Vec<Value> {
+    let mut spans = Vec::new();
+    let Some(root) = rec.root else {
+        return spans;
+    };
+    let base = rec.spans.get(&root).map(|s| s.start_ns).unwrap_or(0);
+    // The root closes at finalize: its duration is the extent of
+    // its deepest-reaching descendant.
+    let extent = rec
+        .spans
+        .values()
+        .map(|s| (s.start_ns.saturating_sub(base)) + s.dur_ns.unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    // Child spans grouped by parent id as `(name, seq, span id)`.
+    type ChildIndex<'a> = BTreeMap<u64, Vec<(&'a Arc<str>, u64, u64)>>;
+    let mut children: ChildIndex<'_> = BTreeMap::new();
+    for (&id, span) in &rec.spans {
+        if id != root {
+            children
+                .entry(span.parent)
+                .or_default()
+                .push((&span.name, span.seq, id));
+        }
+    }
+    for list in children.values_mut() {
+        list.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(&b.1)));
+    }
+    let mut stack: Vec<(u64, i64)> = vec![(root, -1)];
+    while let Some((id, parent_idx)) = stack.pop() {
+        let Some(span) = rec.spans.get(&id) else {
+            continue;
+        };
+        let idx = spans.len() as i64;
+        let dur = if id == root {
+            span.dur_ns.unwrap_or(extent)
+        } else {
+            span.dur_ns.unwrap_or(0)
+        };
+        let mut span_doc = Document::new()
+            .with("name", &*span.name)
+            .with("parent", parent_idx)
+            .with(
+                "start_ns",
+                i64::try_from(span.start_ns.saturating_sub(base)).unwrap_or(i64::MAX),
+            )
+            .with("dur_ns", i64::try_from(dur).unwrap_or(i64::MAX));
+        if let Some(attrs) = rec.span_attrs.get(&id) {
+            let mut attr_doc = Document::new();
+            for (&key, &value) in attrs {
+                attr_doc.set(key, i64::try_from(value).unwrap_or(i64::MAX));
+            }
+            span_doc = span_doc.with("attrs", Value::Doc(attr_doc));
+        }
+        spans.push(Value::Doc(span_doc));
+        if let Some(kids) = children.get(&id) {
+            // Reversed so the (name, seq)-smallest child pops first.
+            for &(_, _, kid) in kids.iter().rev() {
+                stack.push((kid, idx));
+            }
+        }
+    }
+    spans
+}
+
 /// Builds the terminal session document (see the module docs for the
-/// shape). Span order is deterministic: pre-order DFS from the root
-/// with children sorted by `(name, seq)`, so parent indexes always
-/// point at earlier array positions.
+/// shape).
 fn build_session_doc(
     session: &str,
     state: &str,
@@ -301,60 +503,7 @@ fn build_session_doc(
     rec: &SessionRec,
     dropped: u64,
 ) -> Document {
-    let mut spans = Vec::new();
-    if let Some(root) = rec.root {
-        let base = rec.spans.get(&root).map(|s| s.start_ns).unwrap_or(0);
-        // The root closes at finalize: its duration is the extent of
-        // its deepest-reaching descendant.
-        let extent = rec
-            .spans
-            .values()
-            .map(|s| (s.start_ns.saturating_sub(base)) + s.dur_ns.unwrap_or(0))
-            .max()
-            .unwrap_or(0);
-        // Child spans grouped by parent id as `(name, seq, span id)`.
-        type ChildIndex<'a> = BTreeMap<u64, Vec<(&'a Arc<str>, u64, u64)>>;
-        let mut children: ChildIndex<'_> = BTreeMap::new();
-        for (&id, span) in &rec.spans {
-            if id != root {
-                children
-                    .entry(span.parent)
-                    .or_default()
-                    .push((&span.name, span.seq, id));
-            }
-        }
-        for list in children.values_mut() {
-            list.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(&b.1)));
-        }
-        let mut stack: Vec<(u64, i64)> = vec![(root, -1)];
-        while let Some((id, parent_idx)) = stack.pop() {
-            let Some(span) = rec.spans.get(&id) else {
-                continue;
-            };
-            let idx = spans.len() as i64;
-            let dur = if id == root {
-                span.dur_ns.unwrap_or(extent)
-            } else {
-                span.dur_ns.unwrap_or(0)
-            };
-            spans.push(Value::Doc(
-                Document::new()
-                    .with("name", &*span.name)
-                    .with("parent", parent_idx)
-                    .with(
-                        "start_ns",
-                        i64::try_from(span.start_ns.saturating_sub(base)).unwrap_or(i64::MAX),
-                    )
-                    .with("dur_ns", i64::try_from(dur).unwrap_or(i64::MAX)),
-            ));
-            if let Some(kids) = children.get(&id) {
-                // Reversed so the (name, seq)-smallest child pops first.
-                for &(_, _, kid) in kids.iter().rev() {
-                    stack.push((kid, idx));
-                }
-            }
-        }
-    }
+    let spans = build_span_array(rec);
 
     let mut stages = Vec::new();
     for stage in PipelineStage::ALL {
@@ -393,6 +542,26 @@ fn build_session_doc(
         doc = doc.with("outcome", outcome);
     }
     doc
+}
+
+/// Builds the terminal trace document for a sampled session (matching
+/// [`ada_kdb::schema::validate_trace_doc`]): the same deterministic
+/// span tree as the session document, keyed by the 128-bit trace id.
+fn build_trace_doc(
+    session: &str,
+    state: &str,
+    ctx: &TraceContext,
+    forced: bool,
+    rec: &SessionRec,
+    dropped: u64,
+) -> Document {
+    Document::new()
+        .with("session", session)
+        .with("trace_id", ctx.trace_id_hex().as_str())
+        .with("state", state)
+        .with("forced", forced)
+        .with("events_dropped", i64::try_from(dropped).unwrap_or(i64::MAX))
+        .with("spans", Value::Array(build_span_array(rec)))
 }
 
 impl PipelineObserver for FlightRecorder {
@@ -663,5 +832,104 @@ mod tests {
         let rec = FlightRecorder::new(8);
         rec.on_stage_end("s", PipelineStage::Navigation, Duration::from_nanos(5));
         assert!(rec.recent_events("s").is_empty());
+    }
+
+    #[test]
+    fn sampled_trace_folds_into_a_valid_trace_document() {
+        let rec = FlightRecorder::new(128);
+        let ctx = TraceContext::forced(7, "t1").child(42);
+        rec.set_trace("t1", ctx, false);
+        drive_one_session(&rec, "t1");
+        rec.trace_annotation(
+            "t1",
+            "fsync_round",
+            Duration::from_micros(80),
+            &[
+                ("batch", 4),
+                ("leader", 1),
+                ("wait_ns", 20),
+                ("fsync_ns", 60),
+            ],
+        );
+        let (session_doc, trace_doc) = rec.finalize_with_trace("t1", "completed", "ok");
+        schema::validate_session_doc(&session_doc).unwrap();
+        let trace_doc = trace_doc.expect("sampled context yields a trace doc");
+        schema::validate_trace_doc(&trace_doc).unwrap();
+
+        assert_eq!(
+            trace_doc.get("trace_id").unwrap().as_str(),
+            Some(ctx.trace_id_hex().as_str())
+        );
+        assert_eq!(trace_doc.get("forced").unwrap(), &Value::Bool(false));
+        let spans = trace_doc.get("spans").unwrap().as_array().unwrap();
+        let mut by_name: HashMap<&str, &Document> = HashMap::new();
+        for span in spans {
+            let span = span.as_doc().unwrap();
+            by_name.insert(span.get("name").unwrap().as_str().unwrap(), span);
+        }
+        // The client submit span carries the wire span id it arrived with.
+        let submit = by_name["client_submit"];
+        assert_eq!(submit.get("parent").unwrap().as_i64(), Some(0));
+        let attrs = submit.get("attrs").unwrap().as_doc().unwrap();
+        assert_eq!(attrs.get("wire_span_id").unwrap().as_i64(), Some(42));
+        // The fsync round keeps its batch/leader/wait/fsync attributes.
+        let fsync = by_name["fsync_round"];
+        assert_eq!(fsync.get("parent").unwrap().as_i64(), Some(0));
+        let attrs = fsync.get("attrs").unwrap().as_doc().unwrap();
+        assert_eq!(attrs.get("batch").unwrap().as_i64(), Some(4));
+        assert_eq!(attrs.get("leader").unwrap().as_i64(), Some(1));
+        // Stage spans from the observer seam are in the same tree.
+        assert!(by_name.contains_key("optimize"));
+        // The session is forgotten after finalize.
+        assert!(!rec.has_trace("t1"));
+    }
+
+    #[test]
+    fn unregistered_or_forced_sessions_behave() {
+        // No registered context: no trace document.
+        let rec = FlightRecorder::new(64);
+        drive_one_session(&rec, "plain");
+        let (_, trace) = rec.finalize_with_trace("plain", "completed", "");
+        assert!(trace.is_none());
+
+        // Forced retroactively (slow-session log): the buffered spans
+        // are all still there, and no client_submit span is invented.
+        let rec = FlightRecorder::new(64);
+        drive_one_session(&rec, "slow");
+        rec.mark("slow", MARK_SLOW_SESSION, Duration::from_millis(900));
+        rec.set_trace("slow", TraceContext::forced(5, "slow"), true);
+        let (_, trace) = rec.finalize_with_trace("slow", "completed", "");
+        let trace = trace.expect("forced context yields a trace doc");
+        schema::validate_trace_doc(&trace).unwrap();
+        assert_eq!(trace.get("forced").unwrap(), &Value::Bool(true));
+        let names: Vec<&str> = trace
+            .get("spans")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.as_doc().unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"optimize"), "buffered spans survive");
+        assert!(!names.contains(&"client_submit"));
+    }
+
+    #[test]
+    fn persist_writes_and_queries_trace_records() {
+        let mut db = Kdb::in_memory();
+        schema::init_schema(&mut db).unwrap();
+        schema::init_trace_schema(&mut db).unwrap();
+        let rec = FlightRecorder::new(128);
+        drive_one_session(&rec, "a");
+        rec.set_trace("a", TraceContext::forced(1, "a"), false);
+        drive_one_session(&rec, "b");
+        rec.persist(&mut db, "a", "completed", "").unwrap();
+        rec.persist(&mut db, "b", "failed", "deadline").unwrap();
+
+        let all = past_traces(&db, None);
+        assert_eq!(all.len(), 1, "only the sampled session left a trace");
+        assert_eq!(all[0].1.get("session").unwrap().as_str(), Some("a"));
+        assert_eq!(past_traces(&db, Some("a")).len(), 1);
+        assert!(past_traces(&db, Some("b")).is_empty());
     }
 }

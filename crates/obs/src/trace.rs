@@ -62,6 +62,17 @@ pub enum EventKind {
         /// Stable `(name, value)` pairs.
         pairs: Vec<(&'static str, u64)>,
     },
+    /// Attributes attached to one specific span (fsync-round batch
+    /// size, leader/follower role, wait-vs-fsync split). Unlike
+    /// [`EventKind::Counters`], values *replace* rather than
+    /// accumulate, and they bind to a span id instead of "the
+    /// innermost open span".
+    Annotate {
+        /// The annotated span's id.
+        span: u64,
+        /// Stable `(name, value)` pairs.
+        pairs: Vec<(&'static str, u64)>,
+    },
 }
 
 /// One traced event.

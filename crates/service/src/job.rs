@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use ada_core::AdaHealthConfig;
 use ada_dataset::ExamLog;
+use ada_obs::TraceContext;
 use ada_signals::SignalConfig;
 
 use crate::cancel::CancelToken;
@@ -70,6 +71,12 @@ pub struct JobSpec {
     /// Optional caller-provided cancellation token, so the submitter can
     /// hold a cancel handle that exists before the job is enqueued.
     pub cancel: Option<CancelToken>,
+    /// Trace context the request arrived with (minted at
+    /// `Client::submit` for remote callers). `None` lets the service
+    /// mint one itself under its configured sample rate; an explicit
+    /// context — sampled or not — wins over minting, so client and
+    /// server agree on one identity per request.
+    pub trace: Option<TraceContext>,
 }
 
 impl JobSpec {
@@ -85,6 +92,7 @@ impl JobSpec {
             max_retries: 2,
             inject_failures: 0,
             cancel: None,
+            trace: None,
         }
     }
 
@@ -127,6 +135,14 @@ impl JobSpec {
     #[must_use]
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches an externally minted trace context (the net server uses
+    /// this for contexts that crossed the ADAN1 wire).
+    #[must_use]
+    pub fn trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
         self
     }
 }

@@ -43,4 +43,4 @@ pub use error::ServiceError;
 pub use job::{JobSpec, Priority, Workload};
 pub use observer::{FanoutObserver, MetricsObserver, ServiceMetrics, StageMetrics};
 pub use registry::{SessionId, SessionOutcome, SessionRegistry, SessionState};
-pub use service::{AnalysisService, RetryPolicy, ServiceConfig};
+pub use service::{AnalysisService, RetryPolicy, ServiceConfig, DEFAULT_TRACE_SEED};

@@ -37,6 +37,8 @@ pub struct MetricsObserver {
     signals_zero_cell_corrections: AtomicU64,
     signals_shrinkage_iterations: AtomicU64,
     signals_emitted: AtomicU64,
+    traces_persisted: AtomicU64,
+    traces_forced: AtomicU64,
     stages: [Log2Histogram; PipelineStage::ALL.len()],
     queue_wait: Log2Histogram,
     session_latency: Log2Histogram,
@@ -71,6 +73,12 @@ impl MetricsObserver {
     }
     pub(crate) fn degraded_transition(&self) {
         self.degraded_transitions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn trace_persisted(&self) {
+        self.traces_persisted.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn trace_forced(&self) {
+        self.traces_forced.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publishes the K-DB's journal fault count (monotone: keeps the
@@ -117,6 +125,18 @@ impl MetricsObserver {
         Duration::from_nanos(self.session_latency.quantile(0.5))
     }
 
+    /// 99th-percentile session execution latency so far — the base of
+    /// the slow-session threshold.
+    pub(crate) fn session_latency_p99(&self) -> Duration {
+        Duration::from_nanos(self.session_latency.quantile(0.99))
+    }
+
+    /// How many sessions have reported an execution latency (the
+    /// slow-session log stays quiet until enough history exists).
+    pub(crate) fn session_latency_count(&self) -> u64 {
+        self.session_latency.snapshot().count
+    }
+
     /// A point-in-time snapshot of every metric.
     pub fn snapshot(&self) -> ServiceMetrics {
         let stages = PipelineStage::ALL
@@ -143,6 +163,9 @@ impl MetricsObserver {
                 .load(Ordering::Relaxed),
             signals_shrinkage_iterations: self.signals_shrinkage_iterations.load(Ordering::Relaxed),
             signals_emitted: self.signals_emitted.load(Ordering::Relaxed),
+            traces_persisted: self.traces_persisted.load(Ordering::Relaxed),
+            traces_forced: self.traces_forced.load(Ordering::Relaxed),
+            events_dropped: 0,
             queue_wait: StageMetrics::from_snapshot(&self.queue_wait.snapshot()),
             session_latency: StageMetrics::from_snapshot(&self.session_latency.snapshot()),
             stages,
@@ -249,6 +272,14 @@ pub struct ServiceMetrics {
     pub signals_shrinkage_iterations: u64,
     /// Ranked safety signals emitted (post-truncation).
     pub signals_emitted: u64,
+    /// Terminal trace documents persisted to the `traces` collection.
+    pub traces_persisted: u64,
+    /// Traces forced retroactively by the slow-session log.
+    pub traces_forced: u64,
+    /// Span events lost to flight-recorder ring overflow. Filled in by
+    /// `AnalysisService::metrics`; zero when the observer is
+    /// snapshotted directly.
+    pub events_dropped: u64,
     /// Latency jobs spent queued before a worker picked them up.
     pub queue_wait: StageMetrics,
     /// Whole-session execution latency (worker pickup → terminal state,
@@ -300,10 +331,15 @@ impl ServiceMetrics {
                 count(self.signals_shrinkage_iterations),
             )
             .with("emitted", count(self.signals_emitted));
+        let tracing = Document::new()
+            .with("dropped_spans", count(self.events_dropped))
+            .with("persisted", count(self.traces_persisted))
+            .with("forced", count(self.traces_forced));
         Document::new()
             .with("jobs", Value::Doc(jobs))
             .with("reliability", Value::Doc(reliability))
             .with("signals", Value::Doc(signals))
+            .with("tracing", Value::Doc(tracing))
             .with(
                 "max_queue_depth",
                 i64::try_from(self.max_queue_depth).unwrap_or(i64::MAX),
@@ -421,6 +457,13 @@ impl ServiceMetrics {
                 &format!("stage=\"{name}\","),
                 stat,
             );
+        }
+        for (metric, value) in [
+            ("ada_obs_dropped_spans_total", self.events_dropped),
+            ("ada_obs_traces_persisted_total", self.traces_persisted),
+            ("ada_obs_traces_forced_total", self.traces_forced),
+        ] {
+            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
         }
         out
     }

@@ -7,11 +7,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ada_core::{AdaHealth, PipelineError, PipelineObserver, RunControl};
-use ada_kdb::{schema, Document, DurabilityPolicy, Kdb, SharedKdb, Value};
+use ada_core::{AdaHealth, PipelineError, PipelineObserver, RunControl, TraceHandle};
+use ada_kdb::{
+    schema, CommitObserver, CommitRole, Document, DurabilityPolicy, Kdb, SharedKdb, Value,
+};
 use ada_obs::{
-    document_to_json, past_sessions, FlightRecorder, MARK_CANCELLED, MARK_DEGRADED,
-    MARK_PERSIST_FAIL, MARK_QUEUE_WAIT, MARK_RETRY,
+    current_trace, document_to_json, past_sessions, past_traces, FlightRecorder, TraceContext,
+    TraceScope, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL, MARK_QUEUE_WAIT, MARK_RETRY,
+    MARK_SLOW_SESSION,
 };
 
 use crate::cancel::CancelToken;
@@ -94,6 +97,16 @@ pub struct ServiceConfig {
     /// acknowledged non-durable under `Batch`/`SnapshotOnly` policies
     /// are made durable before the process exits.
     pub sync_on_shutdown: bool,
+    /// Fraction of sessions whose requests are traced end-to-end
+    /// (`0.0` = tracing fully off — the default, byte-identical to a
+    /// build without tracing; `1.0` = every session). The decision is
+    /// seeded-deterministic per session name, so the same submission
+    /// samples identically on every run.
+    pub sample_rate: f64,
+    /// Seed for the deterministic sampling decision and trace-id
+    /// derivation. Remote clients that mint contexts themselves must
+    /// use the same seed for client and server decisions to agree.
+    pub trace_seed: u64,
 }
 
 impl Default for ServiceConfig {
@@ -107,9 +120,16 @@ impl Default for ServiceConfig {
             degrade_after: 3,
             durability: None,
             sync_on_shutdown: true,
+            sample_rate: 0.0,
+            trace_seed: DEFAULT_TRACE_SEED,
         }
     }
 }
+
+/// The default sampling seed: client and server must agree on one seed
+/// for their deterministic decisions to coincide, so both sides default
+/// to this constant.
+pub const DEFAULT_TRACE_SEED: u64 = 0xada0_b5e5_7ace_5eed;
 
 struct ServiceInner {
     kdb: SharedKdb,
@@ -129,6 +149,11 @@ struct ServiceInner {
     degrade_after: u64,
     /// Run one final group fsync when the service stops.
     sync_on_shutdown: bool,
+    /// End-to-end tracing sample rate (0 = off, the byte-identity
+    /// baseline).
+    sample_rate: f64,
+    /// Seed for deterministic sampling and trace-id derivation.
+    trace_seed: u64,
 }
 
 impl ServiceInner {
@@ -172,12 +197,21 @@ impl AnalysisService {
             kdb.set_durability(policy);
         }
         let initial_faults = kdb.journal_fault_count();
+        let recorder = Arc::new(FlightRecorder::new(config.recorder_capacity));
+        if config.sample_rate > 0.0 {
+            // Only a tracing service hooks the group committer: at rate
+            // 0 the commit path stays exactly as it was (the
+            // byte-identity invariant).
+            kdb.set_commit_observer(Some(Arc::new(FsyncRoundObserver {
+                recorder: Arc::clone(&recorder),
+            })));
+        }
         let inner = Arc::new(ServiceInner {
             kdb,
             queue: JobQueue::bounded(config.queue_capacity.max(1)),
             registry: SessionRegistry::new(),
             metrics: Arc::new(MetricsObserver::new()),
-            recorder: Arc::new(FlightRecorder::new(config.recorder_capacity)),
+            recorder,
             extra_observer: config.observer,
             retry: config.retry,
             shutting_down: AtomicBool::new(false),
@@ -185,6 +219,8 @@ impl AnalysisService {
             initial_faults,
             degrade_after: u64::from(config.degrade_after.max(1)),
             sync_on_shutdown: config.sync_on_shutdown,
+            sample_rate: config.sample_rate,
+            trace_seed: config.trace_seed,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -221,6 +257,16 @@ impl AnalysisService {
         }
         if self.inner.degraded.load(Ordering::Acquire) {
             return Err(ServiceError::Degraded);
+        }
+        let mut spec = spec;
+        if spec.trace.is_none() && self.inner.sample_rate > 0.0 {
+            // In-process submissions mint here; remote ones arrive with
+            // the client's context already attached.
+            spec.trace = TraceContext::mint(
+                self.inner.trace_seed,
+                &spec.config.session,
+                self.inner.sample_rate,
+            );
         }
         let token = spec.cancel.clone().unwrap_or_default();
         let id = self.inner.registry.register(&spec.config.session, token);
@@ -269,6 +315,7 @@ impl AnalysisService {
     pub fn metrics(&self) -> ServiceMetrics {
         let mut metrics = self.inner.metrics.snapshot();
         metrics.kdb = self.inner.kdb.group_commit_stats();
+        metrics.events_dropped = self.inner.recorder.dropped();
         metrics
     }
 
@@ -329,6 +376,16 @@ impl AnalysisService {
     /// about past runs.
     pub fn past_sessions(&self) -> Vec<Document> {
         past_sessions(&self.inner.kdb.read())
+            .into_iter()
+            .map(|(_, doc)| doc)
+            .collect()
+    }
+
+    /// Terminal trace records persisted to the K-DB `traces`
+    /// collection, optionally filtered to one session — the local face
+    /// of the `TraceQuery` wire message.
+    pub fn past_traces(&self, session: Option<&str>) -> Vec<Document> {
+        past_traces(&self.inner.kdb.read(), session)
             .into_iter()
             .map(|(_, doc)| doc)
             .collect()
@@ -395,6 +452,11 @@ impl AnalysisService {
             // fault counter records a failure).
             let _ = self.inner.kdb.sync();
         }
+        if self.inner.sample_rate > 0.0 {
+            // Unhook the group committer so a longer-lived K-DB handle
+            // does not keep reporting into this service's recorder.
+            self.inner.kdb.set_commit_observer(None);
+        }
     }
 }
 
@@ -402,6 +464,78 @@ impl Drop for AnalysisService {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Bridges the K-DB group committer into the flight recorder: every
+/// commit round a traced session waits on becomes a `fsync_round` span
+/// in that session's trace, with batch size, leader role, and the
+/// wait-vs-fsync split as attributes. Attribution is via the worker
+/// thread's [`TraceScope`]; rounds settled on untraced threads report
+/// nothing.
+struct FsyncRoundObserver {
+    recorder: Arc<FlightRecorder>,
+}
+
+impl std::fmt::Debug for FsyncRoundObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsyncRoundObserver").finish_non_exhaustive()
+    }
+}
+
+impl CommitObserver for FsyncRoundObserver {
+    fn on_commit_round(
+        &self,
+        role: CommitRole,
+        batch: u64,
+        wait: Duration,
+        fsync: Duration,
+        durable: bool,
+    ) {
+        let Some((session, ctx)) = current_trace() else {
+            return;
+        };
+        if !ctx.sampled {
+            return;
+        }
+        let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.recorder.trace_annotation(
+            &session,
+            "fsync_round",
+            wait + fsync,
+            &[
+                ("batch", batch),
+                ("leader", u64::from(matches!(role, CommitRole::Leader))),
+                ("wait_ns", ns(wait)),
+                ("fsync_ns", ns(fsync)),
+                ("durable", u64::from(durable)),
+            ],
+        );
+    }
+}
+
+/// Retroactively forces a trace for a session whose wall time blew past
+/// the slow-session threshold (2× the p99 execution latency, once at
+/// least 16 sessions of history exist). The flight recorder still holds
+/// every span of the session at this point, so the forced trace is as
+/// complete as a sampled one.
+fn maybe_force_slow_trace(inner: &ServiceInner, session: &str, elapsed: Duration) {
+    if inner.sample_rate <= 0.0 || inner.recorder.has_trace(session) {
+        return;
+    }
+    if inner.metrics.session_latency_count() < 16 {
+        return;
+    }
+    let p99 = inner.metrics.session_latency_p99();
+    if p99.is_zero() || elapsed <= p99 * 2 {
+        return;
+    }
+    inner.metrics.trace_forced();
+    inner.recorder.mark(session, MARK_SLOW_SESSION, elapsed);
+    inner.recorder.set_trace(
+        session,
+        TraceContext::forced(inner.trace_seed, session),
+        true,
+    );
 }
 
 fn worker_loop(inner: &ServiceInner) {
@@ -424,14 +558,28 @@ fn worker_loop(inner: &ServiceInner) {
 /// violation is a bug (not an environmental fault), so debug builds
 /// still assert on that case.
 fn persist_session(inner: &ServiceInner, session: &str, state: &str, outcome: &str) {
+    // The `traces` collection is only ensured when this session will
+    // actually write into it, so an untraced service's journal stays
+    // byte-identical to the pre-tracing write path.
+    let has_trace = inner.recorder.has_trace(session);
     let result = inner
         .kdb
         .ensure_collection(schema::names::SESSIONS)
+        .and_then(|()| {
+            if has_trace {
+                schema::init_trace_schema(&mut inner.kdb.write())
+            } else {
+                Ok(())
+            }
+        })
         .and_then(|()| {
             inner
                 .recorder
                 .persist(&mut inner.kdb.write(), session, state, outcome)
         });
+    if result.is_ok() && has_trace {
+        inner.metrics.trace_persisted();
+    }
     if let Err(err) = result {
         debug_assert!(
             !matches!(err, ada_kdb::KdbError::Schema(_)),
@@ -447,9 +595,18 @@ fn persist_session(inner: &ServiceInner, session: &str, state: &str, outcome: &s
 
 fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instant) {
     let session = spec.config.session.clone();
+    let trace_ctx = spec.trace.filter(|ctx| ctx.sampled);
+    if let Some(ctx) = trace_ctx {
+        inner.recorder.set_trace(&session, ctx, false);
+    }
     let wait = queued_at.elapsed();
     inner.metrics.observe_queue_wait(wait);
     inner.recorder.mark(&session, MARK_QUEUE_WAIT, wait);
+    if trace_ctx.is_some() {
+        inner
+            .recorder
+            .trace_annotation(&session, "queue_wait", wait, &[]);
+    }
 
     let token = inner
         .registry
@@ -486,8 +643,20 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
         if let Some(timeout) = spec.timeout {
             control = control.with_deadline(Instant::now() + timeout);
         }
+        if let Some(ctx) = trace_ctx {
+            control = control.with_trace(TraceHandle {
+                hi: ctx.trace_hi,
+                lo: ctx.trace_lo,
+                sampled: true,
+            });
+        }
 
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Publish the trace context on this worker thread for the
+            // attempt's duration: layers below the observer seam (the
+            // K-DB group committer) attribute their spans through it.
+            let _trace_guard =
+                trace_ctx.map(|ctx| TraceScope::enter(Arc::from(session.as_str()), ctx));
             if attempt < spec.inject_failures {
                 panic!("injected failure on attempt {attempt}");
             }
@@ -512,7 +681,9 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
 
         match outcome {
             Ok(Ok(report)) => {
-                inner.metrics.observe_session_latency(started.elapsed());
+                let elapsed = started.elapsed();
+                inner.metrics.observe_session_latency(elapsed);
+                maybe_force_slow_trace(inner, &session, elapsed);
                 persist_session(inner, &session, "completed", "");
                 inner.metrics.job_completed();
                 inner
@@ -521,7 +692,9 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
                 return;
             }
             Ok(Err(err @ PipelineError::Cancelled { .. })) => {
-                inner.metrics.observe_session_latency(started.elapsed());
+                let elapsed = started.elapsed();
+                inner.metrics.observe_session_latency(elapsed);
+                maybe_force_slow_trace(inner, &session, elapsed);
                 inner
                     .recorder
                     .mark(&session, MARK_CANCELLED, Duration::ZERO);
@@ -532,7 +705,9 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
             }
             Ok(Err(err @ PipelineError::DeadlineExceeded { .. })) => {
                 // A blown deadline would blow it again on retry.
-                inner.metrics.observe_session_latency(started.elapsed());
+                let elapsed = started.elapsed();
+                inner.metrics.observe_session_latency(elapsed);
+                maybe_force_slow_trace(inner, &session, elapsed);
                 persist_session(inner, &session, "failed", &err.to_string());
                 inner.metrics.job_failed();
                 inner.registry.transition(
@@ -557,7 +732,9 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "attempt panicked".to_string());
                     let reason = format!("failed after {} attempts: {reason}", attempt + 1);
-                    inner.metrics.observe_session_latency(started.elapsed());
+                    let elapsed = started.elapsed();
+                    inner.metrics.observe_session_latency(elapsed);
+                    maybe_force_slow_trace(inner, &session, elapsed);
                     persist_session(inner, &session, "failed", &reason);
                     inner.metrics.job_failed();
                     inner
