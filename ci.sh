@@ -47,6 +47,24 @@ echo "== crash torture gate (quick, incl. multi-producer) =="
 # must never decode silently. Prints a replayable seed on failure.
 cargo run -q -p ada-bench --release --bin kdb_torture -- --quick
 
+echo "== fleet torture gate (quick) =="
+# Replication under attack, transport-free: seeded link kills (message
+# boundaries, mid-frame byte cuts, mid-group-commit), partitions healed
+# by re-bootstrap + overlap replay, dropped/reordered frames, and
+# single-bit flips. Every promoted follower must be exactly its acked
+# prefix (FNV fingerprints); gaps and corruption must always be
+# classified, counted once, and never applied. Replayable seed on
+# failure.
+cargo run -q -p ada-bench --release --bin fleet_torture -- --quick
+
+echo "== fleet failover smoke gate (quick) =="
+# Real TCP primary/standby pair (service + wire + journal shipping):
+# routed writes complete, the standby acks the full journal with zero
+# rejects and serves replicated reads, a failed health probe promotes
+# it in place, post-failover sessions complete, and both nodes drain
+# with zero protocol errors.
+cargo run -q -p ada-bench --release --bin fleet_smoke -- --quick
+
 echo "== kdb write scaling gate (quick) =="
 # 1 vs 8 writers through the sharded group-committed write path under
 # Always durability: every committed op must survive reopen and the

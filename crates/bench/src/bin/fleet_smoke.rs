@@ -1,0 +1,337 @@
+//! Two-node fleet smoke gate for CI (ISSUE 9).
+//!
+//! Stands up a real primary/standby pair over loopback TCP — each a
+//! full [`FleetNode`]: analysis service + wire front-end + replication
+//! endpoint — routes a small session fleet through a consistent-hash
+//! [`Router`], then kills the primary and fails over. Exits non-zero
+//! unless, in order:
+//!
+//! 1. **Writes route and complete** — every session submitted through
+//!    `route_write` reaches `completed` on the primary; the standby
+//!    refuses a direct write with the typed degraded response.
+//! 2. **Replication is bounded** — the standby acks the primary's full
+//!    journal within the deadline, with zero gap/corruption rejects,
+//!    and serves the replicated session records to routed reads.
+//! 3. **Failover works** — the router promotes the standby when the
+//!    primary's health probe fails, the promoted node accepts writes in
+//!    place, and post-failover sessions complete on the survivor.
+//! 4. **Clean wire** — both nodes drain with zero protocol errors and
+//!    the survivor's exposition carries the `ada_repl_*` and
+//!    `ada_fleet_*` families.
+//!
+//! Run: `cargo run -p ada-bench --release --bin fleet_smoke [-- --quick]`
+
+use std::path::Path;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ada_fleet::{FleetNode, Role, Router};
+use ada_kdb::{MemStorage, SharedKdb, StoreOptions, Value};
+use ada_net::proto::{CohortSpec, Request, Response, WireJobSpec};
+use ada_net::{Client, NetConfig};
+use ada_obs::FleetMetrics;
+use ada_service::ServiceConfig;
+
+/// End-to-end budget per wait; a hang is a failure, not patience.
+const DEADLINE: Duration = Duration::from_secs(180);
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    exit(1);
+}
+
+fn mem_kdb(name: &str) -> SharedKdb {
+    SharedKdb::open_with(
+        Path::new(name),
+        StoreOptions::with_storage(Arc::new(MemStorage::new())),
+    )
+    .unwrap_or_else(|e| fail(&format!("in-memory store open failed: {e}")))
+}
+
+fn spec(name: &str, i: usize) -> WireJobSpec {
+    WireJobSpec::quick(format!("{name}-{i}"), CohortSpec::small(7_000 + i as u64))
+}
+
+/// Polls `cond` every 10ms until `deadline_secs` elapses.
+fn wait_for(what: &str, deadline_secs: u64, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(deadline_secs);
+    while !cond() {
+        if Instant::now() >= deadline {
+            fail(&format!("timed out waiting for {what}"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (before, after) = if quick { (3, 1) } else { (8, 2) };
+    let started = Instant::now();
+
+    let service_cfg = ServiceConfig {
+        workers: if quick { 1 } else { 2 },
+        queue_capacity: before + after + 2,
+        ..ServiceConfig::default()
+    };
+    let primary = FleetNode::start_primary(
+        "alpha",
+        service_cfg.clone(),
+        mem_kdb("alpha.journal"),
+        NetConfig::default(),
+    )
+    .unwrap_or_else(|e| fail(&format!("primary failed to start: {e}")));
+    let repl_addr = primary
+        .repl_addr()
+        .unwrap_or_else(|| fail("primary has no replication endpoint"));
+    let mut standby = FleetNode::start_follower(
+        "beta",
+        service_cfg,
+        mem_kdb("beta.journal"),
+        NetConfig::default(),
+        repl_addr,
+    )
+    .unwrap_or_else(|e| fail(&format!("standby failed to start: {e}")));
+    let router = Router::new(
+        vec![
+            ("alpha".into(), Role::Primary),
+            ("beta".into(), Role::Follower),
+        ],
+        Arc::new(FleetMetrics::new()),
+    );
+    let (alpha_addr, beta_addr) = (primary.client_addr(), standby.client_addr());
+    let addr_of = move |name: &str| {
+        if name == "alpha" {
+            alpha_addr
+        } else {
+            beta_addr
+        }
+    };
+    println!(
+        "fleet smoke: alpha on {} shipping to beta on {} (quick = {quick})",
+        primary.client_addr(),
+        standby.client_addr()
+    );
+
+    // A direct write to the standby is refused with the typed degraded
+    // response — never silently accepted, never a protocol error.
+    let mut probe = Client::connect(standby.client_addr())
+        .unwrap_or_else(|e| fail(&format!("standby probe failed to connect: {e}")));
+    match probe.call(Request::Submit(spec("misrouted", 0))) {
+        Ok(Response::Degraded { .. }) => {}
+        other => fail(&format!("standby accepted a write: {other:?}")),
+    }
+
+    // The fleet: every write routed through the router, one connection
+    // per session, all submitted before any wait.
+    let mut sessions = Vec::new();
+    for i in 0..before {
+        let member = router
+            .route_write()
+            .unwrap_or_else(|| fail("router refused a write with a healthy primary"));
+        if member != "alpha" {
+            fail(&format!("write routed to {member}, expected the primary"));
+        }
+        let mut client = Client::connect(addr_of(&member))
+            .unwrap_or_else(|e| fail(&format!("client {i} failed to connect: {e}")));
+        match client.call(Request::Submit(spec("fleet-smoke", i))) {
+            Ok(Response::Submitted { session }) => sessions.push((session, client)),
+            other => fail(&format!("submit {i}: expected Submitted, got {other:?}")),
+        }
+    }
+    for (session, client) in &mut sessions {
+        match client.wait_terminal(*session, DEADLINE) {
+            Ok((state, _)) if state == "completed" => {}
+            Ok((state, reason)) => fail(&format!("session {session} ended {state}: {reason}")),
+            Err(e) => fail(&format!("session {session} never resolved: {e}")),
+        }
+    }
+    drop(sessions);
+
+    // Bounded replication lag: the standby acks the primary's full
+    // journal (session records included) within the deadline, cleanly.
+    primary
+        .service()
+        .kdb()
+        .sync()
+        .unwrap_or_else(|e| fail(&format!("primary fsync failed: {e}")));
+    let want = primary.service().kdb().journal_acked_ops();
+    wait_for("standby to ack the primary's journal", 60, || {
+        standby.acked_ops() >= want
+    });
+    if let Some(halt) = standby.repl_halted() {
+        fail(&format!("replication halted: {halt}"));
+    }
+    let repl = standby.repl_metrics().snapshot();
+    if repl.rejects_gap != 0 || repl.rejects_corrupt != 0 {
+        fail(&format!(
+            "clean loopback link counted {} gap / {} corrupt rejects",
+            repl.rejects_gap, repl.rejects_corrupt
+        ));
+    }
+    if repl.frames_applied < want {
+        fail(&format!(
+            "standby applied {} of {want} shipped ops",
+            repl.frames_applied
+        ));
+    }
+    println!(
+        "replication: {want} ops acked by the standby, {} frames applied, 0 rejects",
+        repl.frames_applied
+    );
+
+    // Routed reads: whichever member the ring picks serves the
+    // replicated session records.
+    for i in 0..before {
+        let member = router
+            .route_read(&format!("fleet-smoke-{i}"))
+            .unwrap_or_else(|| fail("router refused a read with healthy members"));
+        let mut client = Client::connect(addr_of(&member))
+            .unwrap_or_else(|e| fail(&format!("read client failed to connect: {e}")));
+        match client.call(Request::PastSessions) {
+            Ok(Response::PastSessions { sessions }) => {
+                if sessions.len() != before {
+                    fail(&format!(
+                        "{member} serves {} session records, expected {before}",
+                        sessions.len()
+                    ));
+                }
+            }
+            other => fail(&format!(
+                "expected PastSessions from {member}, got {other:?}"
+            )),
+        }
+    }
+    // Busy feedback: a deferred member is skipped for placements.
+    let beta_session = (0..256)
+        .map(|i| format!("s{i}"))
+        .find(|s| router.route_read(s).as_deref() == Some("beta"))
+        .unwrap_or_else(|| fail("ring never places a read on the standby"));
+    router.note_busy("beta", Duration::from_secs(30));
+    if router.route_read(&beta_session).as_deref() != Some("alpha") {
+        fail("busy standby was not skipped for reads");
+    }
+    println!("routing: reads served by both members, busy deferral reroutes");
+
+    // Health checks pass on both members over the real wire.
+    for name in ["alpha", "beta"] {
+        let mut client = Client::connect(addr_of(name))
+            .unwrap_or_else(|e| fail(&format!("health client failed to connect: {e}")));
+        match client.call(Request::Health) {
+            Ok(Response::Health { doc }) => {
+                if doc.get("status").and_then(Value::as_str).is_none() {
+                    fail(&format!("{name} health document missing status"));
+                }
+                if router.report_health(name, true).is_some() {
+                    fail("a passing probe must never promote");
+                }
+            }
+            other => fail(&format!("expected Health from {name}, got {other:?}")),
+        }
+    }
+
+    // Failover: the primary dies; the failed probe promotes the
+    // standby, which turns writable in place.
+    let net = primary.shutdown();
+    if net.protocol_errors != 0 {
+        fail(&format!(
+            "{} protocol errors on the primary's wire",
+            net.protocol_errors
+        ));
+    }
+    match router.report_health("alpha", false) {
+        Some(successor) if successor == "beta" => {}
+        other => fail(&format!("expected beta promoted, got {other:?}")),
+    }
+    let promoted_at = standby.acked_ops();
+    if !standby
+        .promote()
+        .unwrap_or_else(|e| fail(&format!("promotion failed: {e}")))
+    {
+        fail("standby claims it was already primary");
+    }
+    if router.route_write().as_deref() != Some("beta") {
+        fail("router still routes writes to the dead primary");
+    }
+    println!("failover: alpha down, beta promoted at {promoted_at} acked ops");
+
+    // Round two runs on the survivor.
+    for j in 0..after {
+        let member = router
+            .route_write()
+            .unwrap_or_else(|| fail("router refused a post-failover write"));
+        let mut client = Client::connect(addr_of(&member))
+            .unwrap_or_else(|e| fail(&format!("post-failover client failed to connect: {e}")));
+        let session = match client.call(Request::Submit(spec("after-failover", j))) {
+            Ok(Response::Submitted { session }) => session,
+            other => fail(&format!(
+                "post-failover submit {j}: expected Submitted, got {other:?}"
+            )),
+        };
+        match client.wait_terminal(session, DEADLINE) {
+            Ok((state, _)) if state == "completed" => {}
+            Ok((state, reason)) => fail(&format!("post-failover session ended {state}: {reason}")),
+            Err(e) => fail(&format!("post-failover session never resolved: {e}")),
+        }
+    }
+    let mut survivor = Client::connect(standby.client_addr())
+        .unwrap_or_else(|e| fail(&format!("survivor client failed to connect: {e}")));
+    match survivor.call(Request::PastSessions) {
+        Ok(Response::PastSessions { sessions }) => {
+            if sessions.len() != before + after {
+                fail(&format!(
+                    "survivor serves {} session records, expected {}",
+                    sessions.len(),
+                    before + after
+                ));
+            }
+        }
+        other => fail(&format!("expected PastSessions, got {other:?}")),
+    }
+    drop(survivor);
+    drop(probe);
+
+    // The survivor's exposition carries the replication + fleet
+    // families; the router's counters reflect what actually happened.
+    let exposition = standby.exposition();
+    for series in [
+        "# TYPE ada_repl_frames_applied_total counter",
+        "# TYPE ada_fleet_promotions_total counter",
+    ] {
+        if !exposition.contains(series) {
+            fail(&format!("survivor exposition missing {series}"));
+        }
+    }
+    let fleet = router.metrics().snapshot();
+    if fleet.members != 2 || fleet.promotions != 1 || fleet.busy_deferrals != 1 {
+        fail(&format!(
+            "router counters off: {} members, {} promotions, {} deferrals",
+            fleet.members, fleet.promotions, fleet.busy_deferrals
+        ));
+    }
+    if fleet.health_failures != 1 {
+        fail(&format!(
+            "expected exactly one health failure, counted {}",
+            fleet.health_failures
+        ));
+    }
+
+    let net = standby.shutdown();
+    if net.protocol_errors != 0 {
+        fail(&format!(
+            "{} protocol errors on the survivor's wire",
+            net.protocol_errors
+        ));
+    }
+    if net.in_flight != 0 {
+        fail(&format!(
+            "{} connections still in flight after drain",
+            net.in_flight
+        ));
+    }
+    println!(
+        "fleet smoke gate passed: {} sessions across the failover in {:.1}s.",
+        before + after,
+        started.elapsed().as_secs_f64()
+    );
+}

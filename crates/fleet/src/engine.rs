@@ -1,0 +1,204 @@
+//! The follower's replication core, transport-free.
+//!
+//! [`ReplicaEngine`] owns the read-only replica's [`SharedKdb`] and a
+//! [`ReplStream`], and turns shipped bytes into applied state:
+//! bootstrap from a journal image, then feed live frames. Every applied
+//! op goes through [`SharedKdb::apply_replicated`] — the normal shard +
+//! group-commit machinery — so the follower journals the stream locally
+//! with the same rollback discipline as a primary, and a clean
+//! replicated journal is byte-identical to the source's.
+//!
+//! The engine is deliberately transport-agnostic: `fleet_torture`
+//! drives it through in-memory links with seeded kills and partitions,
+//! and the TCP endpoints in [`crate::ship`] drive the same code over
+//! real sockets. One apply path, two harnesses.
+
+use std::sync::Arc;
+
+use ada_kdb::journal::{replay_bytes, RecoveryMode};
+use ada_kdb::{KdbError, SharedKdb};
+use ada_obs::ReplMetrics;
+
+use crate::stream::{ReplStream, StreamFault};
+use crate::wire::ReplMsg;
+
+/// Why replication halted. `Stream` faults (gap/corruption) are sticky
+/// and require a re-bootstrap; `Apply`/`Bootstrap` mean the replica's
+/// state diverged or its own storage failed — never papered over.
+#[derive(Debug)]
+pub enum ReplError {
+    /// The shipped stream gapped or corrupted (see [`StreamFault`]).
+    Stream(StreamFault),
+    /// A verified op failed to apply to the local store.
+    Apply(KdbError),
+    /// The bootstrap image failed verification.
+    Bootstrap(String),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Stream(fault) => write!(f, "{fault}"),
+            ReplError::Apply(e) => write!(f, "replicated apply failed: {e}"),
+            ReplError::Bootstrap(reason) => write!(f, "bootstrap rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
+
+/// A warm standby's replication state machine.
+#[derive(Debug)]
+pub struct ReplicaEngine {
+    kdb: SharedKdb,
+    stream: ReplStream,
+    metrics: Arc<ReplMetrics>,
+    /// Ops applied from the primary's stream (bootstrap included).
+    applied: u64,
+    /// The primary's advertised durable watermark.
+    source_durable: u64,
+    /// Whether the sticky stream fault was already counted in the
+    /// reject metrics (it re-surfaces on every later call).
+    fault_counted: bool,
+}
+
+impl ReplicaEngine {
+    /// Wraps a replica store (expected empty; bootstrap fills it).
+    pub fn new(kdb: SharedKdb, metrics: Arc<ReplMetrics>) -> Self {
+        Self {
+            kdb,
+            stream: ReplStream::new(),
+            metrics,
+            applied: 0,
+            source_durable: 0,
+            fault_counted: false,
+        }
+    }
+
+    /// The replica's store (for read-only queries and promotion).
+    pub fn kdb(&self) -> &SharedKdb {
+        &self.kdb
+    }
+
+    /// Ops applied from the primary so far.
+    pub fn applied_ops(&self) -> u64 {
+        self.applied
+    }
+
+    /// The primary's last advertised durable watermark.
+    pub fn source_durable(&self) -> u64 {
+        self.source_durable
+    }
+
+    /// The watermark this follower may ack: ops both applied from the
+    /// stream and fsync-durable in the follower's own journal.
+    pub fn acked_ops(&self) -> u64 {
+        self.applied.min(self.kdb.journal_durable_ops())
+    }
+
+    /// Forces a local fsync so everything applied becomes ackable.
+    ///
+    /// # Errors
+    /// The local fsync's [`KdbError`].
+    pub fn sync(&self) -> Result<u64, KdbError> {
+        self.kdb.sync()?;
+        let acked = self.acked_ops();
+        self.metrics.set_follower_acked(acked);
+        Ok(acked)
+    }
+
+    /// Verifies a journal image under strict recovery and applies the
+    /// ops beyond what this replica already holds. Returns the new
+    /// applied watermark. Also the re-bootstrap path after the primary
+    /// compacts ([`ReplMsg::Reset`]) — then the replica must be handed
+    /// back fresh (`applied` 0) by the caller, or the image must extend
+    /// the current state.
+    ///
+    /// # Errors
+    /// [`ReplError::Bootstrap`] when the image is torn, corrupt, or
+    /// shorter than what this replica already applied;
+    /// [`ReplError::Apply`] when an op does not apply.
+    pub fn bootstrap(&mut self, image: &[u8]) -> Result<u64, ReplError> {
+        let replay = replay_bytes(image, RecoveryMode::Strict)
+            .map_err(|e| ReplError::Bootstrap(e.to_string()))?;
+        if replay.truncated {
+            return Err(ReplError::Bootstrap(
+                "image has a torn tail; a shipped snapshot must be whole".into(),
+            ));
+        }
+        let total = replay.ops.len() as u64;
+        if total < self.applied {
+            return Err(ReplError::Bootstrap(format!(
+                "image holds {total} ops but {} already applied",
+                self.applied
+            )));
+        }
+        for op in replay.ops.iter().skip(self.applied as usize) {
+            self.kdb.apply_replicated(op).map_err(ReplError::Apply)?;
+            self.applied += 1;
+            self.metrics.frame_applied();
+        }
+        self.stream.reset(self.applied);
+        self.fault_counted = false;
+        Ok(self.applied)
+    }
+
+    /// Consumes one replication message. Returns the number of newly
+    /// applied ops (only `Frame`/`Snapshot` can be non-zero).
+    ///
+    /// # Errors
+    /// A sticky [`ReplError::Stream`] (counted in the gap/corrupt
+    /// reject metrics), or [`ReplError::Apply`]/[`ReplError::Bootstrap`].
+    pub fn consume(&mut self, msg: &ReplMsg) -> Result<u64, ReplError> {
+        match msg {
+            ReplMsg::Frame { bytes } => self.feed(bytes),
+            ReplMsg::Snapshot { image } => {
+                let before = self.applied;
+                self.bootstrap(image).map(|after| after - before)
+            }
+            ReplMsg::Durable { seq } => {
+                self.source_durable = self.source_durable.max(*seq);
+                self.metrics.set_source_durable(self.source_durable);
+                Ok(0)
+            }
+            ReplMsg::Reset { .. } | ReplMsg::Hello { .. } | ReplMsg::Ack { .. } => Ok(0),
+        }
+    }
+
+    /// Buffers shipped frame bytes and applies every complete verified
+    /// frame. Returns the number of ops applied by this call.
+    ///
+    /// # Errors
+    /// See [`ReplicaEngine::consume`].
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<u64, ReplError> {
+        self.stream.push(bytes);
+        let mut applied = 0;
+        loop {
+            match self.stream.next_op() {
+                Ok(Some(op)) => {
+                    self.kdb.apply_replicated(&op).map_err(ReplError::Apply)?;
+                    self.applied += 1;
+                    applied += 1;
+                    self.metrics.frame_applied();
+                }
+                Ok(None) => return Ok(applied),
+                Err(fault) => {
+                    if !self.fault_counted {
+                        self.fault_counted = true;
+                        match &fault {
+                            StreamFault::Gap { .. } => self.metrics.gap_rejected(),
+                            StreamFault::Corrupt { .. } => self.metrics.corrupt_rejected(),
+                        }
+                    }
+                    return Err(ReplError::Stream(fault));
+                }
+            }
+        }
+    }
+
+    /// The state fingerprint of the replica (FNV-1a over canonical op
+    /// encodings — comparable with the primary's).
+    pub fn fingerprint(&self) -> u64 {
+        self.kdb.read().fingerprint()
+    }
+}

@@ -1,0 +1,274 @@
+//! Session routing across fleet members.
+//!
+//! A thin, deterministic router: sessions are placed on a consistent-
+//! hash ring (FNV-1a over `member#vnode`, 64 virtual nodes per member),
+//! writes always go to the primary, reads spread across healthy
+//! members. `Busy.retry_after` responses feed back as per-member
+//! deferrals, health probes mark members up or down, and when the
+//! primary goes down the first healthy follower (in declaration order)
+//! is promoted at whatever watermark it acked — the router only decides
+//! *who*; making the service writable is [`ada_service::AnalysisService::promote`]'s
+//! job on that node.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ada_obs::FleetMetrics;
+use parking_lot::Mutex;
+
+/// A member's replication role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes; sources the replication stream.
+    Primary,
+    /// Read-only warm standby tailing the primary.
+    Follower,
+}
+
+#[derive(Debug)]
+struct Member {
+    name: String,
+    role: Role,
+    healthy: bool,
+    /// Load feedback: skip this member for placements until then.
+    deferred_until: Option<Instant>,
+}
+
+/// Consistent-hash session router with health and load feedback.
+#[derive(Debug)]
+pub struct Router {
+    members: Mutex<Vec<Member>>,
+    /// `(point, member index)` ring, sorted by point.
+    ring: Vec<(u64, usize)>,
+    metrics: Arc<FleetMetrics>,
+}
+
+const VNODES: usize = 64;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Ring placement hash. Raw FNV-1a clusters badly on short, similar
+/// strings (`alpha#0` vs `alpha#1` differ only in the low bytes), so the
+/// digest goes through the SplitMix64 finalizer for avalanche before it
+/// becomes a ring point.
+fn point(bytes: &[u8]) -> u64 {
+    let mut z = fnv1a(bytes);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Router {
+    /// Builds the ring over `(name, role)` members. Exactly one primary
+    /// is expected; everything starts healthy.
+    pub fn new(members: Vec<(String, Role)>, metrics: Arc<FleetMetrics>) -> Self {
+        let mut ring = Vec::with_capacity(members.len() * VNODES);
+        for (i, (name, _)) in members.iter().enumerate() {
+            for v in 0..VNODES {
+                ring.push((point(format!("{name}#{v}").as_bytes()), i));
+            }
+        }
+        ring.sort_unstable();
+        metrics.set_members(members.len());
+        Self {
+            members: Mutex::new(
+                members
+                    .into_iter()
+                    .map(|(name, role)| Member {
+                        name,
+                        role,
+                        healthy: true,
+                        deferred_until: None,
+                    })
+                    .collect(),
+            ),
+            ring,
+            metrics,
+        }
+    }
+
+    /// The metrics this router publishes into.
+    pub fn metrics(&self) -> Arc<FleetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The current primary's name, if one is healthy.
+    pub fn primary(&self) -> Option<String> {
+        self.members
+            .lock()
+            .iter()
+            .find(|m| m.role == Role::Primary && m.healthy)
+            .map(|m| m.name.clone())
+    }
+
+    /// Places a write (a session submission): always the healthy
+    /// primary, deferred or not — backpressure on the only writable
+    /// node is the client retry layer's problem, not a reason to
+    /// misroute a write to a replica.
+    pub fn route_write(&self) -> Option<String> {
+        let primary = self.primary();
+        if primary.is_some() {
+            self.metrics.routed_primary();
+        }
+        primary
+    }
+
+    /// Places a read for `session`: the ring owner if healthy and not
+    /// deferred, else walking clockwise; followers and the primary are
+    /// both eligible (snapshot reads are exactly what the standby is
+    /// warm for).
+    pub fn route_read(&self, session: &str) -> Option<String> {
+        let members = self.members.lock();
+        if self.ring.is_empty() {
+            return None;
+        }
+        let point = point(session.as_bytes());
+        let start = self.ring.partition_point(|(p, _)| *p < point) % self.ring.len();
+        let now = Instant::now();
+        // Walk the ring once, skipping unhealthy/deferred members.
+        let mut seen = 0usize;
+        let mut idx = start;
+        while seen < self.ring.len() {
+            let (_, mi) = self.ring[idx];
+            let m = &members[mi];
+            let deferred = m.deferred_until.is_some_and(|until| now < until);
+            if m.healthy && !deferred {
+                match m.role {
+                    Role::Primary => self.metrics.routed_primary(),
+                    Role::Follower => self.metrics.routed_follower(),
+                }
+                return Some(m.name.clone());
+            }
+            idx = (idx + 1) % self.ring.len();
+            seen += 1;
+        }
+        None
+    }
+
+    /// Records `Busy.retry_after` load feedback: `member` is skipped
+    /// for read placements until the hint elapses.
+    pub fn note_busy(&self, member: &str, retry_after: Duration) {
+        let mut members = self.members.lock();
+        if let Some(m) = members.iter_mut().find(|m| m.name == member) {
+            m.deferred_until = Some(Instant::now() + retry_after);
+            self.metrics.busy_deferral();
+        }
+    }
+
+    /// Records a health probe result. Returns the name of the follower
+    /// promoted to primary if this probe took the primary down —
+    /// the caller must then call `promote()` on that member's service
+    /// and rewire replication.
+    pub fn report_health(&self, member: &str, healthy: bool) -> Option<String> {
+        let mut members = self.members.lock();
+        self.metrics.health_check();
+        let i = members.iter().position(|m| m.name == member)?;
+        if healthy {
+            members[i].healthy = true;
+            return None;
+        }
+        self.metrics.health_failure();
+        let was_primary = members[i].role == Role::Primary && members[i].healthy;
+        members[i].healthy = false;
+        if !was_primary {
+            return None;
+        }
+        // Failover: first healthy follower (declaration order) takes
+        // over. Deterministic, so every router instance picks the same
+        // successor.
+        let successor = members
+            .iter()
+            .position(|m| m.role == Role::Follower && m.healthy)?;
+        members[successor].role = Role::Primary;
+        self.metrics.promotion();
+        Some(members[successor].name.clone())
+    }
+
+    /// `(name, role, healthy)` rows for diagnostics.
+    pub fn members(&self) -> Vec<(String, Role, bool)> {
+        self.members
+            .lock()
+            .iter()
+            .map(|m| (m.name.clone(), m.role, m.healthy))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_router() -> Router {
+        Router::new(
+            vec![
+                ("alpha".into(), Role::Primary),
+                ("beta".into(), Role::Follower),
+            ],
+            Arc::new(FleetMetrics::default()),
+        )
+    }
+
+    #[test]
+    fn writes_go_to_the_primary_reads_spread_and_stick() {
+        let router = two_node_router();
+        assert_eq!(router.route_write().as_deref(), Some("alpha"));
+        // Reads are deterministic per session and cover both members
+        // across enough distinct sessions.
+        let mut hit_alpha = false;
+        let mut hit_beta = false;
+        for i in 0..64 {
+            let session = format!("session-{i}");
+            let first = router.route_read(&session).unwrap();
+            assert_eq!(router.route_read(&session).unwrap(), first, "not sticky");
+            match first.as_str() {
+                "alpha" => hit_alpha = true,
+                "beta" => hit_beta = true,
+                other => panic!("unknown member {other}"),
+            }
+        }
+        assert!(hit_alpha && hit_beta, "ring failed to spread reads");
+    }
+
+    #[test]
+    fn busy_feedback_defers_then_expires() {
+        let router = two_node_router();
+        // Find a session owned by beta, defer beta, expect rerouting.
+        let session = (0..256)
+            .map(|i| format!("s{i}"))
+            .find(|s| router.route_read(s).as_deref() == Some("beta"))
+            .expect("some session routes to beta");
+        router.note_busy("beta", Duration::from_millis(40));
+        assert_eq!(router.route_read(&session).as_deref(), Some("alpha"));
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(router.route_read(&session).as_deref(), Some("beta"));
+        assert_eq!(router.metrics().snapshot().busy_deferrals, 1);
+    }
+
+    #[test]
+    fn primary_death_promotes_the_follower() {
+        let router = two_node_router();
+        let promoted = router.report_health("alpha", false);
+        assert_eq!(promoted.as_deref(), Some("beta"));
+        assert_eq!(router.route_write().as_deref(), Some("beta"));
+        // Reads never land on the dead member.
+        for i in 0..32 {
+            assert_eq!(router.route_read(&format!("s{i}")).as_deref(), Some("beta"));
+        }
+        // A second failure report changes nothing (already down).
+        assert_eq!(router.report_health("alpha", false), None);
+        let snap = router.metrics().snapshot();
+        assert_eq!(snap.promotions, 1);
+        assert_eq!(snap.health_failures, 2);
+        // With every member down, routing refuses rather than misroutes.
+        router.report_health("beta", false);
+        assert_eq!(router.route_write(), None);
+        assert_eq!(router.route_read("s0"), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! The primary's half of journal replication.
+//!
+//! [`ReplSource`] implements [`JournalTap`]: it observes every v2
+//! journal append, fsync, and compaction on the primary's
+//! [`SharedKdb`](ada_kdb::SharedKdb) and turns them into an ordered
+//! queue of [`ReplMsg`]s. Tap callbacks run under the journal mutex, so
+//! they only copy bytes into the queue and ring a condvar — shipping
+//! happens on whoever drains the queue (the in-memory link in
+//! `fleet_torture`, a TCP shipper thread in [`crate::ship`]).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use ada_kdb::journal::JournalTap;
+use ada_obs::ReplMetrics;
+
+use crate::wire::ReplMsg;
+
+/// Bound on queued-but-unshipped messages: a dead or partitioned
+/// follower must not make the primary accumulate its whole write load
+/// in memory. Overflow drops the queue and records a `Reset` sentinel —
+/// the follower re-bootstraps when the link heals, exactly as after a
+/// compaction.
+const MAX_QUEUED: usize = 65_536;
+
+#[derive(Debug, Default)]
+struct SourceState {
+    queue: VecDeque<ReplMsg>,
+    /// Set when the queue overflowed: everything up to here was
+    /// replaced by a single `Reset`.
+    overflowed: bool,
+    closed: bool,
+}
+
+/// A queue of replication messages fed by the primary's journal tap.
+#[derive(Debug)]
+pub struct ReplSource {
+    state: Mutex<SourceState>,
+    bell: Condvar,
+    metrics: Arc<ReplMetrics>,
+}
+
+impl ReplSource {
+    /// An empty source publishing into `metrics`.
+    pub fn new(metrics: Arc<ReplMetrics>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SourceState::default()),
+            bell: Condvar::new(),
+            metrics,
+        })
+    }
+
+    /// The metrics this source publishes into.
+    pub fn metrics(&self) -> Arc<ReplMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Records the follower's acked watermark (gauge only; the queue
+    /// is not trimmed by acks — frames leave it when shipped).
+    pub fn observe_ack(&self, seq: u64) {
+        self.metrics.set_follower_acked(seq);
+    }
+
+    /// Drains every queued message without blocking.
+    pub fn drain(&self) -> Vec<ReplMsg> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.overflowed = false;
+        state.queue.drain(..).collect()
+    }
+
+    /// Blocks up to `timeout` for the next message. `None` on timeout
+    /// or once the source is closed and drained.
+    pub fn next_msg(&self, timeout: Duration) -> Option<ReplMsg> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                if state.queue.is_empty() {
+                    state.overflowed = false;
+                }
+                return Some(msg);
+            }
+            if state.closed {
+                return None;
+            }
+            let (guard, wait) = self
+                .bell
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            if wait.timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Marks the source closed: pending messages still drain, then
+    /// [`ReplSource::next_msg`] returns `None` forever.
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.bell.notify_all();
+    }
+
+    /// Messages currently queued (diagnostics).
+    pub fn queued(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    fn push(&self, msg: ReplMsg) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            return;
+        }
+        if state.queue.len() >= MAX_QUEUED {
+            // Replace the backlog with one re-bootstrap marker; the
+            // snapshot the follower fetches will contain everything the
+            // dropped frames carried.
+            state.queue.clear();
+            state.queue.push_back(ReplMsg::Reset { ops: 0 });
+            state.overflowed = true;
+        } else if !(state.overflowed && matches!(msg, ReplMsg::Frame { .. })) {
+            // While overflowed, further frames are useless (the reset
+            // already invalidated the stream); watermarks still pass.
+            state.queue.push_back(msg);
+        }
+        drop(state);
+        self.bell.notify_all();
+    }
+}
+
+impl JournalTap for ReplSource {
+    fn frame_appended(&self, _seq: u64, frame: &[u8]) {
+        self.metrics.frame_shipped(frame.len());
+        self.push(ReplMsg::Frame {
+            bytes: frame.to_vec(),
+        });
+    }
+
+    fn synced(&self, durable_seq: u64) {
+        self.metrics.set_source_durable(durable_seq);
+        self.push(ReplMsg::Durable { seq: durable_seq });
+    }
+
+    fn rewritten(&self, ops: u64) {
+        self.push(ReplMsg::Reset { ops });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tap_events_queue_in_order_and_drain() {
+        let source = ReplSource::new(Arc::new(ReplMetrics::default()));
+        source.frame_appended(0, b"R1:0:xxxxxxxx:a");
+        source.synced(1);
+        source.frame_appended(1, b"R1:1:xxxxxxxx:b");
+        let msgs = source.drain();
+        assert_eq!(msgs.len(), 3);
+        assert!(matches!(&msgs[0], ReplMsg::Frame { bytes } if bytes.ends_with(b":a")));
+        assert_eq!(msgs[1], ReplMsg::Durable { seq: 1 });
+        assert!(matches!(&msgs[2], ReplMsg::Frame { bytes } if bytes.ends_with(b":b")));
+        assert!(source.drain().is_empty());
+        let snap = source.metrics().snapshot();
+        assert_eq!(snap.frames_shipped, 2);
+        assert_eq!(snap.source_durable, 1);
+    }
+
+    #[test]
+    fn close_wakes_and_finishes_the_consumer() {
+        let source = ReplSource::new(Arc::new(ReplMetrics::default()));
+        source.frame_appended(0, b"R1:0:xxxxxxxx:a");
+        source.close();
+        assert!(source.next_msg(Duration::from_millis(10)).is_some());
+        assert!(source.next_msg(Duration::from_millis(10)).is_none());
+        // Pushes after close are dropped.
+        source.frame_appended(1, b"R1:1:xxxxxxxx:b");
+        assert_eq!(source.queued(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Replication messages, carried as ADAN1 frame payloads.
+//!
+//! The replication link reuses the wire's transport framing
+//! (`F<len>:<seq>:<crc32>:` with its own per-connection sequence), so
+//! transport corruption is caught by `FrameDecoder` before a payload
+//! ever reaches this codec. Each payload is one [`ReplMsg`]: a
+//! single-byte tag followed by either a decimal watermark or raw bytes.
+//!
+//! `Frame` payloads carry a primary journal frame **verbatim** — the
+//! exact bytes `Journal::append` wrote to disk, which carry their own
+//! sequence number and CRC. Content integrity is therefore checked
+//! end-to-end twice: once per transport hop, and once against the
+//! journal's own frame discipline when the follower decodes it.
+
+/// One message on the replication link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// Follower → primary: "I have `have_ops` ops; stream from there."
+    Hello {
+        /// Ops the follower already holds.
+        have_ops: u64,
+    },
+    /// Primary → follower: a full journal image (magic + frames) to
+    /// bootstrap or re-bootstrap from.
+    Snapshot {
+        /// The journal file's bytes.
+        image: Vec<u8>,
+    },
+    /// Primary → follower: one journal frame, byte-for-byte as written.
+    Frame {
+        /// The frame bytes (`R<len>:<seq>:<crc32>:<payload>`).
+        bytes: Vec<u8>,
+    },
+    /// Primary → follower: every frame below `seq` is fsync-durable on
+    /// the primary.
+    Durable {
+        /// Absolute durable sequence watermark.
+        seq: u64,
+    },
+    /// Follower → primary: every frame below `seq` is applied and
+    /// fsync-durable on the follower.
+    Ack {
+        /// Absolute acked sequence watermark.
+        seq: u64,
+    },
+    /// Primary → follower: the journal was compacted; the sequence
+    /// space restarted at 0 with `ops` frames. Re-bootstrap.
+    Reset {
+        /// Frames in the rewritten journal.
+        ops: u64,
+    },
+}
+
+/// A malformed replication payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault(pub String);
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replication wire fault: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireFault {}
+
+impl ReplMsg {
+    /// Serializes the message to an ADAN1 payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ReplMsg::Hello { have_ops } => format!("H{have_ops}").into_bytes(),
+            ReplMsg::Snapshot { image } => {
+                let mut out = Vec::with_capacity(image.len() + 1);
+                out.push(b'S');
+                out.extend_from_slice(image);
+                out
+            }
+            ReplMsg::Frame { bytes } => {
+                let mut out = Vec::with_capacity(bytes.len() + 1);
+                out.push(b'F');
+                out.extend_from_slice(bytes);
+                out
+            }
+            ReplMsg::Durable { seq } => format!("W{seq}").into_bytes(),
+            ReplMsg::Ack { seq } => format!("A{seq}").into_bytes(),
+            ReplMsg::Reset { ops } => format!("R{ops}").into_bytes(),
+        }
+    }
+
+    /// Parses an ADAN1 payload back into a message.
+    ///
+    /// # Errors
+    /// [`WireFault`] on an empty payload, unknown tag, or a watermark
+    /// that is not a decimal `u64`.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireFault> {
+        let (&tag, rest) = payload
+            .split_first()
+            .ok_or_else(|| WireFault("empty payload".into()))?;
+        let watermark = |label: &str| -> Result<u64, WireFault> {
+            std::str::from_utf8(rest)
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    WireFault(format!(
+                        "bad {label} watermark {:?}",
+                        String::from_utf8_lossy(rest)
+                    ))
+                })
+        };
+        match tag {
+            b'H' => Ok(ReplMsg::Hello {
+                have_ops: watermark("hello")?,
+            }),
+            b'S' => Ok(ReplMsg::Snapshot {
+                image: rest.to_vec(),
+            }),
+            b'F' => Ok(ReplMsg::Frame {
+                bytes: rest.to_vec(),
+            }),
+            b'W' => Ok(ReplMsg::Durable {
+                seq: watermark("durable")?,
+            }),
+            b'A' => Ok(ReplMsg::Ack {
+                seq: watermark("ack")?,
+            }),
+            b'R' => Ok(ReplMsg::Reset {
+                ops: watermark("reset")?,
+            }),
+            other => Err(WireFault(format!("unknown tag {:?}", other as char))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_round_trips() {
+        let msgs = vec![
+            ReplMsg::Hello { have_ops: 0 },
+            ReplMsg::Hello { have_ops: u64::MAX },
+            ReplMsg::Snapshot {
+                image: b"ADAJ2\nR1:0:deadbeef:x".to_vec(),
+            },
+            ReplMsg::Snapshot { image: Vec::new() },
+            ReplMsg::Frame {
+                bytes: b"R1:0:deadbeef:x".to_vec(),
+            },
+            ReplMsg::Durable { seq: 42 },
+            ReplMsg::Ack { seq: 41 },
+            ReplMsg::Reset { ops: 7 },
+        ];
+        for msg in msgs {
+            assert_eq!(ReplMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_faults() {
+        assert!(ReplMsg::decode(b"").is_err());
+        assert!(ReplMsg::decode(b"X1").is_err());
+        assert!(ReplMsg::decode(b"W").is_err());
+        assert!(ReplMsg::decode(b"Anope").is_err());
+        assert!(ReplMsg::decode(b"H-3").is_err());
+    }
+}

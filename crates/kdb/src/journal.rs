@@ -267,11 +267,14 @@ fn encode_frame(payload: &[u8], seq: u64, out: &mut Vec<u8>) {
 }
 
 /// Why a frame failed to decode: the input ended mid-frame (a torn
-/// write — truncate), or a complete-looking frame is wrong (corruption
-/// — report).
+/// write — truncate), a complete-looking frame is wrong (corruption —
+/// report), or an otherwise-valid frame carries the wrong sequence
+/// number (a gap — report, kept distinct so a replication stream can
+/// tell a dropped frame from a flipped bit).
 enum FrameFail {
     Torn,
     Corrupt(String),
+    Gap { stored: u64, expected: u64 },
 }
 
 /// Reads decimal digits up to a `:` separator. EOF while scanning is a
@@ -328,9 +331,10 @@ fn decode_frame(bytes: &[u8], pos: &mut usize, expect_seq: u64) -> Result<Op, Fr
         )));
     }
     if seq != expect_seq {
-        return Err(FrameFail::Corrupt(format!(
-            "sequence gap (stored {seq}, expected {expect_seq})"
-        )));
+        return Err(FrameFail::Gap {
+            stored: seq,
+            expected: expect_seq,
+        });
     }
     let mut inner = 0usize;
     let op = Op::decode_prefix(payload, &mut inner)
@@ -435,7 +439,14 @@ fn replay_v2(bytes: &[u8], mode: RecoveryMode) -> Result<Replay, KdbError> {
                     ops,
                 });
             }
-            Err(FrameFail::Corrupt(reason)) => {
+            Err(fail) => {
+                let reason = match fail {
+                    FrameFail::Corrupt(reason) => reason,
+                    FrameFail::Gap { stored, expected } => {
+                        format!("sequence gap (stored {stored}, expected {expected})")
+                    }
+                    FrameFail::Torn => unreachable!("handled above"),
+                };
                 let record = ops.len();
                 return match mode {
                     RecoveryMode::Strict => Err(KdbError::Corrupt {
@@ -458,6 +469,80 @@ fn replay_v2(bytes: &[u8], mode: RecoveryMode) -> Result<Replay, KdbError> {
             }
         }
     }
+}
+
+/// The outcome of decoding one v2 frame from an incremental byte
+/// stream — the journal's frame discipline exposed for consumers that
+/// receive frames a chunk at a time (journal replication ships the
+/// framed bytes verbatim; see `ada-fleet`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameStep {
+    /// A verified frame: the decoded op and the stream position just
+    /// past it.
+    Op {
+        /// The frame's operation.
+        op: Op,
+        /// Byte position immediately after the frame.
+        end: usize,
+    },
+    /// The bytes end mid-frame — feed more input and retry from the
+    /// same position.
+    NeedMore,
+    /// A structurally valid frame carrying the wrong sequence number:
+    /// a dropped or reordered record, never applicable.
+    Gap {
+        /// The sequence number the frame carries.
+        stored: u64,
+        /// The sequence number the stream expected.
+        expected: u64,
+    },
+    /// A complete-looking frame that fails its length, CRC, or payload
+    /// checks.
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+/// Decodes the v2 frame starting at `pos` in `bytes`, expecting
+/// sequence number `expect_seq`. Exactly the verification journal
+/// replay performs — length, sequence, CRC32, payload decode, no
+/// trailing bytes — but incremental: a torn tail is [`FrameStep::NeedMore`]
+/// rather than an error, so callers can buffer partial network reads.
+pub fn decode_stream_frame(bytes: &[u8], pos: usize, expect_seq: u64) -> FrameStep {
+    if pos >= bytes.len() {
+        return FrameStep::NeedMore;
+    }
+    let mut cursor = pos;
+    match decode_frame(bytes, &mut cursor, expect_seq) {
+        Ok(op) => FrameStep::Op { op, end: cursor },
+        Err(FrameFail::Torn) => FrameStep::NeedMore,
+        Err(FrameFail::Gap { stored, expected }) => FrameStep::Gap { stored, expected },
+        Err(FrameFail::Corrupt(reason)) => FrameStep::Corrupt { reason },
+    }
+}
+
+/// Observer of journal appends, fsyncs, and compactions — the seam
+/// journal replication hangs off ([`crate::SharedKdb::set_journal_tap`]).
+///
+/// Callbacks run while the journal lock is held, on the appending
+/// thread: implementations must only enqueue (copy bytes, bump
+/// atomics) and never block or call back into the store.
+pub trait JournalTap: Send + Sync + std::fmt::Debug {
+    /// A v2 frame was written and flushed (not necessarily fsynced):
+    /// `seq` is its sequence number, `frame` the exact on-disk bytes.
+    fn frame_appended(&self, seq: u64, frame: &[u8]);
+
+    /// A successful fsync covered every frame with sequence number
+    /// below `durable_seq` (the absolute sequence-space watermark, not
+    /// the since-open count — replication consumers and journal frames
+    /// then share one op-numbering).
+    fn synced(&self, durable_seq: u64);
+
+    /// Snapshot compaction replaced the file wholesale: the stream
+    /// restarts at sequence 0 with `ops` records. Consumers must
+    /// re-bootstrap from the new image.
+    fn rewritten(&self, ops: u64);
 }
 
 /// Reads and decodes a journal file from the real filesystem under
@@ -507,6 +592,9 @@ pub struct Journal {
     /// further appends fail fast until the journal is reopened (which
     /// truncates the torn tail).
     poisoned: Option<String>,
+    /// Optional replication tap, invoked on appended frames, fsyncs,
+    /// and rewrites. See [`JournalTap`].
+    tap: Option<Arc<dyn JournalTap>>,
 }
 
 impl Journal {
@@ -575,6 +663,7 @@ impl Journal {
             last_sync: Instant::now(),
             sync_faults: 0,
             poisoned: None,
+            tap: None,
         };
         if journal.version == JournalVersion::V2 && journal.next_seq == 0 {
             // New or emptied file: stamp the magic (idempotent — a
@@ -625,6 +714,23 @@ impl Journal {
         self.poisoned.as_deref()
     }
 
+    /// Installs (or removes) the [`JournalTap`] observing this journal.
+    /// Only v2 appends are tapped — a legacy v1 file has no frames to
+    /// ship; it gains them at its next [`Journal::rewrite`].
+    pub fn set_tap(&mut self, tap: Option<Arc<dyn JournalTap>>) {
+        self.tap = tap;
+    }
+
+    /// The journal file's current on-disk bytes (magic + frame stream).
+    /// Every acknowledged append is visible: appends flush before they
+    /// are acknowledged.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] when the backing file is unreadable.
+    pub fn image(&self) -> Result<Vec<u8>, KdbError> {
+        self.storage.read(&self.path)
+    }
+
     /// Appends one op, flushes it to the OS, and fsyncs according to
     /// the durability policy. Returns whether the op is known durable.
     ///
@@ -644,12 +750,15 @@ impl Journal {
         }
         let mut payload = String::new();
         op.encode_into(&mut payload);
+        let mut framed = None;
         let wrote = match self.version {
             JournalVersion::V1 => self.file.append(payload.as_bytes()),
             JournalVersion::V2 => {
                 let mut frame = Vec::with_capacity(payload.len() + 40);
                 encode_frame(payload.as_bytes(), self.next_seq, &mut frame);
-                self.file.append(&frame)
+                let res = self.file.append(&frame);
+                framed = Some(frame);
+                res
             }
         }
         .and_then(|()| self.file.flush());
@@ -658,6 +767,9 @@ impl Journal {
             // appends so replay-valid frames never follow a torn one.
             self.poisoned = Some(e.to_string());
             return Err(e);
+        }
+        if let (Some(tap), Some(frame)) = (&self.tap, &framed) {
+            tap.frame_appended(self.next_seq, frame);
         }
         self.next_seq += 1;
         self.appended += 1;
@@ -690,6 +802,11 @@ impl Journal {
         self.pending = 0;
         self.synced = self.appended;
         self.last_sync = Instant::now();
+        if let Some(tap) = &self.tap {
+            // Everything appended is now durable: the absolute durable
+            // watermark is the next sequence number to be assigned.
+            tap.synced(self.next_seq);
+        }
         Ok(())
     }
 
@@ -738,6 +855,9 @@ impl Journal {
         // A compaction replaces the file wholesale, so any torn tail
         // that poisoned the old image is gone.
         self.poisoned = None;
+        if let Some(tap) = &self.tap {
+            tap.rewritten(ops.len() as u64);
+        }
         Ok(())
     }
 }

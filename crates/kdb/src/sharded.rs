@@ -48,7 +48,7 @@ use parking_lot::RwLock;
 use crate::collection::{Collection, DocId};
 use crate::document::Document;
 use crate::error::KdbError;
-use crate::journal::{CorruptionReport, DurabilityPolicy, Journal, Op};
+use crate::journal::{CorruptionReport, DurabilityPolicy, Journal, JournalTap, Op};
 use crate::query::Filter;
 use crate::store::{fingerprint_ops, Kdb, StoreOptions};
 
@@ -1003,6 +1003,90 @@ impl SharedKdb {
     /// method locks per op.
     pub fn write(&self) -> KdbWriter<'_> {
         KdbWriter { db: self }
+    }
+
+    // -- replication ---------------------------------------------------
+
+    /// Applies one replicated op — exactly as decoded from a primary's
+    /// journal frame, preserving assigned document ids — through the
+    /// shard and group-commit machinery, so the op is journaled locally
+    /// with the same rollback discipline as a native write. Returns the
+    /// commit receipt (whether the op is already fsync-covered; schema
+    /// ops report `false`, the conservative floor, like
+    /// [`SharedKdb::insert_committed`]'s receipt convention).
+    ///
+    /// A clean replicated stream applied here produces a local journal
+    /// byte-identical to the primary's (frame encoding is deterministic
+    /// and sequence numbers restart from the same base).
+    ///
+    /// # Errors
+    /// Any native-write error: an op that does not apply (unknown
+    /// collection/document, duplicate id) means the stream diverged
+    /// from this replica's state and must not be papered over.
+    pub fn apply_replicated(&self, op: &Op) -> Result<bool, KdbError> {
+        match op {
+            Op::CreateCollection { name } => self.create_collection(name).map(|()| false),
+            Op::CreateIndex { name, path } => self.create_index(name, path).map(|()| false),
+            Op::Insert { name, id, doc } => self.insert_replicated(name, *id, doc.clone()),
+            Op::Update { name, id, doc } => self.update_committed(name, *id, doc.clone()),
+            Op::Delete { name, id } => self.delete_committed(name, *id),
+        }
+    }
+
+    /// Insert under a primary-assigned id (the replicated counterpart
+    /// of [`SharedKdb::insert_committed`]).
+    fn insert_replicated(
+        &self,
+        collection: &str,
+        id: DocId,
+        doc: Document,
+    ) -> Result<bool, KdbError> {
+        let shard = self.shard(collection)?;
+        let ticket = {
+            let mut coll = shard.coll.write();
+            coll.insert_with_id(id, doc.clone())?;
+            let op = Op::Insert {
+                name: collection.to_owned(),
+                id,
+                doc,
+            };
+            match self.log(&op) {
+                Ok(ticket) => {
+                    shard.epoch.fetch_add(1, Ordering::Release);
+                    ticket
+                }
+                Err(e) => {
+                    coll.uninsert(id);
+                    return Err(e);
+                }
+            }
+        };
+        Ok(self.settle(ticket))
+    }
+
+    /// Installs (or removes) the [`JournalTap`] observing this store's
+    /// journal — the primary half of journal replication. No-op for
+    /// in-memory stores (nothing to ship).
+    pub fn set_journal_tap(&self, tap: Option<Arc<dyn JournalTap>>) {
+        if let Some(journal_mx) = &self.inner.journal {
+            journal_mx.lock().set_tap(tap);
+        }
+    }
+
+    /// The journal file's current bytes (magic + frame stream), read
+    /// under the journal mutex so the image is frame-aligned with any
+    /// concurrently registered tap.
+    ///
+    /// # Errors
+    /// Returns [`KdbError::Io`] for in-memory stores (no journal) or
+    /// when the backing file is unreadable.
+    pub fn journal_image(&self) -> Result<Vec<u8>, KdbError> {
+        match &self.inner.journal {
+            Some(journal_mx) => journal_mx.lock().image(),
+            None => Err(KdbError::Io(
+                "in-memory store has no journal to replicate".into(),
+            )),
+        }
     }
 
     // -- read path -----------------------------------------------------

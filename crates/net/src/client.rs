@@ -88,6 +88,67 @@ pub struct ClientKindLatency {
     pub p99: Duration,
 }
 
+/// Automatic client-side retry of [`Response::Busy`] backpressure.
+///
+/// Both clients ship with this **on by default**: a `Busy` answer is
+/// the server saying "come back in `retry_after`", and most callers
+/// want that handled for them. Each retry re-sends the request (with a
+/// fresh id) after sleeping `max(retry_after, base·2^(attempt−1))`,
+/// capped at [`BusyRetry::cap`], plus deterministic SplitMix64 jitter
+/// in `[0, base)` derived from `(seed, request id, attempt)` — the same
+/// de-synchronization scheme the service's own `RetryPolicy` uses, so
+/// a thundering herd of refused clients spreads out instead of
+/// re-colliding. After [`BusyRetry::attempts`] retries the final
+/// `Busy` is returned raw so the caller still sees honest
+/// backpressure. Opt out with [`Client::without_busy_retry`] /
+/// [`AsyncClient::without_busy_retry`].
+///
+/// The wire decode already clamps `retry_after` fail-closed (see
+/// [`crate::proto::MAX_RETRY_AFTER_MS`]); `cap` bounds the client's
+/// patience below even that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyRetry {
+    /// Maximum retries after the first attempt (0 = behave as if off).
+    pub attempts: u32,
+    /// Backoff base, and the jitter range.
+    pub base: Duration,
+    /// Upper bound on any single sleep, server hint included.
+    pub cap: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for BusyRetry {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(5),
+            seed: 0xb5e5_0b5e_550f_f0ad,
+        }
+    }
+}
+
+impl BusyRetry {
+    /// The sleep before retry number `attempt` (1-based) of the request
+    /// last sent with `id`, given the server's `retry_after` hint.
+    pub fn delay(&self, id: u64, attempt: u32, retry_after: Duration) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16).saturating_sub(1));
+        let floor = exp.max(retry_after).min(self.cap);
+        let mut z = self
+            .seed
+            .wrapping_add(id.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(u64::from(attempt));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter_nanos = (self.base.as_nanos() as u64).max(1);
+        floor + Duration::from_nanos(z % jitter_nanos)
+    }
+}
+
 /// Shared minting rule: a submit without an explicit context gets one
 /// drawn deterministically from `(seed, session, rate)`; everything
 /// else passes through untouched.
@@ -180,6 +241,7 @@ pub struct Client {
     write_seq: u64,
     timeout: Duration,
     sampling: Option<(f64, u64)>,
+    retry: Option<BusyRetry>,
     metrics: Arc<ClientMetrics>,
 }
 
@@ -211,6 +273,7 @@ impl Client {
             write_seq: 0,
             timeout,
             sampling: None,
+            retry: Some(BusyRetry::default()),
             metrics: Arc::new(ClientMetrics::default()),
         })
     }
@@ -232,12 +295,49 @@ impl Client {
         Arc::clone(&self.metrics)
     }
 
-    /// Sends `request` and blocks for its response (or the deadline).
+    /// Replaces the default [`BusyRetry`] policy.
+    #[must_use]
+    pub fn with_busy_retry(mut self, retry: BusyRetry) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Disables automatic `Busy` retry: every `Busy` response is
+    /// returned raw, as before the retry layer existed.
+    #[must_use]
+    pub fn without_busy_retry(mut self) -> Self {
+        self.retry = None;
+        self
+    }
+
+    /// Sends `request` and blocks for its response (or the deadline),
+    /// transparently retrying [`Response::Busy`] under the configured
+    /// [`BusyRetry`] policy.
     ///
     /// # Errors
     /// IO failure, deadline, a framing violation, or a fatal
     /// connection-level server message.
-    pub fn call(&mut self, mut request: Request) -> Result<Response, NetError> {
+    pub fn call(&mut self, request: Request) -> Result<Response, NetError> {
+        let Some(policy) = self.retry else {
+            return self.call_once(request);
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.call_once(request.clone())? {
+                Response::Busy { retry_after } if attempt < policy.attempts => {
+                    attempt += 1;
+                    // The id the refused attempt used (next_id already
+                    // advanced past it) keys the jitter.
+                    let refused_id = self.next_id.wrapping_sub(1);
+                    std::thread::sleep(policy.delay(refused_id, attempt, retry_after));
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// One request/response exchange with no retry layer.
+    fn call_once(&mut self, mut request: Request) -> Result<Response, NetError> {
         maybe_mint(&mut request, self.sampling);
         let kind = request.kind();
         let started = Instant::now();
@@ -340,6 +440,7 @@ pub struct AsyncClient {
     mailbox: Arc<Mailbox>,
     reader: Option<std::thread::JoinHandle<()>>,
     sampling: Option<(f64, u64)>,
+    retry: Option<BusyRetry>,
     metrics: Arc<ClientMetrics>,
 }
 
@@ -381,6 +482,7 @@ impl AsyncClient {
             mailbox,
             reader: Some(reader),
             sampling: None,
+            retry: Some(BusyRetry::default()),
             metrics: Arc::new(ClientMetrics::default()),
         })
     }
@@ -389,6 +491,23 @@ impl AsyncClient {
     #[must_use]
     pub fn with_sampling(mut self, rate: f64, seed: u64) -> Self {
         self.sampling = Some((rate, seed));
+        self
+    }
+
+    /// Replaces the default [`BusyRetry`] policy used by
+    /// [`AsyncClient::call`]. Raw [`AsyncClient::submit`] tickets are
+    /// never retried — backpressure handling belongs to whoever drives
+    /// the ticket.
+    #[must_use]
+    pub fn with_busy_retry(mut self, retry: BusyRetry) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Disables automatic `Busy` retry in [`AsyncClient::call`].
+    #[must_use]
+    pub fn without_busy_retry(mut self) -> Self {
+        self.retry = None;
         self
     }
 
@@ -427,12 +546,36 @@ impl AsyncClient {
         })
     }
 
-    /// Convenience: submit and wait in one step.
+    /// Convenience: submit and wait in one step, transparently
+    /// retrying [`Response::Busy`] under the configured [`BusyRetry`]
+    /// policy. `deadline` bounds the whole exchange, sleeps included:
+    /// when the next backoff would overshoot it, the last `Busy` is
+    /// returned raw instead of sleeping past the budget.
     ///
     /// # Errors
     /// Any [`AsyncClient::submit`] or [`Pending::wait`] failure.
     pub fn call(&self, request: Request, deadline: Duration) -> Result<Response, NetError> {
-        self.submit(request)?.wait(deadline)
+        let Some(policy) = self.retry else {
+            return self.submit(request)?.wait(deadline);
+        };
+        let until = Instant::now() + deadline;
+        let mut attempt = 0u32;
+        loop {
+            let pending = self.submit(request.clone())?;
+            let id = pending.id();
+            let remaining = until.saturating_duration_since(Instant::now());
+            match pending.wait(remaining)? {
+                Response::Busy { retry_after } if attempt < policy.attempts => {
+                    attempt += 1;
+                    let delay = policy.delay(id, attempt, retry_after);
+                    if Instant::now() + delay >= until {
+                        return Ok(Response::Busy { retry_after });
+                    }
+                    std::thread::sleep(delay);
+                }
+                other => return Ok(other),
+            }
+        }
     }
 }
 
@@ -563,5 +706,44 @@ impl Pending {
                 return Err(NetError::Timeout);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_retry_delay_is_deterministic_bounded_and_honors_the_hint() {
+        let policy = BusyRetry::default();
+        // Deterministic: same (id, attempt, hint) → same delay.
+        assert_eq!(
+            policy.delay(7, 1, Duration::from_millis(40)),
+            policy.delay(7, 1, Duration::from_millis(40)),
+        );
+        // Jitter de-synchronizes distinct requests.
+        assert_ne!(
+            policy.delay(7, 1, Duration::ZERO),
+            policy.delay(8, 1, Duration::ZERO),
+        );
+        for attempt in 1..=8 {
+            for hint_ms in [0u64, 40, 500, 60_000] {
+                let hint = Duration::from_millis(hint_ms);
+                let d = policy.delay(3, attempt, hint);
+                // Floor: at least the server hint (up to the cap) and at
+                // least the exponential term (up to the cap).
+                assert!(
+                    d >= hint.min(policy.cap),
+                    "attempt {attempt} hint {hint_ms}"
+                );
+                // Ceiling: cap plus one jitter range, even for a 60 s hint.
+                assert!(
+                    d < policy.cap + policy.base,
+                    "attempt {attempt} hint {hint_ms}"
+                );
+            }
+        }
+        // The exponential term grows until the cap dominates.
+        assert!(policy.delay(3, 3, Duration::ZERO) > policy.delay(3, 1, Duration::ZERO));
     }
 }

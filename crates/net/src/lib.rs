@@ -46,7 +46,9 @@ pub mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use client::{AsyncClient, Client, ClientKindLatency, ClientMetrics, NetError, Pending};
+pub use client::{
+    AsyncClient, BusyRetry, Client, ClientKindLatency, ClientMetrics, NetError, Pending,
+};
 pub use frame::{encode_frame, frame_bytes, Decoded, FrameDecoder, FrameError, MAGIC};
 pub use metrics::{NetMetrics, NetMetricsSnapshot};
 pub use proto::{CohortSpec, Preset, ProtoError, Request, Response, WireJobSpec, CONNECTION_ID};

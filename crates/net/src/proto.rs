@@ -25,6 +25,14 @@ use ada_signals::SignalConfig;
 /// Request id reserved for unsolicited connection-level notifications.
 pub const CONNECTION_ID: u64 = 0;
 
+/// Upper bound on the `retry_after_ms` hint accepted off the wire.
+///
+/// The server clamps its own hint to 30 s, so anything above a minute
+/// is a malformed or hostile peer; decoding clamps fail-closed into
+/// `[0, MAX_RETRY_AFTER_MS]` instead of letting a negative or oversized
+/// field park a retrying client for days.
+pub const MAX_RETRY_AFTER_MS: i64 = 60_000;
+
 /// A decode failure: the payload was not a well-formed message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtoError(pub String);
@@ -592,7 +600,9 @@ impl Response {
                 prometheus: take_str(&doc, "prometheus")?,
             },
             "busy" => Response::Busy {
-                retry_after: Duration::from_millis(take_i64(&doc, "retry_after_ms")? as u64),
+                retry_after: Duration::from_millis(
+                    take_i64(&doc, "retry_after_ms")?.clamp(0, MAX_RETRY_AFTER_MS) as u64,
+                ),
             },
             "degraded" => Response::Degraded {
                 detail: take_str(&doc, "detail")?,
@@ -751,6 +761,31 @@ mod tests {
             let (id, back) = Response::decode(&bytes).unwrap();
             assert_eq!(id, 42);
             assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn busy_retry_after_decode_clamps_fail_closed() {
+        // A hostile or buggy peer must not be able to park a retrying
+        // client: negative and oversized hints clamp into range.
+        for (wire_ms, want) in [
+            (-1i64, Duration::ZERO),
+            (i64::MIN, Duration::ZERO),
+            (MAX_RETRY_AFTER_MS, Duration::from_millis(60_000)),
+            (MAX_RETRY_AFTER_MS + 1, Duration::from_millis(60_000)),
+            (i64::MAX, Duration::from_millis(60_000)),
+            (250, Duration::from_millis(250)),
+        ] {
+            let doc = Document::new()
+                .with("id", 7i64)
+                .with("kind", "busy")
+                .with("retry_after_ms", wire_ms);
+            let (_, resp) = Response::decode(Value::Doc(doc).encode().as_bytes()).unwrap();
+            assert_eq!(
+                resp,
+                Response::Busy { retry_after: want },
+                "wire retry_after_ms {wire_ms}"
+            );
         }
     }
 

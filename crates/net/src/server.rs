@@ -553,7 +553,7 @@ fn service_error_response(err: &ServiceError) -> Response {
         } => Response::Busy {
             retry_after: *retry_after_hint,
         },
-        ServiceError::Degraded => Response::Degraded {
+        ServiceError::Degraded | ServiceError::Follower => Response::Degraded {
             detail: err.to_string(),
         },
         ServiceError::UnknownSession(id) => Response::Error {

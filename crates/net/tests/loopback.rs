@@ -200,7 +200,11 @@ fn busy_cancel_and_unknown_session_cross_the_wire_typed() {
         Kdb::in_memory(),
     ));
     let server = NetServer::start(Arc::clone(&service), NetConfig::default()).unwrap();
-    let client = AsyncClient::connect(server.local_addr()).unwrap();
+    // Retry disabled: this test asserts the *raw* Busy backpressure
+    // signal; the auto-retry layer would otherwise keep re-submitting.
+    let client = AsyncClient::connect(server.local_addr())
+        .unwrap()
+        .without_busy_retry();
 
     // One running (parked at the gate), one queued, and the third
     // submission bounces with typed retry guidance — all multiplexed
@@ -279,6 +283,88 @@ fn busy_cancel_and_unknown_session_cross_the_wire_typed() {
         if !done {
             std::thread::sleep(Duration::from_millis(20));
         }
+    }
+
+    let net = server.shutdown();
+    assert_eq!(net.protocol_errors, 0);
+    drop(service);
+}
+
+#[test]
+fn busy_auto_retry_rides_through_transient_backpressure() {
+    let gate = Arc::new(GateObserver::default());
+    let service = Arc::new(AnalysisService::with_kdb(
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            observer: Some(gate.clone()),
+            ..ServiceConfig::default()
+        },
+        Kdb::in_memory(),
+    ));
+    let server = NetServer::start(Arc::clone(&service), NetConfig::default()).unwrap();
+    let client = AsyncClient::connect(server.local_addr())
+        .unwrap()
+        .with_busy_retry(ada_net::BusyRetry {
+            attempts: 40,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(250),
+            ..ada_net::BusyRetry::default()
+        });
+
+    // Hold the lone worker at the gate and fill the one queue slot.
+    match client
+        .call(Request::Submit(quick_spec(10)), DEADLINE)
+        .unwrap()
+    {
+        Response::Submitted { .. } => {}
+        other => panic!("expected Submitted, got {other:?}"),
+    }
+    gate.wait_for_start();
+    match client
+        .call(Request::Submit(quick_spec(11)), DEADLINE)
+        .unwrap()
+    {
+        Response::Submitted { .. } => {}
+        other => panic!("expected Submitted, got {other:?}"),
+    }
+
+    // Release the gate shortly; the retrying submit must outlast the
+    // transient Busy window and land once the queue drains.
+    let releaser = {
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            gate.release();
+        })
+    };
+    let session = match client
+        .call(Request::Submit(quick_spec(12)), DEADLINE)
+        .unwrap()
+    {
+        Response::Submitted { session } => session,
+        other => panic!("auto-retry did not absorb backpressure: got {other:?}"),
+    };
+    releaser.join().unwrap();
+    let deadline = std::time::Instant::now() + DEADLINE;
+    loop {
+        match client.call(Request::Status { session }, DEADLINE).unwrap() {
+            Response::State { state, reason, .. } => {
+                if state == "completed" {
+                    break;
+                }
+                assert!(
+                    !matches!(state.as_str(), "failed" | "cancelled"),
+                    "retried session ended {state}: {reason}"
+                );
+            }
+            other => panic!("expected State, got {other:?}"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session never terminal"
+        );
+        std::thread::sleep(Duration::from_millis(20));
     }
 
     let net = server.shutdown();
@@ -777,6 +863,46 @@ fn prometheus_exposition_keeps_stable_names_and_adds_net_series() {
         assert!(exposition.contains("ada_net_bytes_total{dir=\"out\"}"));
         assert!(exposition.contains("ada_net_protocol_errors_total 0\n"));
     }
+
+    // A fleet node appends the replication and fleet families after the
+    // service + net set (`FleetNode::exposition`'s composition). Pin the
+    // combined, ordered family list the same way: dashboards scraping a
+    // fleet member depend on these exact names in this exact order.
+    let combined = format!(
+        "{direct}{}{}",
+        ada_obs::ReplMetrics::new().snapshot().to_prometheus(),
+        ada_obs::FleetMetrics::new().snapshot().to_prometheus(),
+    );
+    let combined_types: Vec<&str> = combined
+        .lines()
+        .filter(|l| l.starts_with("# TYPE "))
+        .skip(28)
+        .collect();
+    assert_eq!(
+        combined_types,
+        vec![
+            "# TYPE ada_repl_frames_shipped_total counter",
+            "# TYPE ada_repl_bytes_shipped_total counter",
+            "# TYPE ada_repl_snapshots_total counter",
+            "# TYPE ada_repl_frames_applied_total counter",
+            "# TYPE ada_repl_rejects_total counter",
+            "# TYPE ada_repl_source_durable_ops gauge",
+            "# TYPE ada_repl_follower_acked_ops gauge",
+            "# TYPE ada_repl_lag_ops gauge",
+            "# TYPE ada_fleet_members gauge",
+            "# TYPE ada_fleet_routed_total counter",
+            "# TYPE ada_fleet_busy_deferrals_total counter",
+            "# TYPE ada_fleet_health_checks_total counter",
+            "# TYPE ada_fleet_health_failures_total counter",
+            "# TYPE ada_fleet_promotions_total counter",
+        ],
+        "pinned fleet-node exposition family set changed"
+    );
+    // Both reject reasons render as labelled series of one family.
+    assert!(combined.contains("ada_repl_rejects_total{reason=\"gap\"} 0\n"));
+    assert!(combined.contains("ada_repl_rejects_total{reason=\"corrupt\"} 0\n"));
+    assert!(combined.contains("ada_fleet_routed_total{role=\"primary\"} 0\n"));
+    assert!(combined.contains("ada_fleet_routed_total{role=\"follower\"} 0\n"));
 
     // The JSON snapshot surfaces the drop counter alongside the trace
     // counters (the document face of `ada_obs_dropped_spans_total`).

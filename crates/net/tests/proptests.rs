@@ -143,7 +143,9 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         document_strategy().prop_map(|doc| Response::Health { doc }),
         (document_strategy(), "[ -~]{0,40}")
             .prop_map(|(doc, prometheus)| Response::Metrics { doc, prometheus }),
-        (0u64..100_000).prop_map(|ms| Response::Busy {
+        // Decode clamps retry_after_ms fail-closed to MAX_RETRY_AFTER_MS,
+        // so only in-range hints round-trip identically.
+        (0u64..=ada_net::proto::MAX_RETRY_AFTER_MS as u64).prop_map(|ms| Response::Busy {
             retry_after: Duration::from_millis(ms)
         }),
         "[ -~]{0,24}".prop_map(|detail| Response::Degraded { detail }),

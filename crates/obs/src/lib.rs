@@ -27,6 +27,9 @@
 //!   runs.
 //! * [`export`] — deterministic JSON rendering of K-DB documents for
 //!   the service `snapshot()` endpoint and the CI smoke gate.
+//! * [`repl`] — lock-free `ada_repl_*`/`ada_fleet_*` collectors for
+//!   journal replication and fleet routing (`ada-fleet` populates
+//!   them; the families are pinned with every other exposition).
 //!
 //! Determinism is non-negotiable: tracing observes the pipeline through
 //! the [`ada_core::control::PipelineObserver`] seam and never feeds
@@ -39,6 +42,7 @@ pub mod context;
 pub mod export;
 pub mod hist;
 pub mod recorder;
+pub mod repl;
 pub mod trace;
 
 pub use context::{current_trace, TraceContext, TraceScope};
@@ -46,6 +50,8 @@ pub use export::{document_to_json, value_to_json};
 pub use hist::{HistogramSnapshot, Log2Histogram, NUM_BUCKETS};
 pub use recorder::{
     past_sessions, past_traces, FlightRecorder, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL,
-    MARK_QUEUE_WAIT, MARK_RETRY, MARK_SLOW_SESSION,
+    MARK_PROMOTED, MARK_QUEUE_WAIT, MARK_REPL_APPLY, MARK_REPL_RESET, MARK_RETRY,
+    MARK_SLOW_SESSION,
 };
+pub use repl::{FleetMetrics, FleetMetricsSnapshot, ReplMetrics, ReplMetricsSnapshot};
 pub use trace::{EventKind, TraceEvent, Tracer, PARENT_NONE};

@@ -48,6 +48,15 @@ pub const MARK_DEGRADED: &str = "degraded";
 /// Mark name for a session whose wall time crossed the slow-session
 /// threshold (p99-derived); its trace is forced retroactively.
 pub const MARK_SLOW_SESSION: &str = "slow_session";
+/// Mark name for a batch of replicated journal frames applied by a
+/// follower (the duration covers verify + apply + local journaling).
+pub const MARK_REPL_APPLY: &str = "repl_apply";
+/// Mark name for a replication stream reset (bootstrap or
+/// post-compaction full-image transfer).
+pub const MARK_REPL_RESET: &str = "repl_reset";
+/// Mark name for a follower promoted to primary at its acked
+/// watermark.
+pub const MARK_PROMOTED: &str = "promoted";
 
 /// Producer-side parentage bookkeeping for one in-flight session.
 struct LiveSession {

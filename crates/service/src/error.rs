@@ -27,6 +27,11 @@ pub enum ServiceError {
     /// faults: reads and status queries still work, mutating work is
     /// refused until the operator restarts over healthy storage.
     Degraded,
+    /// The service is a replication follower: reads and status queries
+    /// are served from the warm standby, mutating work belongs on the
+    /// primary. Unlike [`ServiceError::Degraded`] this is not sticky —
+    /// promotion ([`crate::AnalysisService::promote`]) clears it.
+    Follower,
 }
 
 impl ServiceError {
@@ -61,6 +66,12 @@ impl fmt::Display for ServiceError {
             ServiceError::Degraded => {
                 write!(f, "service is degraded (read-only) after journal faults")
             }
+            ServiceError::Follower => {
+                write!(
+                    f,
+                    "service is a replication follower (read-only); submit to the primary"
+                )
+            }
         }
     }
 }
@@ -89,6 +100,8 @@ mod tests {
         );
         assert!(ServiceError::Degraded.to_string().contains("read-only"));
         assert_eq!(ServiceError::Degraded.retry_after_hint(), None);
+        assert!(ServiceError::Follower.to_string().contains("primary"));
+        assert_eq!(ServiceError::Follower.retry_after_hint(), None);
         let _: &dyn std::error::Error = &busy;
     }
 }

@@ -13,8 +13,8 @@ use ada_kdb::{
 };
 use ada_obs::{
     current_trace, document_to_json, past_sessions, past_traces, FlightRecorder, TraceContext,
-    TraceScope, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL, MARK_QUEUE_WAIT, MARK_RETRY,
-    MARK_SLOW_SESSION,
+    TraceScope, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL, MARK_PROMOTED, MARK_QUEUE_WAIT,
+    MARK_RETRY, MARK_SLOW_SESSION,
 };
 
 use crate::cancel::CancelToken;
@@ -70,6 +70,7 @@ impl RetryPolicy {
 }
 
 /// Tuning knobs for [`AnalysisService`].
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Worker threads in the pool.
     pub workers: usize,
@@ -107,6 +108,10 @@ pub struct ServiceConfig {
     /// derivation. Remote clients that mint contexts themselves must
     /// use the same seed for client and server decisions to agree.
     pub trace_seed: u64,
+    /// Start as a replication follower: reads and status queries are
+    /// served, submissions are refused with [`ServiceError::Follower`]
+    /// until [`AnalysisService::promote`] flips the node to primary.
+    pub follower: bool,
 }
 
 impl Default for ServiceConfig {
@@ -122,6 +127,7 @@ impl Default for ServiceConfig {
             sync_on_shutdown: true,
             sample_rate: 0.0,
             trace_seed: DEFAULT_TRACE_SEED,
+            follower: false,
         }
     }
 }
@@ -143,6 +149,9 @@ struct ServiceInner {
     /// Sticky read-only flag; set once [`ServiceInner::journal_fault_delta`]
     /// reaches `degrade_after`, cleared only by a restart.
     degraded: AtomicBool,
+    /// Warm-standby read-only flag; unlike `degraded` it is not sticky:
+    /// [`AnalysisService::promote`] clears it on failover.
+    follower: AtomicBool,
     /// Journal faults already on the K-DB when the service started
     /// (faults are attributed to the process that caused them).
     initial_faults: u64,
@@ -216,6 +225,7 @@ impl AnalysisService {
             retry: config.retry,
             shutting_down: AtomicBool::new(false),
             degraded: AtomicBool::new(false),
+            follower: AtomicBool::new(config.follower),
             initial_faults,
             degrade_after: u64::from(config.degrade_after.max(1)),
             sync_on_shutdown: config.sync_on_shutdown,
@@ -248,15 +258,19 @@ impl AnalysisService {
     }
 
     /// Submits a job; returns its session id, or refuses with
-    /// `Busy` (backpressure, with a retry hint), `ShuttingDown`, or
+    /// `Busy` (backpressure, with a retry hint), `ShuttingDown`,
     /// `Degraded` (the store is no longer accepting writes it could
-    /// lose).
+    /// lose), or `Follower` (this node is a warm standby; writes belong
+    /// on the primary).
     pub fn submit(&self, spec: JobSpec) -> Result<SessionId, ServiceError> {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
         }
         if self.inner.degraded.load(Ordering::Acquire) {
             return Err(ServiceError::Degraded);
+        }
+        if self.inner.follower.load(Ordering::Acquire) {
+            return Err(ServiceError::Follower);
         }
         let mut spec = spec;
         if spec.trace.is_none() && self.inner.sample_rate > 0.0 {
@@ -347,16 +361,52 @@ impl AnalysisService {
         self.inner.degraded.load(Ordering::Acquire)
     }
 
-    /// A health probe document: overall status (`"ok"` or
-    /// `"degraded"`), the journal fault count on this service's watch,
-    /// lost terminal-session records, and whether new work is accepted.
+    /// Whether this node is currently a replication follower.
+    pub fn is_follower(&self) -> bool {
+        self.inner.follower.load(Ordering::Acquire)
+    }
+
+    /// Flips the follower flag at runtime (the fleet layer sets it when
+    /// a node starts tailing a primary). Prefer
+    /// [`ServiceConfig::follower`] for nodes born as standbys.
+    pub fn set_follower(&self, on: bool) {
+        self.inner.follower.store(on, Ordering::Release);
+    }
+
+    /// Promotes a follower to primary: clears the read-only follower
+    /// flag so subsequent submissions are accepted, and marks the
+    /// transition in the flight recorder. Idempotent; returns whether
+    /// this call performed the transition.
+    pub fn promote(&self) -> bool {
+        let was = self.inner.follower.swap(false, Ordering::AcqRel);
+        if was {
+            self.inner
+                .recorder
+                .mark("fleet", MARK_PROMOTED, Duration::ZERO);
+        }
+        was
+    }
+
+    /// A health probe document: overall status (`"ok"`, `"follower"` or
+    /// `"degraded"`), the node's replication role, the journal fault
+    /// count on this service's watch, lost terminal-session records,
+    /// and whether new work is accepted.
     pub fn health(&self) -> Document {
         let degraded = self.is_degraded();
+        let follower = self.is_follower();
         let faults = self.inner.journal_fault_delta();
         let metrics = self.inner.metrics.snapshot();
+        let status = if degraded {
+            "degraded"
+        } else if follower {
+            "follower"
+        } else {
+            "ok"
+        };
         Document::new()
-            .with("status", if degraded { "degraded" } else { "ok" })
-            .with("accepting_writes", !degraded)
+            .with("status", status)
+            .with("role", if follower { "follower" } else { "primary" })
+            .with("accepting_writes", !degraded && !follower)
             .with("journal_faults", i64::try_from(faults).unwrap_or(i64::MAX))
             .with(
                 "persist_failures",

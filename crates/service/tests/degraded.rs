@@ -114,3 +114,57 @@ fn persistent_journal_faults_degrade_service_to_read_only() {
 
     service.shutdown();
 }
+
+#[test]
+fn follower_refuses_writes_until_promoted() {
+    let kdb = Kdb::open_with(
+        Path::new("svc_follower.journal"),
+        StoreOptions::with_storage(Arc::new(MemStorage::new())),
+    )
+    .unwrap();
+    let service = AnalysisService::with_kdb(
+        ServiceConfig {
+            workers: 1,
+            follower: true,
+            ..ServiceConfig::default()
+        },
+        kdb,
+    );
+
+    // Born a follower: status/role say so, writes are refused with the
+    // dedicated (non-sticky) error, reads still work.
+    assert!(service.is_follower());
+    let health = service.health();
+    assert_eq!(health.get("status"), Some(&Value::Str("follower".into())));
+    assert_eq!(health.get("role"), Some(&Value::Str("follower".into())));
+    assert_eq!(health.get("accepting_writes"), Some(&Value::Bool(false)));
+    let err = service
+        .submit(JobSpec::new(
+            AdaHealthConfig::quick("standby-rejected"),
+            Arc::new(generate(&cohort_cfg(), 7001)),
+        ))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::Follower));
+    assert_eq!(service.past_sessions().len(), 0);
+
+    // Promotion flips the node to primary exactly once; work flows.
+    assert!(service.promote());
+    assert!(!service.promote(), "promote must be idempotent");
+    assert!(!service.is_follower());
+    let health = service.health();
+    assert_eq!(health.get("status"), Some(&Value::Str("ok".into())));
+    assert_eq!(health.get("role"), Some(&Value::Str("primary".into())));
+    assert_eq!(health.get("accepting_writes"), Some(&Value::Bool(true)));
+    let id = service
+        .submit(JobSpec::new(
+            AdaHealthConfig::quick("post-promotion"),
+            Arc::new(generate(&cohort_cfg(), 7002)),
+        ))
+        .unwrap();
+    assert!(matches!(
+        service.wait(id).unwrap(),
+        SessionState::Completed(_)
+    ));
+
+    service.shutdown();
+}
