@@ -27,6 +27,13 @@
 //!    the flipped op itself never applies.
 //! 5. **Reorders** — adjacent frames swapped in flight read as a gap
 //!    at the swap point.
+//! 6. **Compactions** — the primary compacts mid-replication
+//!    (collapsing history and restarting the frame sequence space),
+//!    then keeps writing. A follower attached at any earlier point —
+//!    including mid-frame — converges through the `Reset` →
+//!    authoritative-snapshot path: its applied watermark legitimately
+//!    regresses to the compacted count, then the post-compaction
+//!    frames extend it to a byte-identical journal.
 //!
 //! Any failure prints the seed and attack coordinates, so
 //! `fleet_torture --seed N` replays it exactly.
@@ -262,6 +269,7 @@ fn check_heal(
     feed_prefix(seed, &mut engine, msgs, upto, cut);
     engine
         .consume(&ReplMsg::Snapshot {
+            epoch: 1,
             image: image.to_vec(),
         })
         .unwrap_or_else(|e| fail(seed, &format!("{coord}: re-bootstrap rejected: {e}")));
@@ -421,6 +429,7 @@ fn check_drop(
     // The only way forward is a re-bootstrap — and it converges.
     engine
         .consume(&ReplMsg::Snapshot {
+            epoch: 1,
             image: image.to_vec(),
         })
         .unwrap_or_else(|e| fail(seed, &format!("{coord}: recovery bootstrap rejected: {e}")));
@@ -760,6 +769,151 @@ fn main() {
     println!(
         "reorders: {} adjacent swaps, all classified as gaps at the swap point",
         reorders.len()
+    );
+
+    // Phase 6: the primary compacts while a follower is attached. The
+    // compaction collapses update/delete history and restarts the frame
+    // sequence space — old applied counts mean nothing against the new
+    // image, so the follower must converge through the Reset →
+    // authoritative-snapshot path, not by prefix-skipping.
+    let epoch_before = source.lineage_epoch();
+    primary
+        .snapshot()
+        .unwrap_or_else(|e| fail(seed, &format!("primary compaction failed: {e}")));
+    let epoch_after = source.lineage_epoch();
+    if epoch_after == epoch_before {
+        fail(
+            seed,
+            "compaction did not replace the source's lineage epoch",
+        );
+    }
+    let compacted_total = match source.drain().as_slice() {
+        [ReplMsg::Reset { ops }] => *ops,
+        other => fail(
+            seed,
+            &format!(
+                "compaction shipped {} messages, expected exactly one Reset",
+                other.len()
+            ),
+        ),
+    };
+    if compacted_total > total as u64 {
+        fail(
+            seed,
+            &format!("compaction grew the journal: {compacted_total} ops from {total}"),
+        );
+    }
+    let image_compacted = primary
+        .journal_image()
+        .unwrap_or_else(|e| fail(seed, &format!("compacted journal unreadable: {e}")));
+    // Keep writing in the restarted sequence space.
+    let mut rng6 = Rng(seed ^ 0x6AC7);
+    for i in 0..patients.min(64) {
+        primary
+            .insert("patients", patient_doc(&mut rng6, patients + i))
+            .unwrap_or_else(|e| fail(seed, &format!("post-compaction insert failed: {e}")));
+    }
+    primary
+        .sync()
+        .unwrap_or_else(|e| fail(seed, &format!("post-compaction fsync failed: {e}")));
+    let msgs_post = source.drain();
+    let post_frames = msgs_post
+        .iter()
+        .filter(|m| matches!(m, ReplMsg::Frame { .. }))
+        .count() as u64;
+    let final_ops = compacted_total + post_frames;
+    let golden_final = primary.read().fingerprint();
+    let image_final = primary
+        .journal_image()
+        .unwrap_or_else(|e| fail(seed, &format!("final journal unreadable: {e}")));
+    let compactions: Vec<(usize, usize)> = if quick {
+        (0..=msgs.len()).map(|k| (k, 0)).collect()
+    } else {
+        (0..48)
+            .map(|_| {
+                let f = frame_idxs[rng.below(frame_idxs.len() as u64) as usize];
+                let ReplMsg::Frame { bytes } = &msgs[f] else {
+                    unreachable!()
+                };
+                match rng.below(2) {
+                    0 => (rng.below(msgs.len() as u64 + 1) as usize, 0),
+                    _ => (f, 1 + rng.below(bytes.len() as u64 - 1) as usize),
+                }
+            })
+            .collect()
+    };
+    for &(upto, cut) in &compactions {
+        let coord = format!("compaction with follower at {upto} messages (cut {cut})");
+        let metrics = Arc::new(ReplMetrics::new());
+        let mut engine = fresh_engine(&metrics);
+        feed_prefix(seed, &mut engine, &msgs, upto, cut);
+        engine
+            .consume(&ReplMsg::Reset {
+                ops: compacted_total,
+            })
+            .unwrap_or_else(|e| fail(seed, &format!("{coord}: Reset rejected: {e}")));
+        engine
+            .consume(&ReplMsg::Snapshot {
+                epoch: epoch_after,
+                image: image_compacted.clone(),
+            })
+            .unwrap_or_else(|e| fail(seed, &format!("{coord}: compacted snapshot rejected: {e}")));
+        if engine.applied_ops() != compacted_total {
+            fail(
+                seed,
+                &format!(
+                    "{coord}: {} ops applied after the compacted snapshot, expected the \
+                     watermark to land on {compacted_total}",
+                    engine.applied_ops()
+                ),
+            );
+        }
+        for msg in &msgs_post {
+            engine
+                .consume(msg)
+                .unwrap_or_else(|e| fail(seed, &format!("{coord}: post-compaction frame: {e}")));
+        }
+        engine
+            .sync()
+            .unwrap_or_else(|e| fail(seed, &format!("{coord}: follower fsync failed: {e}")));
+        if engine.applied_ops() != final_ops || engine.acked_ops() != final_ops {
+            fail(
+                seed,
+                &format!(
+                    "{coord}: applied {} / acked {} of {final_ops}",
+                    engine.applied_ops(),
+                    engine.acked_ops()
+                ),
+            );
+        }
+        if engine.fingerprint() != golden_final {
+            fail(
+                seed,
+                &format!("{coord}: follower diverged from the primary"),
+            );
+        }
+        let replica_image = engine
+            .kdb()
+            .journal_image()
+            .unwrap_or_else(|e| fail(seed, &format!("{coord}: replica journal unreadable: {e}")));
+        if replica_image != image_final {
+            fail(
+                seed,
+                &format!("{coord}: journal not byte-identical after compaction recovery"),
+            );
+        }
+        let snap = metrics.snapshot();
+        if snap.rejects_gap != 0 || snap.rejects_corrupt != 0 {
+            fail(
+                seed,
+                &format!("{coord}: compaction recovery counted stream rejects"),
+            );
+        }
+    }
+    println!(
+        "compactions: {} attach points healed through Reset + authoritative snapshot \
+         ({total} ops collapsed to {compacted_total}, then {post_frames} more), all byte-identical",
+        compactions.len()
     );
 
     println!(

@@ -2,11 +2,16 @@
 //!
 //! [`ReplicaEngine`] owns the read-only replica's [`SharedKdb`] and a
 //! [`ReplStream`], and turns shipped bytes into applied state:
-//! bootstrap from a journal image, then feed live frames. Every applied
-//! op goes through [`SharedKdb::apply_replicated`] — the normal shard +
-//! group-commit machinery — so the follower journals the stream locally
-//! with the same rollback discipline as a primary, and a clean
-//! replicated journal is byte-identical to the source's.
+//! bootstrap from a journal image, then feed live frames. A
+//! [`ReplMsg::Snapshot`] is **authoritative**: the replica is rebuilt
+//! wholesale to exactly the shipped image
+//! ([`SharedKdb::reset_replica`]), never prefix-extended — so a
+//! post-compaction image, whose op indexes live in a restarted
+//! sequence space, installs correctly no matter what the follower held
+//! before. Live frames go through [`SharedKdb::apply_replicated`] — the
+//! normal shard + group-commit machinery — so the follower journals the
+//! stream locally with the same rollback discipline as a primary, and a
+//! clean replicated journal is byte-identical to the source's.
 //!
 //! The engine is deliberately transport-agnostic: `fleet_torture`
 //! drives it through in-memory links with seeded kills and partitions,
@@ -55,6 +60,10 @@ pub struct ReplicaEngine {
     metrics: Arc<ReplMetrics>,
     /// Ops applied from the primary's stream (bootstrap included).
     applied: u64,
+    /// Lineage epoch of the image this replica was bootstrapped from
+    /// (0 until the first snapshot). Echoed in `Hello` so the primary
+    /// can tell whether a frame suffix still extends our state.
+    source_epoch: u64,
     /// The primary's advertised durable watermark.
     source_durable: u64,
     /// Whether the sticky stream fault was already counted in the
@@ -70,6 +79,7 @@ impl ReplicaEngine {
             stream: ReplStream::new(),
             metrics,
             applied: 0,
+            source_epoch: 0,
             source_durable: 0,
             fault_counted: false,
         }
@@ -83,6 +93,20 @@ impl ReplicaEngine {
     /// Ops applied from the primary so far.
     pub fn applied_ops(&self) -> u64 {
         self.applied
+    }
+
+    /// Lineage epoch of the last bootstrap image (0 before the first).
+    pub fn source_epoch(&self) -> u64 {
+        self.source_epoch
+    }
+
+    /// Drops any partially buffered frame bytes and clears a sticky
+    /// stream fault, keeping the applied state. Call when a transport
+    /// connection dies: the torn tail of the old connection must not
+    /// corrupt the byte stream of the next one.
+    pub fn resync(&mut self) {
+        self.stream.reset(self.applied);
+        self.fault_counted = false;
     }
 
     /// The primary's last advertised durable watermark.
@@ -107,18 +131,22 @@ impl ReplicaEngine {
         Ok(acked)
     }
 
-    /// Verifies a journal image under strict recovery and applies the
-    /// ops beyond what this replica already holds. Returns the new
-    /// applied watermark. Also the re-bootstrap path after the primary
-    /// compacts ([`ReplMsg::Reset`]) — then the replica must be handed
-    /// back fresh (`applied` 0) by the caller, or the image must extend
-    /// the current state.
+    /// Verifies a journal image under strict recovery and rebuilds the
+    /// replica to be **exactly** that image, discarding whatever the
+    /// replica held before ([`SharedKdb::reset_replica`]). Returns the
+    /// new applied watermark — `image`'s op count, which may be *lower*
+    /// than the previous watermark when the primary compacted. This is
+    /// what makes post-compaction re-bootstrap safe: the image's op
+    /// indexes live in a restarted sequence space, so prefix-extending
+    /// against the old applied count would skip or double-apply ops.
+    ///
+    /// `epoch` is the image's lineage epoch, echoed in later `Hello`s.
     ///
     /// # Errors
-    /// [`ReplError::Bootstrap`] when the image is torn, corrupt, or
-    /// shorter than what this replica already applied;
-    /// [`ReplError::Apply`] when an op does not apply.
-    pub fn bootstrap(&mut self, image: &[u8]) -> Result<u64, ReplError> {
+    /// [`ReplError::Bootstrap`] when the image is torn or corrupt;
+    /// [`ReplError::Apply`] when an op does not apply (the replica is
+    /// left unchanged — validation happens before installation).
+    pub fn bootstrap(&mut self, epoch: u64, image: &[u8]) -> Result<u64, ReplError> {
         let replay = replay_bytes(image, RecoveryMode::Strict)
             .map_err(|e| ReplError::Bootstrap(e.to_string()))?;
         if replay.truncated {
@@ -126,16 +154,12 @@ impl ReplicaEngine {
                 "image has a torn tail; a shipped snapshot must be whole".into(),
             ));
         }
-        let total = replay.ops.len() as u64;
-        if total < self.applied {
-            return Err(ReplError::Bootstrap(format!(
-                "image holds {total} ops but {} already applied",
-                self.applied
-            )));
-        }
-        for op in replay.ops.iter().skip(self.applied as usize) {
-            self.kdb.apply_replicated(op).map_err(ReplError::Apply)?;
-            self.applied += 1;
+        self.kdb
+            .reset_replica(&replay.ops)
+            .map_err(ReplError::Apply)?;
+        self.applied = replay.ops.len() as u64;
+        self.source_epoch = epoch;
+        for _ in &replay.ops {
             self.metrics.frame_applied();
         }
         self.stream.reset(self.applied);
@@ -144,7 +168,7 @@ impl ReplicaEngine {
     }
 
     /// Consumes one replication message. Returns the number of newly
-    /// applied ops (only `Frame`/`Snapshot` can be non-zero).
+    /// applied ops (only `Frame`/`Snapshot`/`CatchUp` can be non-zero).
     ///
     /// # Errors
     /// A sticky [`ReplError::Stream`] (counted in the gap/corrupt
@@ -152,16 +176,32 @@ impl ReplicaEngine {
     pub fn consume(&mut self, msg: &ReplMsg) -> Result<u64, ReplError> {
         match msg {
             ReplMsg::Frame { bytes } => self.feed(bytes),
-            ReplMsg::Snapshot { image } => {
+            ReplMsg::Snapshot { epoch, image } => {
                 let before = self.applied;
-                self.bootstrap(image).map(|after| after - before)
+                // A compacted image can hold fewer ops than we had
+                // applied — the watermark legitimately regresses.
+                self.bootstrap(*epoch, image)
+                    .map(|after| after.saturating_sub(before))
+            }
+            ReplMsg::CatchUp { from, bytes } => {
+                if *from != self.applied {
+                    return Err(ReplError::Bootstrap(format!(
+                        "catch-up starts at {from} but {} applied",
+                        self.applied
+                    )));
+                }
+                self.resync();
+                self.feed(bytes)
             }
             ReplMsg::Durable { seq } => {
                 self.source_durable = self.source_durable.max(*seq);
                 self.metrics.set_source_durable(self.source_durable);
                 Ok(0)
             }
-            ReplMsg::Reset { .. } | ReplMsg::Hello { .. } | ReplMsg::Ack { .. } => Ok(0),
+            ReplMsg::Reset { .. }
+            | ReplMsg::Hello { .. }
+            | ReplMsg::Ack { .. }
+            | ReplMsg::Reject { .. } => Ok(0),
         }
     }
 

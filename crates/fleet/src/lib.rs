@@ -13,19 +13,30 @@
 //!   out. Sequence gaps and corruption are classified with absolute
 //!   byte offsets and are *sticky* — nothing past a fault is ever
 //!   applied until a re-bootstrap resets the stream.
-//! * [`wire`] — [`ReplMsg`], the replication message codec. Payloads
-//!   ride inside ADAN1 frames; journal frames ship *verbatim*, so the
-//!   bytes the follower verifies are the bytes the primary fsynced.
+//! * [`wire`] — [`ReplMsg`], the replication message codec (eight
+//!   messages: `Hello`, `Snapshot`, `CatchUp`, `Frame`, `Durable`,
+//!   `Ack`, `Reset`, `Reject`). Payloads ride inside ADAN1 frames;
+//!   journal frames ship *verbatim*, so the bytes the follower verifies
+//!   are the bytes the primary fsynced. `Hello`/`Snapshot` carry a
+//!   lineage epoch that tells re-bootstrap (compaction restarted the
+//!   sequence space → full authoritative image) apart from catch-up
+//!   (same lineage → just the missed frame suffix).
 //! * [`source`] — [`ReplSource`], the primary's journal tap: appends,
 //!   fsync watermarks, and compactions become an ordered, bounded
-//!   message queue (overflow collapses to a re-bootstrap marker).
+//!   message queue. Overflow collapses to a re-bootstrap marker and is
+//!   *sticky*: frames keep being dropped until the shipper serves the
+//!   follower's re-`Hello`, so a half-recovered follower can never be
+//!   fed a stream with a hole in it.
 //! * [`engine`] — [`ReplicaEngine`], the transport-free follower core:
-//!   bootstrap from a journal image, apply live frames through the
-//!   replica's own shard + group-commit machinery, ack at the local
-//!   fsync watermark. `fleet_torture` drives this directly.
+//!   install a journal image **wholesale** (a snapshot is
+//!   authoritative — safe even when compaction shrank the journal),
+//!   apply live frames through the replica's own shard + group-commit
+//!   machinery, ack at the local fsync watermark. `fleet_torture`
+//!   drives this directly.
 //! * [`ship`] — [`ReplListener`] / [`ReplFollower`], the TCP endpoints
-//!   that move the same messages over real sockets with reconnect and
-//!   re-bootstrap.
+//!   that move the same messages over real sockets with reconnect,
+//!   re-bootstrap, suffix catch-up, and visible rejection of surplus
+//!   followers.
 //! * [`router`] — [`Router`], consistent-hash session placement with
 //!   `Busy.retry_after` load feedback, health probes, and deterministic
 //!   primary failover.

@@ -5,19 +5,34 @@
 //! follower connects and speaks first:
 //!
 //! ```text
-//! follower → primary   Hello { have_ops }
-//! primary  → follower  Snapshot { journal image }
+//! follower → primary   Hello { have_ops, epoch }
+//! primary  → follower  CatchUp { from, suffix }     (same epoch: the
+//!                                                    frames past have_ops)
+//!                      — or —
+//!                      Snapshot { epoch, image }    (authoritative rebuild)
 //! primary  → follower  Frame* / Durable* / Reset*   (as the tap emits)
 //! follower → primary   Ack { seq }*                 (at fsync watermarks)
 //! ```
 //!
+//! The primary answers a `Hello` whose `epoch` matches the journal's
+//! current lineage (and whose `have_ops` prefix verifies against the
+//! image) with a `CatchUp` carrying only the missed frame suffix —
+//! reconnects after a link blip cost O(missed ops), not O(journal).
+//! Anything else — first contact, a post-compaction epoch mismatch, a
+//! prefix that does not verify — gets a full `Snapshot`, which the
+//! follower installs **wholesale** (its previous state is discarded, so
+//! a compacted image with a restarted sequence space is safe).
+//!
 //! Duplicate frames across the snapshot/tap boundary are verified and
 //! skipped by the follower's [`ReplStream`](crate::stream::ReplStream);
 //! a `Reset` (compaction or source-queue overflow) makes the follower
-//! re-`Hello`, which makes the primary re-snapshot. Either endpoint
-//! surviving the other's death is the point: the primary keeps serving
-//! with the tap queueing (bounded), the follower keeps serving reads at
-//! its last applied watermark and reconnects with backoff.
+//! re-`Hello` and discard in-flight `Frame`/`Durable` traffic until the
+//! answering `Snapshot`/`CatchUp` arrives. Either endpoint surviving
+//! the other's death is the point: the primary keeps serving with the
+//! tap queueing (bounded), the follower keeps serving reads at its last
+//! applied watermark and reconnects with backoff. One follower is
+//! served at a time; surplus connections are told so with a typed
+//! [`ReplMsg::Reject`] instead of rotting in the accept backlog.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,6 +40,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use ada_kdb::journal::{decode_stream_frame, FrameStep, V2_MAGIC};
 use ada_kdb::SharedKdb;
 use ada_net::frame::{frame_bytes, Decoded, FrameDecoder, MAGIC};
 use ada_obs::ReplMetrics;
@@ -140,12 +156,15 @@ fn accept_loop(
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((mut stream, _)) => {
+                // A silent connection must not wedge the primary's
+                // shipper thread at handshake.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(1000)));
                 if handshake_server(&mut stream).is_err() {
                     continue;
                 }
                 // Connection errors just end this follower's session;
                 // the next accept starts a fresh Hello/Snapshot cycle.
-                let _ = serve_follower(&mut stream, kdb, source, stop);
+                let _ = serve_follower(&mut stream, listener, kdb, source, stop);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(TICK);
@@ -155,9 +174,45 @@ fn accept_loop(
     }
 }
 
+/// Tells every connection waiting in the accept backlog that this
+/// primary already ships to a follower. Without this, a second
+/// follower's `Hello` would sit unanswered forever — silently never
+/// replicating and reporting nothing.
+fn reject_surplus(listener: &TcpListener) {
+    while let Ok((mut stream, _)) = listener.accept() {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        if handshake_server(&mut stream).is_ok() {
+            let msg = ReplMsg::Reject {
+                reason: "primary already ships to a follower".into(),
+            };
+            let _ = stream.write_all(&frame_bytes(&msg.encode(), 0));
+        }
+    }
+}
+
+/// Walks `image`'s frames and returns the byte offset just past the
+/// first `have_ops` of them — the start of the suffix a same-epoch
+/// follower is missing. `None` when the prefix does not verify (torn,
+/// corrupt, fewer frames than claimed): the caller falls back to a
+/// full snapshot.
+fn suffix_at(image: &[u8], have_ops: u64) -> Option<usize> {
+    if !image.starts_with(V2_MAGIC) {
+        return None;
+    }
+    let mut pos = V2_MAGIC.len();
+    for seq in 0..have_ops {
+        match decode_stream_frame(image, pos, seq) {
+            FrameStep::Op { end, .. } => pos = end,
+            _ => return None,
+        }
+    }
+    Some(pos)
+}
+
 /// Ships to one connected follower until error, stop, or disconnect.
 fn serve_follower(
     stream: &mut TcpStream,
+    listener: &TcpListener,
     kdb: &SharedKdb,
     source: &Arc<ReplSource>,
     stop: &AtomicBool,
@@ -178,6 +233,8 @@ fn serve_follower(
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }
+        // Surplus followers get a visible Reject, not backlog limbo.
+        reject_surplus(listener);
         // 1. Forward whatever the tap queued. Before the first Hello
         //    the queue is discarded — every discarded frame is already
         //    in the journal, so the image taken below covers it; frames
@@ -201,16 +258,59 @@ fn serve_follower(
             match decoder.next_frame() {
                 Ok(Decoded::Frame(payload)) => match ReplMsg::decode(&payload) {
                     Ok(ReplMsg::Ack { seq }) => source.observe_ack(seq),
-                    Ok(ReplMsg::Hello { .. }) => {
+                    Ok(ReplMsg::Hello { have_ops, epoch }) => {
                         // Initial hello or a re-bootstrap request after
-                        // Reset: ship a fresh frame-aligned image, then
-                        // the current durable watermark so a quiescent
-                        // primary's follower can still fsync and ack.
-                        let image = kdb
-                            .journal_image()
-                            .map_err(|e| std::io::Error::other(format!("journal image: {e}")))?;
-                        source.metrics().snapshot_shipped(image.len());
-                        send(stream, &mut write_seq, &ReplMsg::Snapshot { image })?;
+                        // Reset. Order matters:
+                        //  a. leave the overflowed state BEFORE imaging
+                        //     — a frame appended after this point is
+                        //     queued (and at worst also in the image: a
+                        //     verified duplicate), never dropped;
+                        //  b. take an epoch-stable image — a compaction
+                        //     racing the read would pair an old image
+                        //     with a new epoch and mis-validate a later
+                        //     catch-up.
+                        source.end_overflow();
+                        let (lineage, image) = loop {
+                            let before = source.lineage_epoch();
+                            let image = kdb.journal_image().map_err(|e| {
+                                std::io::Error::other(format!("journal image: {e}"))
+                            })?;
+                            if source.lineage_epoch() == before {
+                                break (before, image);
+                            }
+                        };
+                        // Same lineage and a verifying prefix: ship only
+                        // the missed suffix. Anything else: the full
+                        // image, installed wholesale by the follower.
+                        let suffix = (epoch == lineage && have_ops > 0)
+                            .then(|| suffix_at(&image, have_ops))
+                            .flatten();
+                        match suffix {
+                            Some(pos) => {
+                                send(
+                                    stream,
+                                    &mut write_seq,
+                                    &ReplMsg::CatchUp {
+                                        from: have_ops,
+                                        bytes: image[pos..].to_vec(),
+                                    },
+                                )?;
+                            }
+                            None => {
+                                source.metrics().snapshot_shipped(image.len());
+                                send(
+                                    stream,
+                                    &mut write_seq,
+                                    &ReplMsg::Snapshot {
+                                        epoch: lineage,
+                                        image,
+                                    },
+                                )?;
+                            }
+                        }
+                        // Then the current durable watermark so a
+                        // quiescent primary's follower can still fsync
+                        // and ack.
                         let durable = kdb.journal_durable_ops();
                         send(stream, &mut write_seq, &ReplMsg::Durable { seq: durable })?;
                         greeted = true;
@@ -242,6 +342,7 @@ pub struct ReplFollower {
     handle: Option<std::thread::JoinHandle<()>>,
     acked: Arc<AtomicU64>,
     halted: Arc<Mutex<Option<String>>>,
+    rejected: Arc<Mutex<Option<String>>>,
 }
 
 impl ReplFollower {
@@ -251,14 +352,16 @@ impl ReplFollower {
         let stop = Arc::new(AtomicBool::new(false));
         let acked = Arc::new(AtomicU64::new(0));
         let halted: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let rejected: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
         let handle = {
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
             let acked = Arc::clone(&acked);
             let halted = Arc::clone(&halted);
+            let rejected = Arc::clone(&rejected);
             std::thread::Builder::new()
                 .name("ada-repl-tail".to_owned())
-                .spawn(move || tail_loop(primary, &engine, &stop, &acked, &halted))
+                .spawn(move || tail_loop(primary, &engine, &stop, &acked, &halted, &rejected))
                 .expect("spawn repl tail")
         };
         Self {
@@ -267,6 +370,7 @@ impl ReplFollower {
             handle: Some(handle),
             acked,
             halted,
+            rejected,
         }
     }
 
@@ -283,6 +387,14 @@ impl ReplFollower {
     /// Why replication halted, if it did (gap/corruption/apply error).
     pub fn halted(&self) -> Option<String> {
         self.halted.lock().clone()
+    }
+
+    /// The primary's reason the last time it refused this follower
+    /// (e.g. it already ships to another follower). Not fatal — the
+    /// tail keeps retrying with backoff and attaches when a slot
+    /// frees up.
+    pub fn last_reject(&self) -> Option<String> {
+        self.rejected.lock().clone()
     }
 
     /// Stops tailing and joins; the replica store stays as applied —
@@ -311,6 +423,7 @@ fn tail_loop(
     stop: &Arc<AtomicBool>,
     acked: &Arc<AtomicU64>,
     halted: &Arc<Mutex<Option<String>>>,
+    rejected: &Arc<Mutex<Option<String>>>,
 ) {
     let mut backoff = Duration::from_millis(10);
     while !stop.load(Ordering::Acquire) {
@@ -319,6 +432,14 @@ fn tail_loop(
             Err(TailEnd::Fatal(reason)) => {
                 *halted.lock() = Some(reason);
                 return;
+            }
+            Err(TailEnd::Rejected(reason)) => {
+                // The primary refused us (likely serving another
+                // follower). Visible but not fatal: keep retrying — a
+                // slot may free up (old follower promoted or died).
+                *rejected.lock() = Some(reason);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
             }
             Err(TailEnd::Disconnected) => {
                 // Primary gone or link flaked: serve reads at the
@@ -333,6 +454,9 @@ fn tail_loop(
 enum TailEnd {
     /// Connection-level failure — reconnect and re-Hello.
     Disconnected,
+    /// The primary refused to serve this follower — back off, retry,
+    /// surface the reason.
+    Rejected(String),
     /// Replication-level failure (gap/corruption/apply) — halt; the
     /// operator (or torture harness) decides what is next.
     Fatal(String),
@@ -357,12 +481,26 @@ fn tail_once(
         *write_seq += 1;
         stream.write_all(&frame).map_err(|_| TailEnd::Disconnected)
     };
-    let have = engine.lock().applied_ops();
+    let (have, epoch) = {
+        let mut eng = engine.lock();
+        // The previous connection may have died mid-frame; its torn
+        // tail must not prefix the bytes this connection ships.
+        eng.resync();
+        (eng.applied_ops(), eng.source_epoch())
+    };
     send(
         &mut stream,
         &mut write_seq,
-        &ReplMsg::Hello { have_ops: have },
+        &ReplMsg::Hello {
+            have_ops: have,
+            epoch,
+        },
     )?;
+    // Between a Hello and its Snapshot/CatchUp answer, any Frame or
+    // Durable on the wire predates the primary processing the Hello —
+    // after a Reset it belongs to a stream we can no longer extend.
+    // Discard instead of feeding a guaranteed gap.
+    let mut awaiting = true;
     let mut buf = [0u8; 16 * 1024];
     loop {
         if stop.load(Ordering::Acquire) {
@@ -385,16 +523,40 @@ fn tail_once(
                     let msg =
                         ReplMsg::decode(&payload).map_err(|e| TailEnd::Fatal(e.to_string()))?;
                     match &msg {
+                        ReplMsg::Reject { reason } => {
+                            return Err(TailEnd::Rejected(reason.clone()));
+                        }
                         ReplMsg::Reset { .. } => {
-                            // Sequence space restarted: ask for a fresh
-                            // image on this same connection.
-                            let have = engine.lock().applied_ops();
+                            // Sequence space restarted (compaction) or
+                            // the source queue overflowed: ask for a
+                            // fresh bootstrap on this same connection
+                            // and ignore stream traffic until it comes.
+                            let (have, epoch) = {
+                                let mut eng = engine.lock();
+                                eng.resync();
+                                (eng.applied_ops(), eng.source_epoch())
+                            };
                             send(
                                 &mut stream,
                                 &mut write_seq,
-                                &ReplMsg::Hello { have_ops: have },
+                                &ReplMsg::Hello {
+                                    have_ops: have,
+                                    epoch,
+                                },
                             )?;
+                            awaiting = true;
                             continue;
+                        }
+                        ReplMsg::Snapshot { .. } | ReplMsg::CatchUp { .. } => {
+                            engine
+                                .lock()
+                                .consume(&msg)
+                                .map_err(|e| TailEnd::Fatal(e.to_string()))?;
+                            awaiting = false;
+                        }
+                        ReplMsg::Frame { .. } | ReplMsg::Durable { .. } if awaiting => {
+                            // Pre-bootstrap leftovers; the answer to our
+                            // Hello supersedes them.
                         }
                         ReplMsg::Durable { .. } => {
                             let mut eng = engine.lock();

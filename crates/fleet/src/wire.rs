@@ -4,27 +4,54 @@
 //! (`F<len>:<seq>:<crc32>:` with its own per-connection sequence), so
 //! transport corruption is caught by `FrameDecoder` before a payload
 //! ever reaches this codec. Each payload is one [`ReplMsg`]: a
-//! single-byte tag followed by either a decimal watermark or raw bytes.
+//! single-byte tag followed by decimal watermarks and/or raw bytes.
 //!
 //! `Frame` payloads carry a primary journal frame **verbatim** — the
 //! exact bytes `Journal::append` wrote to disk, which carry their own
 //! sequence number and CRC. Content integrity is therefore checked
 //! end-to-end twice: once per transport hop, and once against the
 //! journal's own frame discipline when the follower decodes it.
+//!
+//! `Hello` and `Snapshot` carry the **lineage epoch** — a counter the
+//! primary bumps at every journal compaction. A follower echoes the
+//! epoch of the image it bootstrapped from, so the primary knows
+//! whether the follower's applied prefix still lives in the current
+//! sequence space (same epoch → a [`ReplMsg::CatchUp`] frame suffix
+//! extends it) or not (the follower must take a fresh authoritative
+//! [`ReplMsg::Snapshot`]).
 
 /// One message on the replication link.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplMsg {
-    /// Follower → primary: "I have `have_ops` ops; stream from there."
+    /// Follower → primary: "I have `have_ops` ops of lineage `epoch`;
+    /// stream from there."
     Hello {
         /// Ops the follower already holds.
         have_ops: u64,
+        /// Lineage epoch of the image those ops extend (0 before the
+        /// first bootstrap).
+        epoch: u64,
     },
     /// Primary → follower: a full journal image (magic + frames) to
-    /// bootstrap or re-bootstrap from.
+    /// bootstrap or re-bootstrap from. **Authoritative**: the follower
+    /// rebuilds its replica from scratch to exactly this image.
     Snapshot {
+        /// The primary's lineage epoch at the moment the image was
+        /// taken (echoed back in the follower's next `Hello`).
+        epoch: u64,
         /// The journal file's bytes.
         image: Vec<u8>,
+    },
+    /// Primary → follower, answering a same-epoch `Hello`: the journal
+    /// frames past the follower's applied prefix, verbatim. Cheaper
+    /// than a full image on reconnect — O(missed ops), not O(journal).
+    CatchUp {
+        /// The absolute sequence number the suffix starts at — must
+        /// equal the follower's applied watermark.
+        from: u64,
+        /// Concatenated journal frames `from..` (may be empty when the
+        /// follower is already caught up).
+        bytes: Vec<u8>,
     },
     /// Primary → follower: one journal frame, byte-for-byte as written.
     Frame {
@@ -43,11 +70,19 @@ pub enum ReplMsg {
         /// Absolute acked sequence watermark.
         seq: u64,
     },
-    /// Primary → follower: the journal was compacted; the sequence
-    /// space restarted at 0 with `ops` frames. Re-bootstrap.
+    /// Primary → follower: the stream is no longer continuable (journal
+    /// compaction restarted the sequence space, or the source queue
+    /// overflowed and dropped frames). Re-`Hello`.
     Reset {
-        /// Frames in the rewritten journal.
+        /// Frames in the rewritten journal (0 for a queue overflow).
         ops: u64,
+    },
+    /// Primary → follower: this endpoint will not serve you (for
+    /// example, it already ships to another follower). The follower
+    /// should back off and retry, surfacing the reason.
+    Reject {
+        /// Operator-readable reason.
+        reason: String,
     },
 }
 
@@ -67,11 +102,15 @@ impl ReplMsg {
     /// Serializes the message to an ADAN1 payload.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            ReplMsg::Hello { have_ops } => format!("H{have_ops}").into_bytes(),
-            ReplMsg::Snapshot { image } => {
-                let mut out = Vec::with_capacity(image.len() + 1);
-                out.push(b'S');
+            ReplMsg::Hello { have_ops, epoch } => format!("H{have_ops}:{epoch}").into_bytes(),
+            ReplMsg::Snapshot { epoch, image } => {
+                let mut out = format!("S{epoch}:").into_bytes();
                 out.extend_from_slice(image);
+                out
+            }
+            ReplMsg::CatchUp { from, bytes } => {
+                let mut out = format!("C{from}:").into_bytes();
+                out.extend_from_slice(bytes);
                 out
             }
             ReplMsg::Frame { bytes } => {
@@ -83,47 +122,79 @@ impl ReplMsg {
             ReplMsg::Durable { seq } => format!("W{seq}").into_bytes(),
             ReplMsg::Ack { seq } => format!("A{seq}").into_bytes(),
             ReplMsg::Reset { ops } => format!("R{ops}").into_bytes(),
+            ReplMsg::Reject { reason } => {
+                let mut out = Vec::with_capacity(reason.len() + 1);
+                out.push(b'X');
+                out.extend_from_slice(reason.as_bytes());
+                out
+            }
         }
     }
 
     /// Parses an ADAN1 payload back into a message.
     ///
     /// # Errors
-    /// [`WireFault`] on an empty payload, unknown tag, or a watermark
-    /// that is not a decimal `u64`.
+    /// [`WireFault`] on an empty payload, unknown tag, or a malformed
+    /// decimal watermark.
     pub fn decode(payload: &[u8]) -> Result<Self, WireFault> {
         let (&tag, rest) = payload
             .split_first()
             .ok_or_else(|| WireFault("empty payload".into()))?;
-        let watermark = |label: &str| -> Result<u64, WireFault> {
-            std::str::from_utf8(rest)
+        let watermark = |label: &str, bytes: &[u8]| -> Result<u64, WireFault> {
+            std::str::from_utf8(bytes)
                 .ok()
                 .and_then(|s| s.parse::<u64>().ok())
                 .ok_or_else(|| {
                     WireFault(format!(
                         "bad {label} watermark {:?}",
-                        String::from_utf8_lossy(rest)
+                        String::from_utf8_lossy(bytes)
                     ))
                 })
         };
+        // `<decimal>:<raw bytes>` — split at the first colon.
+        let prefixed = |label: &str, bytes: &[u8]| -> Result<(u64, Vec<u8>), WireFault> {
+            let colon = bytes
+                .iter()
+                .position(|&b| b == b':')
+                .ok_or_else(|| WireFault(format!("{label} payload missing ':'")))?;
+            Ok((
+                watermark(label, &bytes[..colon])?,
+                bytes[colon + 1..].to_vec(),
+            ))
+        };
         match tag {
-            b'H' => Ok(ReplMsg::Hello {
-                have_ops: watermark("hello")?,
-            }),
-            b'S' => Ok(ReplMsg::Snapshot {
-                image: rest.to_vec(),
-            }),
+            b'H' => {
+                let colon = rest
+                    .iter()
+                    .position(|&b| b == b':')
+                    .ok_or_else(|| WireFault("hello payload missing ':'".into()))?;
+                Ok(ReplMsg::Hello {
+                    have_ops: watermark("hello", &rest[..colon])?,
+                    epoch: watermark("hello epoch", &rest[colon + 1..])?,
+                })
+            }
+            b'S' => {
+                let (epoch, image) = prefixed("snapshot", rest)?;
+                Ok(ReplMsg::Snapshot { epoch, image })
+            }
+            b'C' => {
+                let (from, bytes) = prefixed("catch-up", rest)?;
+                Ok(ReplMsg::CatchUp { from, bytes })
+            }
             b'F' => Ok(ReplMsg::Frame {
                 bytes: rest.to_vec(),
             }),
             b'W' => Ok(ReplMsg::Durable {
-                seq: watermark("durable")?,
+                seq: watermark("durable", rest)?,
             }),
             b'A' => Ok(ReplMsg::Ack {
-                seq: watermark("ack")?,
+                seq: watermark("ack", rest)?,
             }),
             b'R' => Ok(ReplMsg::Reset {
-                ops: watermark("reset")?,
+                ops: watermark("reset", rest)?,
+            }),
+            b'X' => Ok(ReplMsg::Reject {
+                reason: String::from_utf8_lossy(rest).into_owned(),
             }),
             other => Err(WireFault(format!("unknown tag {:?}", other as char))),
         }
@@ -137,18 +208,39 @@ mod tests {
     #[test]
     fn every_message_round_trips() {
         let msgs = vec![
-            ReplMsg::Hello { have_ops: 0 },
-            ReplMsg::Hello { have_ops: u64::MAX },
+            ReplMsg::Hello {
+                have_ops: 0,
+                epoch: 0,
+            },
+            ReplMsg::Hello {
+                have_ops: u64::MAX,
+                epoch: 7,
+            },
             ReplMsg::Snapshot {
+                epoch: 3,
                 image: b"ADAJ2\nR1:0:deadbeef:x".to_vec(),
             },
-            ReplMsg::Snapshot { image: Vec::new() },
+            ReplMsg::Snapshot {
+                epoch: 0,
+                image: Vec::new(),
+            },
+            ReplMsg::CatchUp {
+                from: 12,
+                bytes: b"R1:12:deadbeef:x".to_vec(),
+            },
+            ReplMsg::CatchUp {
+                from: 0,
+                bytes: Vec::new(),
+            },
             ReplMsg::Frame {
                 bytes: b"R1:0:deadbeef:x".to_vec(),
             },
             ReplMsg::Durable { seq: 42 },
             ReplMsg::Ack { seq: 41 },
             ReplMsg::Reset { ops: 7 },
+            ReplMsg::Reject {
+                reason: "primary already ships to a follower".into(),
+            },
         ];
         for msg in msgs {
             assert_eq!(ReplMsg::decode(&msg.encode()).unwrap(), msg);
@@ -156,11 +248,25 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_image_may_contain_colons() {
+        // The epoch prefix splits at the FIRST colon only; journal
+        // frames are full of colons.
+        let msg = ReplMsg::Snapshot {
+            epoch: 9,
+            image: b"ADAJ2\nR5:0:0a1b2c3d:a:b:c".to_vec(),
+        };
+        assert_eq!(ReplMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
     fn malformed_payloads_are_typed_faults() {
         assert!(ReplMsg::decode(b"").is_err());
-        assert!(ReplMsg::decode(b"X1").is_err());
+        assert!(ReplMsg::decode(b"Y1").is_err());
         assert!(ReplMsg::decode(b"W").is_err());
         assert!(ReplMsg::decode(b"Anope").is_err());
-        assert!(ReplMsg::decode(b"H-3").is_err());
+        assert!(ReplMsg::decode(b"H-3:0").is_err());
+        assert!(ReplMsg::decode(b"H3").is_err(), "hello without epoch");
+        assert!(ReplMsg::decode(b"Sdata").is_err(), "snapshot without epoch");
+        assert!(ReplMsg::decode(b"Cx:frames").is_err());
     }
 }

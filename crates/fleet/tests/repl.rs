@@ -115,6 +115,169 @@ fn tcp_replication_converges_byte_identical_and_survives_reconnect() {
 }
 
 #[test]
+fn compaction_under_a_live_follower_rebootstraps_authoritatively() {
+    let primary = mem_kdb("fleet_compact_p.journal");
+    primary.create_collection("patients").unwrap();
+    let ids: Vec<_> = (0..30i64)
+        .map(|i| primary.insert("patients", patient(i, 1)).unwrap())
+        .collect();
+    // History the compaction will collapse: updates and deletes mean
+    // the compacted journal holds fewer ops than the follower applied.
+    for id in ids.iter().take(12) {
+        primary.update("patients", *id, patient(-1, 5)).unwrap();
+    }
+    for id in ids.iter().skip(20) {
+        primary.delete("patients", *id).unwrap();
+    }
+    primary.sync().unwrap();
+
+    let metrics = Arc::new(ReplMetrics::new());
+    let source = ReplSource::new(Arc::clone(&metrics));
+    let listener = ReplListener::start(primary.clone(), source, "127.0.0.1:0").unwrap();
+    let follower = ReplFollower::start(
+        listener.local_addr(),
+        mem_kdb("fleet_compact_f.journal"),
+        Arc::new(ReplMetrics::new()),
+    );
+    let want = primary.journal_acked_ops();
+    wait_for("follower to ack the pre-compaction journal", || {
+        follower.acked() >= want
+    });
+
+    // Compact the live primary: the journal collapses to current state
+    // and the frame sequence space restarts — the follower's applied
+    // count means nothing against the new image.
+    primary.snapshot().unwrap();
+    for i in 500..510i64 {
+        primary.insert("patients", patient(i, 9)).unwrap();
+    }
+    primary.sync().unwrap();
+
+    let engine = follower.engine();
+    wait_for("follower to converge on the compacted lineage", || {
+        primary.read().fingerprint() == engine.lock().fingerprint()
+    });
+    assert!(
+        follower.halted().is_none(),
+        "compaction must re-bootstrap, not halt: {:?}",
+        follower.halted()
+    );
+    assert_eq!(
+        primary.journal_image().unwrap(),
+        engine.lock().kdb().journal_image().unwrap(),
+        "post-compaction replica journal must be byte-identical"
+    );
+    let snap = metrics.snapshot();
+    assert!(
+        snap.snapshots >= 2,
+        "the epoch change must force a fresh authoritative snapshot, got {}",
+        snap.snapshots
+    );
+}
+
+#[test]
+fn source_overflow_recovers_via_suffix_catchup_without_reimaging() {
+    let primary = mem_kdb("fleet_overflow_p.journal");
+    primary.create_collection("patients").unwrap();
+    for i in 0..20i64 {
+        primary.insert("patients", patient(i, 1)).unwrap();
+    }
+    primary.sync().unwrap();
+
+    // A tiny queue so a write burst overflows between shipper drains.
+    let metrics = Arc::new(ReplMetrics::new());
+    let source = ReplSource::with_capacity(Arc::clone(&metrics), 4);
+    let listener =
+        ReplListener::start(primary.clone(), Arc::clone(&source), "127.0.0.1:0").unwrap();
+    let follower = ReplFollower::start(
+        listener.local_addr(),
+        mem_kdb("fleet_overflow_f.journal"),
+        Arc::new(ReplMetrics::new()),
+    );
+    let want = primary.journal_acked_ops();
+    wait_for("follower to bootstrap", || follower.acked() >= want);
+
+    // Burst until the queue drops frames and goes sticky-overflowed.
+    let mut next = 1000i64;
+    for _ in 0..200 {
+        if source.overflowed() {
+            break;
+        }
+        for _ in 0..16 {
+            primary.insert("patients", patient(next, 2)).unwrap();
+            next += 1;
+        }
+    }
+    assert!(source.overflowed(), "burst never overflowed the queue");
+    primary.sync().unwrap();
+
+    // Recovery: Reset → re-Hello (same lineage) → suffix CatchUp. The
+    // overflow dropped frames, but the journal has them all; nothing
+    // here may gap, halt, or require a second full image.
+    let want = primary.journal_acked_ops();
+    wait_for("follower to catch up past the overflow", || {
+        follower.acked() >= want
+    });
+    assert!(follower.halted().is_none(), "{:?}", follower.halted());
+    let engine = follower.engine();
+    assert_eq!(primary.read().fingerprint(), engine.lock().fingerprint());
+    assert_eq!(
+        primary.journal_image().unwrap(),
+        engine.lock().kdb().journal_image().unwrap()
+    );
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.snapshots, 1,
+        "same-lineage overflow recovery must use the frame suffix, not a re-image"
+    );
+}
+
+#[test]
+fn surplus_follower_is_rejected_visibly_then_attaches_when_the_slot_frees() {
+    let primary = mem_kdb("fleet_surplus_p.journal");
+    primary.create_collection("patients").unwrap();
+    for i in 0..15i64 {
+        primary.insert("patients", patient(i, 3)).unwrap();
+    }
+    primary.sync().unwrap();
+
+    let source = ReplSource::new(Arc::new(ReplMetrics::new()));
+    let listener = ReplListener::start(primary.clone(), source, "127.0.0.1:0").unwrap();
+    let first = ReplFollower::start(
+        listener.local_addr(),
+        mem_kdb("fleet_surplus_f1.journal"),
+        Arc::new(ReplMetrics::new()),
+    );
+    let want = primary.journal_acked_ops();
+    wait_for("first follower to attach", || first.acked() >= want);
+
+    // A second follower is told "no" instead of rotting in the accept
+    // backlog — visible, non-fatal, still retrying.
+    let second = ReplFollower::start(
+        listener.local_addr(),
+        mem_kdb("fleet_surplus_f2.journal"),
+        Arc::new(ReplMetrics::new()),
+    );
+    wait_for("surplus follower to surface the rejection", || {
+        second.last_reject().is_some()
+    });
+    assert!(second.halted().is_none(), "rejection must not be fatal");
+    assert_eq!(second.acked(), 0, "a rejected follower replicates nothing");
+
+    // The slot frees (first follower promoted away); the surplus
+    // follower's next retry attaches and replicates for real.
+    drop(first);
+    wait_for("second follower to take the freed slot", || {
+        second.acked() >= want
+    });
+    assert!(second.halted().is_none());
+    assert_eq!(
+        primary.read().fingerprint(),
+        second.engine().lock().fingerprint()
+    );
+}
+
+#[test]
 fn promoted_follower_is_exactly_the_acked_prefix() {
     let primary = mem_kdb("fleet_prefix_p.journal");
     primary.create_collection("patients").unwrap();

@@ -826,6 +826,23 @@ impl Journal {
         })
     }
 
+    /// [`Journal::rewrite`] for a replication replica being rebuilt
+    /// from a shipped image: atomically replaces the file with `ops`
+    /// **and** restarts the acked/durable accounting at `ops.len()`.
+    /// The rewritten image is fsynced before the rename, so every op it
+    /// holds is durable — unlike `rewrite`, which keeps the historic
+    /// since-open counters, this makes the counters equal the absolute
+    /// sequence watermark a fresh follower's accounting assumes.
+    ///
+    /// # Errors
+    /// As [`Journal::rewrite`].
+    pub fn reset_to(&mut self, ops: &[Op]) -> Result<(), KdbError> {
+        self.rewrite(ops)?;
+        self.appended = ops.len() as u64;
+        self.synced = self.appended;
+        Ok(())
+    }
+
     fn do_rewrite(&mut self, ops: &[Op]) -> Result<(), KdbError> {
         let tmp = self.path.with_extension("tmp");
         {

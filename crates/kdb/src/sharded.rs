@@ -1089,6 +1089,79 @@ impl SharedKdb {
         }
     }
 
+    /// Rebuilds this store **in place** from a replicated journal
+    /// image's op sequence: fresh collections are replayed from `ops`
+    /// off to the side, the journal is atomically rewritten to exactly
+    /// those frames (fsynced, so every installed op is durable and the
+    /// acked/durable accounting restarts at `ops.len()`), and the shard
+    /// registry is swapped wholesale. Concurrent readers see the old
+    /// state until the swap and the new state after — never an empty
+    /// store.
+    ///
+    /// This is the re-bootstrap path of a replication follower whose
+    /// primary compacted (the shipped image no longer extends the
+    /// replica's applied prefix, so prefix arithmetic is meaningless
+    /// and the image must be taken as authoritative). The caller must
+    /// ensure no concurrent writers — on a follower the replication
+    /// engine is the store's only writer.
+    ///
+    /// # Errors
+    /// [`KdbError`] when an op in `ops` does not apply to the state
+    /// built so far (nothing is mutated in that case), or a journal
+    /// I/O error from the rewrite (in-memory state is then unchanged,
+    /// but the journal may be poisoned — as for any failed rewrite).
+    pub fn reset_replica(&self, ops: &[Op]) -> Result<(), KdbError> {
+        // 1. Validate by building the replacement state off to the side.
+        fn coll_mut<'a>(
+            map: &'a mut BTreeMap<String, Collection>,
+            name: &str,
+        ) -> Result<&'a mut Collection, KdbError> {
+            map.get_mut(name)
+                .ok_or_else(|| KdbError::UnknownCollection(name.to_owned()))
+        }
+        let mut collections: BTreeMap<String, Collection> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::CreateCollection { name } => {
+                    if collections.contains_key(name) {
+                        return Err(KdbError::CollectionExists(name.clone()));
+                    }
+                    collections.insert(name.clone(), Collection::new(name.clone()));
+                }
+                Op::CreateIndex { name, path } => {
+                    coll_mut(&mut collections, name)?.create_index(path.clone())?;
+                }
+                Op::Insert { name, id, doc } => {
+                    coll_mut(&mut collections, name)?.insert_with_id(*id, doc.clone())?;
+                }
+                Op::Update { name, id, doc } => {
+                    coll_mut(&mut collections, name)?.update(*id, doc.clone())?;
+                }
+                Op::Delete { name, id } => {
+                    coll_mut(&mut collections, name)?.delete(*id)?;
+                }
+            }
+        }
+        // 2. Install the journal first (atomic rename, fsynced) …
+        if let Some(journal_mx) = &self.inner.journal {
+            journal_mx.lock().reset_to(ops)?;
+        }
+        // 3. … then swap the shard registry and restart the commit
+        //    watermarks at the installed (all-durable) op count.
+        let shards = collections
+            .into_iter()
+            .map(|(name, coll)| (name, Arc::new(Shard::new(coll))))
+            .collect();
+        *self.inner.shards.write() = shards;
+        let mut state = lock(&self.inner.commit);
+        state.attempted = ops.len() as u64;
+        state.durable = ops.len() as u64;
+        state.last_sync = Instant::now();
+        drop(state);
+        self.inner.commit_cv.notify_all();
+        Ok(())
+    }
+
     // -- read path -----------------------------------------------------
 
     /// A consistent-per-collection snapshot of every shard. Unchanged
@@ -1367,6 +1440,63 @@ mod tests {
         let sharded = SharedKdb::in_memory();
         build(&mut sharded.write());
         assert_eq!(plain.fingerprint(), sharded.read().fingerprint());
+    }
+
+    #[test]
+    fn reset_replica_installs_an_image_wholesale() {
+        // Source store: some history with an update and a delete.
+        let (src, _) = mem_store(DurabilityPolicy::Always);
+        src.create_collection("items").unwrap();
+        src.create_index("items", "kind").unwrap();
+        let a = src.insert("items", item("cluster", 0.9)).unwrap();
+        let b = src.insert("items", item("pattern", 0.2)).unwrap();
+        src.update("items", a, item("cluster", 0.7)).unwrap();
+        src.delete("items", b).unwrap();
+        src.sync().unwrap();
+        let image = src.journal_image().unwrap();
+        let ops = crate::journal::replay_bytes(&image, crate::journal::RecoveryMode::Strict)
+            .unwrap()
+            .ops;
+
+        // Target store holds unrelated state the reset must wipe.
+        let (dst, _) = mem_store(DurabilityPolicy::Always);
+        dst.create_collection("stale").unwrap();
+        dst.insert("stale", item("old", 1.0)).unwrap();
+        dst.reset_replica(&ops).unwrap();
+
+        assert_eq!(dst.read().fingerprint(), src.read().fingerprint());
+        assert_eq!(
+            dst.journal_image().unwrap(),
+            image,
+            "journal byte-identical"
+        );
+        assert_eq!(dst.journal_acked_ops(), ops.len() as u64);
+        assert_eq!(
+            dst.journal_durable_ops(),
+            ops.len() as u64,
+            "an installed image is fsynced, so every op is durable"
+        );
+        assert!(dst.read().collection("stale").is_none(), "old state wiped");
+
+        // The rebuilt store keeps working: appends extend the image.
+        dst.insert("items", item("fresh", 0.1)).unwrap();
+        dst.sync().unwrap();
+        assert_eq!(dst.journal_acked_ops(), ops.len() as u64 + 1);
+        let replayed = crate::journal::replay_bytes(
+            &dst.journal_image().unwrap(),
+            crate::journal::RecoveryMode::Strict,
+        )
+        .unwrap();
+        assert_eq!(replayed.ops.len(), ops.len() + 1);
+
+        // An image with a non-applying op is rejected without mutating.
+        let before = dst.read().fingerprint();
+        let bad = vec![Op::Delete {
+            name: "nope".into(),
+            id: 1,
+        }];
+        assert!(dst.reset_replica(&bad).is_err());
+        assert_eq!(dst.read().fingerprint(), before);
     }
 
     #[test]
