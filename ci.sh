@@ -38,6 +38,16 @@ echo "== network front-end smoke gate (quick) =="
 # errors, accept/request counters matching the fleet).
 cargo run -q -p ada-bench --release --bin net_smoke -- --quick
 
+echo "== streaming ingestion smoke gate (quick) =="
+# ada-stream end to end: an out-of-order feed must close windows and
+# force-refit to a model byte-identical to a cold fit over the same
+# cohort; a mid-feed crash resumed from durable stream_windows
+# checkpoints must land on identical fingerprints; steady-state
+# streaming overhead vs the batch VsmBuilder path must stay within
+# budget; and a service-fed stream must surface all six pinned
+# ada_stream_* exposition families with live counts.
+cargo run -q -p ada-bench --release --bin stream_smoke -- --quick
+
 echo "== crash torture gate (quick, incl. multi-producer) =="
 # Byte-level journal cuts, injected storage faults at every schedule
 # point, single-bit corruption, and N interleaved writers racing the

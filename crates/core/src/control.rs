@@ -50,12 +50,18 @@ pub enum PipelineStage {
     /// Not part of the paper's seven-stage pipeline; a session runs
     /// either the pipeline stages or this one.
     SignalMining,
+    /// Streaming ingestion and incremental re-mining (the `ada-stream`
+    /// workload): the session replays its cohort in timestamp order
+    /// through a stream engine and reports the live model. Like
+    /// [`SignalMining`](PipelineStage::SignalMining), this stage
+    /// belongs to its own workload, not the seven-stage pipeline.
+    StreamMining,
 }
 
 impl PipelineStage {
     /// All stages across every workload, in a stable order. Sizes
     /// per-stage arrays (histogram banks, span grouping).
-    pub const ALL: [PipelineStage; 8] = [
+    pub const ALL: [PipelineStage; 9] = [
         PipelineStage::Characterize,
         PipelineStage::Transform,
         PipelineStage::PartialMining,
@@ -64,6 +70,7 @@ impl PipelineStage {
         PipelineStage::GoalIdentification,
         PipelineStage::Navigation,
         PipelineStage::SignalMining,
+        PipelineStage::StreamMining,
     ];
 
     /// The paper's seven pipeline stages, in execution order. A
@@ -92,6 +99,7 @@ impl PipelineStage {
             PipelineStage::GoalIdentification => 5,
             PipelineStage::Navigation => 6,
             PipelineStage::SignalMining => 7,
+            PipelineStage::StreamMining => 8,
         }
     }
 
@@ -106,6 +114,7 @@ impl PipelineStage {
             PipelineStage::GoalIdentification => "goal-identification",
             PipelineStage::Navigation => "navigation",
             PipelineStage::SignalMining => "signal-mining",
+            PipelineStage::StreamMining => "stream-mining",
         }
     }
 }
@@ -478,12 +487,13 @@ mod tests {
 
     #[test]
     fn stage_names_are_stable_and_ordered() {
-        assert_eq!(PipelineStage::ALL.len(), 8);
+        assert_eq!(PipelineStage::ALL.len(), 9);
         assert_eq!(PipelineStage::PIPELINE.len(), 7);
         let names: Vec<_> = PipelineStage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names[0], "characterize");
         assert_eq!(names[6], "navigation");
         assert_eq!(names[7], "signal-mining");
+        assert_eq!(names[8], "stream-mining");
         assert!(PipelineStage::Characterize < PipelineStage::Navigation);
         // PIPELINE is a prefix of ALL, so dense indices agree.
         for (i, stage) in PipelineStage::PIPELINE.iter().enumerate() {
@@ -491,5 +501,6 @@ mod tests {
             assert_eq!(stage.index(), i);
         }
         assert_eq!(PipelineStage::SignalMining.index(), 7);
+        assert_eq!(PipelineStage::StreamMining.index(), 8);
     }
 }

@@ -37,7 +37,7 @@
 
 use ada_dataset::ExamLog;
 use ada_metrics::cluster;
-use ada_mining::kmeans::{KMeans, KernelStats};
+use ada_mining::kmeans::{pad_centroids, KMeans, KernelStats};
 use ada_vsm::{DenseMatrix, VsmBuilder, Weighting};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -370,22 +370,6 @@ impl HorizontalPartialMiner {
             epsilon: self.epsilon,
         })
     }
-}
-
-/// Zero-pads `prev` (k × d_prev) into `dim` columns (`d_prev <= dim`):
-/// the horizontal ladder's feature sets are frequency-order prefixes of
-/// one another, so carried centroid coordinates keep their columns and
-/// newly added exam types start at zero.
-fn pad_centroids(prev: &DenseMatrix, dim: usize) -> DenseMatrix {
-    debug_assert!(prev.num_cols() <= dim, "ladder steps only grow");
-    if prev.num_cols() == dim {
-        return prev.clone();
-    }
-    let mut out = DenseMatrix::zeros(prev.num_rows(), dim);
-    for c in 0..prev.num_rows() {
-        out.row_mut(c)[..prev.num_cols()].copy_from_slice(prev.row(c));
-    }
-    out
 }
 
 /// Vertical partial miner: grows a seeded random *patient* sample.

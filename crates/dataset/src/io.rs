@@ -1,10 +1,22 @@
 //! CSV import/export of examination logs.
 //!
 //! A log is persisted as three CSV files — `patients.csv`, `catalog.csv`
-//! and `records.csv` — mirroring how hospital extracts are typically
-//! delivered. The writer/reader pair is round-trip tested; a minimal CSV
-//! quoting scheme (RFC-4180 style double quotes) is implemented by hand
-//! to keep the crate dependency-free.
+//! and `records.csv` — mirroring one way hospital extracts are
+//! delivered: as periodic whole-cohort snapshot dumps. The writer/reader
+//! pair is round-trip tested; a minimal CSV quoting scheme (RFC-4180
+//! style double quotes) is implemented by hand to keep the crate
+//! dependency-free.
+//!
+//! Snapshot loading is *not* the only ingestion path any more. Live
+//! feeds that deliver exam records one at a time (or in small batches,
+//! possibly out of timestamp order) enter through the streaming layer
+//! instead: [`timeline::StreamOrder`](crate::timeline::StreamOrder)
+//! models such a feed from an existing log, and the `ada-stream` crate
+//! ingests it incrementally — bounded reorder buffer, watermark-driven
+//! window closes, per-patient vectors updated in place — without ever
+//! materializing a whole-cohort snapshot. Use this module for bulk
+//! import/export and archival; use `ada-stream` when records arrive
+//! continuously.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};

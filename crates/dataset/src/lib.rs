@@ -51,3 +51,4 @@ pub use date::Date;
 pub use error::DatasetError;
 pub use record::{ExamRecord, ExamType, ExamTypeId, Patient, PatientId};
 pub use taxonomy::{ConditionGroup, Domain, Taxonomy};
+pub use timeline::StreamOrder;

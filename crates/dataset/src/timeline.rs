@@ -5,11 +5,14 @@
 //! consume the per-patient visit order, and resource planning consumes
 //! the volume-over-time profile.
 
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::{ExamLog, Visit};
 use crate::date::Date;
-use crate::record::PatientId;
+use crate::record::{ExamRecord, PatientId};
 
 /// One patient's visits in chronological order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,6 +117,71 @@ pub fn gap_summary(log: &ExamLog) -> Option<GapSummary> {
     })
 }
 
+/// Replays a log's records the way a hospital feed would deliver them:
+/// globally in timestamp order, but locally jumbled.
+///
+/// The records are first put into *canonical stream order* — sorted by
+/// `(date, patient, exam)`, the order every streaming consumer treats
+/// as the reference sequence — and then perturbed by a seeded bounded
+/// shuffle: consecutive blocks of `disorder` records are each
+/// Fisher–Yates-shuffled, so no record moves more than `disorder - 1`
+/// positions from its canonical slot. `disorder <= 1` yields the
+/// canonical order unchanged; larger values simulate out-of-order
+/// arrival within a bounded horizon, which is exactly what a
+/// watermarking ingester (`ada-stream`) must tolerate. Ingestion tests
+/// and the `stream_smoke` bench share this one source so they exercise
+/// the same delivery model.
+#[derive(Debug, Clone)]
+pub struct StreamOrder {
+    records: Vec<ExamRecord>,
+    pos: usize,
+}
+
+impl StreamOrder {
+    /// Builds the delivery sequence for `log` (see the type docs).
+    pub fn new(log: &ExamLog, seed: u64, disorder: usize) -> Self {
+        let mut records = log.records().to_vec();
+        records.sort_by_key(|r| (r.date, r.patient.0, r.exam.0));
+        if disorder > 1 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for block in records.chunks_mut(disorder) {
+                block.shuffle(&mut rng);
+            }
+        }
+        Self { records, pos: 0 }
+    }
+
+    /// The records not yet yielded, in delivery order.
+    pub fn remaining(&self) -> &[ExamRecord] {
+        &self.records[self.pos..]
+    }
+
+    /// Total number of records in the feed (yielded or not).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the feed holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl Iterator for StreamOrder {
+    type Item = ExamRecord;
+
+    fn next(&mut self) -> Option<ExamRecord> {
+        let r = self.records.get(self.pos).copied();
+        self.pos += usize::from(r.is_some());
+        r
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.records.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +268,70 @@ mod tests {
     fn gap_summary_none_without_repeat_visits() {
         let log = log_with_dates(&[(0, 0, 2015, 1, 1), (1, 0, 2015, 2, 1)]);
         assert!(gap_summary(&log).is_none());
+    }
+
+    fn canonical_key(r: &ExamRecord) -> (Date, u32, u32) {
+        (r.date, r.patient.0, r.exam.0)
+    }
+
+    #[test]
+    fn stream_order_without_disorder_is_canonical() {
+        let log = log_with_dates(&[
+            (1, 0, 2015, 3, 1),
+            (0, 1, 2015, 1, 15),
+            (0, 0, 2015, 1, 15),
+            (0, 0, 2015, 9, 3),
+        ]);
+        let got: Vec<_> = StreamOrder::new(&log, 7, 1).collect();
+        let mut want = log.records().to_vec();
+        want.sort_by_key(canonical_key);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stream_order_is_a_bounded_permutation() {
+        let rows: Vec<(u32, u32, u16, u8, u8)> = (0..60)
+            .map(|i| (i % 7, i % 5, 2015, 1 + (i % 12) as u8, 1 + (i % 28) as u8))
+            .collect();
+        let log = log_with_dates(&rows);
+        let disorder = 8;
+        let feed: Vec<_> = StreamOrder::new(&log, 42, disorder).collect();
+        let mut canonical = log.records().to_vec();
+        canonical.sort_by_key(canonical_key);
+        // Same multiset...
+        let mut sorted_feed = feed.clone();
+        sorted_feed.sort_by_key(canonical_key);
+        assert_eq!(sorted_feed, canonical);
+        // ...and no record strays outside its disorder block.
+        for (pos, r) in feed.iter().enumerate() {
+            let canon_pos = canonical
+                .iter()
+                .position(|c| canonical_key(c) == canonical_key(r))
+                .unwrap();
+            assert!(
+                pos.abs_diff(canon_pos) < disorder,
+                "record displaced {} > bound {}",
+                pos.abs_diff(canon_pos),
+                disorder - 1
+            );
+        }
+        // Seeded: same seed reproduces, different seed perturbs.
+        let again: Vec<_> = StreamOrder::new(&log, 42, disorder).collect();
+        assert_eq!(feed, again);
+        let other: Vec<_> = StreamOrder::new(&log, 43, disorder).collect();
+        assert_ne!(feed, other);
+    }
+
+    #[test]
+    fn stream_order_remaining_tracks_iteration() {
+        let log = log_with_dates(&[(0, 0, 2015, 1, 1), (0, 1, 2015, 2, 1)]);
+        let mut feed = StreamOrder::new(&log, 0, 1);
+        assert_eq!(feed.len(), 2);
+        assert_eq!(feed.remaining().len(), 2);
+        feed.next().unwrap();
+        assert_eq!(feed.remaining().len(), 1);
+        feed.next().unwrap();
+        assert!(feed.next().is_none());
+        assert!(feed.remaining().is_empty());
     }
 }

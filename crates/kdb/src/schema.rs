@@ -46,6 +46,16 @@ pub mod names {
     /// a 128-bit wire-propagated trace id. Served remotely via the
     /// `TraceQuery` wire message.
     pub const TRACES: &str = "traces";
+    /// Operational: durable streaming-ingestion checkpoints — one
+    /// document per *closed* stream window, holding the window's folded
+    /// records in canonical order plus the watermark, drift score and
+    /// state fingerprints. A restarted ingester (or a promoted
+    /// replication follower) replays this collection to rebuild its
+    /// incremental VSM and model byte-identically, then resumes from
+    /// the last durable watermark. Created lazily by
+    /// [`init_stream_schema`](super::init_stream_schema), like
+    /// [`TRACES`].
+    pub const STREAM_WINDOWS: &str = "stream_windows";
 
     /// All six, in paper order.
     pub const ALL: [&str; 6] = [
@@ -59,11 +69,13 @@ pub mod names {
 
     /// Every collection [`init_schema`](super::init_schema) manages:
     /// the paper's six plus the signal-knowledge and session-history
-    /// operational collections. [`TRACES`] is deliberately absent — it
-    /// is created lazily by
-    /// [`init_trace_schema`](super::init_trace_schema) only when a
-    /// sampled session actually persists a trace, so untraced journals
-    /// stay byte-identical to the pre-tracing write path.
+    /// operational collections. [`TRACES`] and [`STREAM_WINDOWS`] are
+    /// deliberately absent — each is created lazily
+    /// ([`init_trace_schema`](super::init_trace_schema),
+    /// [`init_stream_schema`](super::init_stream_schema)) only when a
+    /// writer is about to use it, so journals from services that never
+    /// trace or never stream stay byte-identical to the older write
+    /// paths.
     pub const ALL_WITH_OPS: [&str; 8] = [
         RAW_DATA,
         TRANSFORMED_DATA,
@@ -167,6 +179,23 @@ pub fn init_trace_schema<W: KdbWrite + ?Sized>(db: &mut W) -> Result<(), KdbErro
     db.ensure_collection(names::TRACES)?;
     for path in ["session", "trace_id"] {
         db.ensure_index(names::TRACES, path)?;
+    }
+    Ok(())
+}
+
+/// Creates the `stream_windows` collection and its `stream`/`window`
+/// indexes (idempotent). Kept out of [`init_schema`] for the same
+/// reason as [`init_trace_schema`]: the checkpoint store must only come
+/// into existence when a stream is about to close its first window, so
+/// a service that never ingests a stream produces a journal
+/// byte-identical to one that predates streaming.
+///
+/// # Errors
+/// Returns journal I/O errors.
+pub fn init_stream_schema<W: KdbWrite + ?Sized>(db: &mut W) -> Result<(), KdbError> {
+    db.ensure_collection(names::STREAM_WINDOWS)?;
+    for path in ["stream", "window"] {
+        db.ensure_index(names::STREAM_WINDOWS, path)?;
     }
     Ok(())
 }
@@ -380,6 +409,136 @@ pub fn insert_trace_record<W: KdbWrite + ?Sized>(
 ) -> Result<DocId, KdbError> {
     validate_trace_doc(&record)?;
     db.insert(names::TRACES, record)
+}
+
+/// Checks a 16-lowercase-hex-digit fingerprint string.
+fn is_fp16(s: &str) -> bool {
+    s.len() == 16
+        && s.bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+/// Validates a streaming checkpoint against the `stream_windows`
+/// collection schema.
+///
+/// Required shape (see DESIGN.md §16):
+/// * `stream` — non-empty string naming the stream;
+/// * `window` — integer window id (`day.div_euclid(window_days)`);
+/// * `start_day` / `end_day` — the window's day span, `start < end`;
+/// * `watermark` — integer day bound; every record folded so far has
+///   `day < watermark`, and `watermark >= end_day`;
+/// * `records` — non-empty flat integer array of `(day, patient, exam,
+///   count)` quads in canonical order, each with `start_day <= day <
+///   end_day`, non-negative ids and `count >= 1`;
+/// * `folded` / `refits` — cumulative non-negative counters *after*
+///   this window;
+/// * `refit` — whether this window escalated to a full re-fit;
+/// * `drift` — the window's drift score (non-negative float);
+/// * `rows` / `vocab` / `vocab_version` — incremental-VSM shape after
+///   this window (non-negative integers);
+/// * `vsm_fp` — 16 lowercase hex digits (FNV-1a of the VSM state);
+/// * `model_fp` — 16 lowercase hex digits, or `""` while the stream
+///   has not accumulated enough rows to fit a model.
+///
+/// # Errors
+/// Returns [`KdbError::Schema`] naming the first violated rule.
+pub fn validate_stream_window_doc(doc: &Document) -> Result<(), KdbError> {
+    let bad = |reason: String| Err(KdbError::Schema(reason));
+    match doc.get("stream").and_then(Value::as_str) {
+        Some(s) if !s.is_empty() => {}
+        _ => return bad("stream_windows: `stream` must be a non-empty string".into()),
+    }
+    if doc.get("window").and_then(Value::as_i64).is_none() {
+        return bad("stream_windows: `window` must be an integer".into());
+    }
+    let (start, end) = match (
+        doc.get("start_day").and_then(Value::as_i64),
+        doc.get("end_day").and_then(Value::as_i64),
+    ) {
+        (Some(s), Some(e)) if s < e => (s, e),
+        _ => {
+            return bad(
+                "stream_windows: `start_day`/`end_day` must be integers with start < end".into(),
+            )
+        }
+    };
+    match doc.get("watermark").and_then(Value::as_i64) {
+        Some(w) if w >= end => {}
+        _ => return bad("stream_windows: `watermark` must be an integer >= `end_day`".into()),
+    }
+    match doc.get("records").and_then(Value::as_array) {
+        Some(vals) if !vals.is_empty() && vals.len() % 4 == 0 => {
+            for quad in vals.chunks_exact(4) {
+                let nums: Vec<i64> = quad.iter().filter_map(Value::as_i64).collect();
+                if nums.len() != 4 {
+                    return bad("stream_windows: `records` must hold only integers".into());
+                }
+                let (day, patient, exam, count) = (nums[0], nums[1], nums[2], nums[3]);
+                if day < start || day >= end {
+                    return bad(format!(
+                        "stream_windows: record day {day} outside window [{start}, {end})"
+                    ));
+                }
+                if patient < 0 || exam < 0 || count < 1 {
+                    return bad(
+                        "stream_windows: record ids must be non-negative and count >= 1".into(),
+                    );
+                }
+            }
+        }
+        _ => {
+            return bad(
+                "stream_windows: `records` must be a non-empty array of (day, patient, exam, \
+                 count) quads"
+                    .into(),
+            )
+        }
+    }
+    for field in ["folded", "refits", "rows", "vocab", "vocab_version"] {
+        match doc.get(field).and_then(Value::as_i64) {
+            Some(v) if v >= 0 => {}
+            _ => {
+                return bad(format!(
+                    "stream_windows: `{field}` must be a non-negative integer"
+                ))
+            }
+        }
+    }
+    if doc.get("refit").and_then(Value::as_bool).is_none() {
+        return bad("stream_windows: `refit` must be a boolean".into());
+    }
+    match doc.get("drift").and_then(Value::as_f64) {
+        Some(d) if d >= 0.0 => {}
+        _ => return bad("stream_windows: `drift` must be a non-negative float".into()),
+    }
+    match doc.get("vsm_fp").and_then(Value::as_str) {
+        Some(fp) if is_fp16(fp) => {}
+        other => {
+            return bad(format!(
+                "stream_windows: `vsm_fp` must be 16 lowercase hex digits, got {other:?}"
+            ))
+        }
+    }
+    match doc.get("model_fp").and_then(Value::as_str) {
+        Some("") => Ok(()),
+        Some(fp) if is_fp16(fp) => Ok(()),
+        other => bad(format!(
+            "stream_windows: `model_fp` must be empty or 16 lowercase hex digits, got {other:?}"
+        )),
+    }
+}
+
+/// Validates and inserts a streaming window checkpoint.
+///
+/// # Errors
+/// Returns [`KdbError::Schema`] on a malformed checkpoint, otherwise
+/// store errors (missing collection / journal I/O).
+pub fn insert_stream_window<W: KdbWrite + ?Sized>(
+    db: &mut W,
+    record: Document,
+) -> Result<DocId, KdbError> {
+    validate_stream_window_doc(&record)?;
+    db.insert(names::STREAM_WINDOWS, record)
 }
 
 /// Inserts a clustering knowledge item.
@@ -850,6 +1009,111 @@ mod tests {
                 )]),
             ),
             "negative span attribute",
+        );
+    }
+
+    fn sample_window_doc() -> Document {
+        Document::new()
+            .with("stream", "feed-1")
+            .with("window", 2376i64)
+            .with("start_day", 16632i64)
+            .with("end_day", 16639i64)
+            .with("watermark", 16639i64)
+            .with(
+                "records",
+                Value::Array(
+                    [16632i64, 4, 11, 2, 16633, 0, 3, 1]
+                        .into_iter()
+                        .map(Value::I64)
+                        .collect(),
+                ),
+            )
+            .with("folded", 3i64)
+            .with("refits", 1i64)
+            .with("refit", false)
+            .with("drift", 1.02f64)
+            .with("rows", 2i64)
+            .with("vocab", 2i64)
+            .with("vocab_version", 2i64)
+            .with("vsm_fp", "00f00dcafe123abc")
+            .with("model_fp", "deadbeef00112233")
+    }
+
+    #[test]
+    fn stream_window_records_validate_and_round_trip() {
+        let mut db = Kdb::in_memory();
+        init_schema(&mut db).unwrap();
+        // Like the trace store, the checkpoint store must only appear
+        // once a stream actually closes a window.
+        assert!(db.collection(names::STREAM_WINDOWS).is_none());
+        init_stream_schema(&mut db).unwrap();
+        let coll = db.collection(names::STREAM_WINDOWS).unwrap();
+        assert!(coll.has_index("stream"));
+        assert!(coll.has_index("window"));
+        let id = insert_stream_window(&mut db, sample_window_doc()).unwrap();
+        // A model-less early window is also valid.
+        insert_stream_window(&mut db, sample_window_doc().with("model_fp", "")).unwrap();
+        let found = db
+            .find(names::STREAM_WINDOWS, &Filter::eq("stream", "feed-1"))
+            .unwrap();
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].0, id);
+        validate_stream_window_doc(&found[0].1).unwrap();
+    }
+
+    #[test]
+    fn stream_window_validation_rejects_malformed_records() {
+        let rejects = |doc: Document, what: &str| {
+            let mut db = Kdb::in_memory();
+            init_stream_schema(&mut db).unwrap();
+            assert!(
+                matches!(insert_stream_window(&mut db, doc), Err(KdbError::Schema(_))),
+                "expected rejection: {what}"
+            );
+            assert_eq!(db.collection(names::STREAM_WINDOWS).unwrap().len(), 0);
+        };
+        rejects(sample_window_doc().with("stream", ""), "empty stream");
+        rejects(sample_window_doc().with("window", "x"), "non-int window");
+        rejects(
+            sample_window_doc().with("end_day", 16632i64),
+            "empty day span",
+        );
+        rejects(
+            sample_window_doc().with("watermark", 16638i64),
+            "watermark behind window end",
+        );
+        rejects(
+            sample_window_doc().with("records", Value::Array(vec![])),
+            "empty records",
+        );
+        rejects(
+            sample_window_doc().with(
+                "records",
+                Value::Array(vec![Value::I64(16632), Value::I64(1)]),
+            ),
+            "ragged quads",
+        );
+        rejects(
+            sample_window_doc().with(
+                "records",
+                Value::Array([16700i64, 1, 1, 1].into_iter().map(Value::I64).collect()),
+            ),
+            "record outside window",
+        );
+        rejects(
+            sample_window_doc().with(
+                "records",
+                Value::Array([16632i64, 1, 1, 0].into_iter().map(Value::I64).collect()),
+            ),
+            "zero count",
+        );
+        rejects(sample_window_doc().with("folded", -1i64), "negative folded");
+        rejects(sample_window_doc().with("refit", 1i64), "non-bool refit");
+        rejects(sample_window_doc().with("drift", -0.5f64), "negative drift");
+        rejects(sample_window_doc().with("vsm_fp", "short"), "bad vsm fp");
+        rejects(
+            sample_window_doc().with("model_fp", "DEADBEEF00112233"),
+            "uppercase model fp",
         );
     }
 

@@ -235,6 +235,57 @@ impl KMeansResult {
         }
         sizes
     }
+
+    /// FNV-1a fingerprint of the whole model — every assignment, every
+    /// centroid coordinate's exact bit pattern, the SSE bits, and the
+    /// shape. Two results fingerprint equal iff they are byte-identical,
+    /// which is how the streaming layer and the determinism gates
+    /// compare models without shipping matrices around.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(&(self.centroids.num_rows() as u64).to_le_bytes());
+        mix(&(self.centroids.num_cols() as u64).to_le_bytes());
+        for &v in self.centroids.as_flat() {
+            mix(&v.to_bits().to_le_bytes());
+        }
+        for &a in &self.assignments {
+            mix(&(a as u64).to_le_bytes());
+        }
+        mix(&self.sse.to_bits().to_le_bytes());
+        mix(&(self.iterations as u64).to_le_bytes());
+        mix(&[u8::from(self.converged)]);
+        h
+    }
+}
+
+/// Zero-pads `prev` (k × d_prev) into `dim` columns (`d_prev <= dim`):
+/// carried centroid coordinates keep their columns and newly added
+/// feature columns start at zero.
+///
+/// This is the warm-start seam shared by the partial-mining ladders
+/// (whose horizontal feature sets are frequency-order prefixes of one
+/// another) and the streaming miner (whose vocabulary grows as new exam
+/// types appear): both re-seed [`KMeans::fit_from`] with a previous
+/// model whose feature space has since widened.
+///
+/// # Panics
+/// Panics in debug builds when `dim` is smaller than `prev`'s width.
+pub fn pad_centroids(prev: &DenseMatrix, dim: usize) -> DenseMatrix {
+    debug_assert!(prev.num_cols() <= dim, "warm starts only widen");
+    if prev.num_cols() == dim {
+        return prev.clone();
+    }
+    let mut out = DenseMatrix::zeros(prev.num_rows(), dim);
+    for c in 0..prev.num_rows() {
+        out.row_mut(c)[..prev.num_cols()].copy_from_slice(prev.row(c));
+    }
+    out
 }
 
 /// Shared post-assignment centroid update: recomputes each centroid as

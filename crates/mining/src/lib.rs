@@ -34,6 +34,6 @@ pub mod sequences;
 pub mod tree;
 pub mod validate;
 
-pub use kmeans::{KMeans, KMeansBackend, KMeansInit, KMeansResult};
+pub use kmeans::{pad_centroids, KMeans, KMeansBackend, KMeansInit, KMeansResult};
 pub use patterns::{FrequentItemset, Itemset, Transaction};
 pub use tree::DecisionTree;

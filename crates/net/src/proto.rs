@@ -17,10 +17,12 @@ use std::time::Duration;
 
 use ada_core::AdaHealthConfig;
 use ada_dataset::synthetic::{generate, SyntheticConfig};
+use ada_dataset::{Date, ExamRecord, ExamTypeId, PatientId};
 use ada_kdb::{Document, Value};
 use ada_obs::TraceContext;
 use ada_service::{JobSpec, Priority, Workload};
 use ada_signals::SignalConfig;
+use ada_stream::StreamMiningSpec;
 
 /// Request id reserved for unsolicited connection-level notifications.
 pub const CONNECTION_ID: u64 = 0;
@@ -60,6 +62,11 @@ pub enum Preset {
     /// the clustering/pattern pipeline; the wire seed drives the
     /// simulated-physician feedback loop.
     Signals,
+    /// Streaming ingestion + incremental mining (`ada_stream`) over the
+    /// cohort: the session replays the records in timestamp order with
+    /// seeded bounded disorder and reports the live model (the
+    /// [`StreamMiningSpec::quick`] knobs, seeded by the wire seed).
+    Stream,
 }
 
 impl Preset {
@@ -68,6 +75,7 @@ impl Preset {
             Preset::Quick => "quick",
             Preset::Paper => "paper",
             Preset::Signals => "signals",
+            Preset::Stream => "stream",
         }
     }
 
@@ -76,6 +84,7 @@ impl Preset {
             "quick" => Ok(Preset::Quick),
             "paper" => Ok(Preset::Paper),
             "signals" => Ok(Preset::Signals),
+            "stream" => Ok(Preset::Stream),
             other => Err(err(format!("unknown preset {other:?}"))),
         }
     }
@@ -171,7 +180,9 @@ impl WireJobSpec {
     /// same session on both sides of the wire.
     pub fn materialize(&self) -> JobSpec {
         let mut config = match self.preset {
-            Preset::Quick | Preset::Signals => AdaHealthConfig::quick(self.session.clone()),
+            Preset::Quick | Preset::Signals | Preset::Stream => {
+                AdaHealthConfig::quick(self.session.clone())
+            }
             Preset::Paper => AdaHealthConfig::paper(self.session.clone()),
         };
         config.seed = self.seed;
@@ -191,6 +202,11 @@ impl WireJobSpec {
                 seed: self.seed,
                 ..SignalConfig::default()
             }));
+        }
+        if self.preset == Preset::Stream {
+            spec = spec.workload(Workload::StreamMining(
+                StreamMiningSpec::quick().seed(self.seed),
+            ));
         }
         if let Some(t) = self.timeout {
             spec = spec.timeout(t);
@@ -300,6 +316,34 @@ pub enum Request {
     Health,
     /// The combined service + net metrics snapshot.
     MetricsSnapshot,
+    /// Open (or resume) a named ingestion stream on the server.
+    StreamOpen {
+        /// Stream name (tags the `stream_windows` checkpoints).
+        stream: String,
+        /// The stream's mining knobs (windowing, lateness, K-means).
+        spec: StreamMiningSpec,
+    },
+    /// Push a batch of exam records into an open stream. Records ride
+    /// the wire as flat `(patient, exam, day)` integer triples — the
+    /// same canonical key order the engine folds in.
+    Ingest {
+        /// Target stream.
+        stream: String,
+        /// The batch, in delivery order.
+        records: Vec<ExamRecord>,
+    },
+    /// The stream's live status document (read-your-writes: reflects
+    /// every batch accepted before this request).
+    StreamQuery {
+        /// Target stream.
+        stream: String,
+    },
+    /// Seal a stream: close every buffered window regardless of the
+    /// watermark (end of feed) and return the final status.
+    StreamSeal {
+        /// Target stream.
+        stream: String,
+    },
 }
 
 impl Request {
@@ -314,6 +358,10 @@ impl Request {
             Request::TraceQuery { .. } => "trace_query",
             Request::Health => "health",
             Request::MetricsSnapshot => "metrics",
+            Request::StreamOpen { .. } => "stream_open",
+            Request::Ingest { .. } => "ingest",
+            Request::StreamQuery { .. } => "stream_query",
+            Request::StreamSeal { .. } => "stream_seal",
         }
     }
 
@@ -334,6 +382,23 @@ impl Request {
                     .as_ref()
                     .map_or(Value::Null, |s| Value::Str(s.clone())),
             ),
+            Request::StreamOpen { stream, spec } => {
+                doc.set("stream", stream.as_str());
+                doc.set("spec", Value::Doc(stream_spec_to_doc(spec)));
+            }
+            Request::Ingest { stream, records } => {
+                doc.set("stream", stream.as_str());
+                let mut flat = Vec::with_capacity(records.len() * 3);
+                for r in records {
+                    flat.push(Value::I64(i64::from(r.patient.0)));
+                    flat.push(Value::I64(i64::from(r.exam.0)));
+                    flat.push(Value::I64(r.date.days_since_epoch()));
+                }
+                doc.set("records", Value::Array(flat));
+            }
+            Request::StreamQuery { stream } | Request::StreamSeal { stream } => {
+                doc.set("stream", stream.as_str());
+            }
             Request::PastSessions | Request::Health | Request::MetricsSnapshot => {}
         }
         Value::Doc(doc).encode().into_bytes()
@@ -374,6 +439,49 @@ impl Request {
             },
             "health" => Request::Health,
             "metrics" => Request::MetricsSnapshot,
+            "stream_open" => {
+                let spec = doc
+                    .get("spec")
+                    .and_then(Value::as_doc)
+                    .ok_or_else(|| err("stream_open missing spec"))?;
+                Request::StreamOpen {
+                    stream: take_str(&doc, "stream")?,
+                    spec: stream_spec_from_doc(spec)?,
+                }
+            }
+            "ingest" => {
+                let flat = doc
+                    .get("records")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("ingest missing records"))?;
+                if flat.len() % 3 != 0 {
+                    return Err(err("ingest records not (patient, exam, day) triples"));
+                }
+                let mut records = Vec::with_capacity(flat.len() / 3);
+                for triple in flat.chunks_exact(3) {
+                    let nums: Vec<i64> = triple.iter().filter_map(Value::as_i64).collect();
+                    if nums.len() != 3 {
+                        return Err(err("ingest record fields must be integers"));
+                    }
+                    let patient = u32::try_from(nums[0])
+                        .map_err(|_| err(format!("ingest patient id {} out of range", nums[0])))?;
+                    let exam = u32::try_from(nums[1])
+                        .map_err(|_| err(format!("ingest exam id {} out of range", nums[1])))?;
+                    let date = Date::from_days_since_epoch(nums[2])
+                        .map_err(|e| err(format!("ingest day {}: {e}", nums[2])))?;
+                    records.push(ExamRecord::new(PatientId(patient), ExamTypeId(exam), date));
+                }
+                Request::Ingest {
+                    stream: take_str(&doc, "stream")?,
+                    records,
+                }
+            }
+            "stream_query" => Request::StreamQuery {
+                stream: take_str(&doc, "stream")?,
+            },
+            "stream_seal" => Request::StreamSeal {
+                stream: take_str(&doc, "stream")?,
+            },
             other => return Err(err(format!("unknown request kind {other:?}"))),
         };
         Ok((id, request))
@@ -457,10 +565,33 @@ pub enum Response {
     /// request, pool full, …).
     Error {
         /// Machine-readable code (`unknown_session`, `shutting_down`,
-        /// `bad_request`, `pool_full`).
+        /// `bad_request`, `pool_full`, `unknown_stream`,
+        /// `stream_fault`).
         code: String,
         /// Human-readable message.
         message: String,
+    },
+    /// A stream was opened (or resumed) on the server.
+    StreamOpened {
+        /// The opened stream's name.
+        stream: String,
+        /// Durable windows replayed during resume (0 for a fresh
+        /// stream or an idempotent re-open).
+        resumed_windows: u64,
+    },
+    /// A record batch was accepted into a stream's bounded channel.
+    Ingested {
+        /// Records accepted in this batch.
+        accepted: u64,
+        /// Batches enqueued but not yet drained (including this one) —
+        /// the producer's live view of backpressure building.
+        pending: u64,
+    },
+    /// A stream's status document (shape documented at
+    /// `StreamEngine::status_document`).
+    StreamState {
+        /// The status document.
+        doc: Document,
     },
 }
 
@@ -479,6 +610,9 @@ impl Response {
             Response::Busy { .. } => "busy",
             Response::Degraded { .. } => "degraded",
             Response::Error { .. } => "error",
+            Response::StreamOpened { .. } => "stream_opened",
+            Response::Ingested { .. } => "ingested",
+            Response::StreamState { .. } => "stream_state",
         }
     }
 
@@ -533,6 +667,18 @@ impl Response {
                 doc.set("code", code.as_str());
                 doc.set("message", message.as_str());
             }
+            Response::StreamOpened {
+                stream,
+                resumed_windows,
+            } => {
+                doc.set("stream", stream.as_str());
+                doc.set("resumed_windows", to_i64(*resumed_windows as usize));
+            }
+            Response::Ingested { accepted, pending } => {
+                doc.set("accepted", to_i64(*accepted as usize));
+                doc.set("pending", to_i64(*pending as usize));
+            }
+            Response::StreamState { doc: state } => doc.set("doc", Value::Doc(state.clone())),
         }
         Value::Doc(doc).encode().into_bytes()
     }
@@ -611,10 +757,59 @@ impl Response {
                 code: take_str(&doc, "code")?,
                 message: take_str(&doc, "message")?,
             },
+            "stream_opened" => Response::StreamOpened {
+                stream: take_str(&doc, "stream")?,
+                resumed_windows: take_i64(&doc, "resumed_windows")?.max(0) as u64,
+            },
+            "ingested" => Response::Ingested {
+                accepted: take_i64(&doc, "accepted")?.max(0) as u64,
+                pending: take_i64(&doc, "pending")?.max(0) as u64,
+            },
+            "stream_state" => Response::StreamState {
+                doc: take_doc(&doc, "doc")?,
+            },
             other => return Err(err(format!("unknown response kind {other:?}"))),
         };
         Ok((id, response))
     }
+}
+
+/// Wire image of a [`StreamMiningSpec`]: every knob, flat integers and
+/// one float, so client and server materialize identical engines.
+fn stream_spec_to_doc(spec: &StreamMiningSpec) -> Document {
+    Document::new()
+        .with("window_days", spec.window_days)
+        .with("lateness_days", spec.lateness_days)
+        .with("k", to_i64(spec.k))
+        .with("seed", spec.seed as i64)
+        .with("update_iters", to_i64(spec.update_iters))
+        .with("refit_iters", to_i64(spec.refit_iters))
+        .with("drift_threshold", spec.drift_threshold)
+        .with("min_rows", to_i64(spec.min_rows))
+        .with("disorder", to_i64(spec.disorder))
+        .with("chunk", to_i64(spec.chunk))
+}
+
+fn stream_spec_from_doc(doc: &Document) -> Result<StreamMiningSpec, ProtoError> {
+    let drift = doc
+        .get("drift_threshold")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| err("stream spec missing drift_threshold"))?;
+    if !(drift.is_finite() && drift >= 0.0) {
+        return Err(err(format!("bad drift_threshold {drift}")));
+    }
+    Ok(StreamMiningSpec {
+        window_days: take_i64(doc, "window_days")?.max(1),
+        lateness_days: take_i64(doc, "lateness_days")?.max(0),
+        k: take_usize(doc, "k")?,
+        seed: take_i64(doc, "seed")? as u64,
+        update_iters: take_usize(doc, "update_iters")?,
+        refit_iters: take_usize(doc, "refit_iters")?,
+        drift_threshold: drift,
+        min_rows: take_usize(doc, "min_rows")?,
+        disorder: take_usize(doc, "disorder")?,
+        chunk: take_usize(doc, "chunk")?,
+    })
 }
 
 /// Labels for [`Priority`] on the wire.
@@ -799,7 +994,19 @@ mod tests {
         assert_eq!(back, req);
         match spec.materialize().workload {
             Workload::SafetySignals(cfg) => assert_eq!(cfg.seed, 99),
-            Workload::Pipeline => panic!("signals preset must select the signals workload"),
+            other => panic!("signals preset must select the signals workload, got {other:?}"),
+        }
+        // The stream preset selects the streaming workload, seed
+        // threaded through.
+        let mut stream_spec = WireJobSpec::quick("stream-9", CohortSpec::small(7));
+        stream_spec.preset = Preset::Stream;
+        stream_spec.seed = 42;
+        let req = Request::Submit(stream_spec.clone());
+        let (_, back) = Request::decode(&req.encode(2)).unwrap();
+        assert_eq!(back, req);
+        match stream_spec.materialize().workload {
+            Workload::StreamMining(s) => assert_eq!(s.seed, 42),
+            other => panic!("stream preset must select the stream workload, got {other:?}"),
         }
         assert!(matches!(
             WireJobSpec::quick("p", CohortSpec::small(1))

@@ -508,6 +508,9 @@ fn serve_request(
                     SessionState::Completed(SessionOutcome::Signals(report)) => {
                         signals_summary(report)
                     }
+                    SessionState::Completed(SessionOutcome::Stream(report)) => {
+                        stream_summary(report)
+                    }
                     _ => Document::new(),
                 },
             },
@@ -540,6 +543,30 @@ fn serve_request(
             prometheus.push_str(&shared.metrics.snapshot().to_prometheus());
             Response::Metrics { doc, prometheus }
         }
+        Request::StreamOpen { stream, spec } => {
+            match service.stream_open(spec.to_config(stream.clone())) {
+                Ok(resumed_windows) => Response::StreamOpened {
+                    stream,
+                    resumed_windows,
+                },
+                Err(err) => service_error_response(&err),
+            }
+        }
+        Request::Ingest { stream, records } => match service.stream_ingest(&stream, records) {
+            Ok(ack) => Response::Ingested {
+                accepted: ack.accepted as u64,
+                pending: ack.pending as u64,
+            },
+            Err(err) => service_error_response(&err),
+        },
+        Request::StreamQuery { stream } => match service.stream_query(&stream) {
+            Ok(doc) => Response::StreamState { doc },
+            Err(err) => service_error_response(&err),
+        },
+        Request::StreamSeal { stream } => match service.stream_seal(&stream) {
+            Ok(doc) => Response::StreamState { doc },
+            Err(err) => service_error_response(&err),
+        },
     }
 }
 
@@ -562,6 +589,14 @@ fn service_error_response(err: &ServiceError) -> Response {
         },
         ServiceError::ShuttingDown => Response::Error {
             code: "shutting_down".to_owned(),
+            message: err.to_string(),
+        },
+        ServiceError::UnknownStream(name) => Response::Error {
+            code: "unknown_stream".to_owned(),
+            message: name.clone(),
+        },
+        ServiceError::StreamFault(_) => Response::Error {
+            code: "stream_fault".to_owned(),
             message: err.to_string(),
         },
     }
@@ -593,6 +628,25 @@ fn signals_summary(report: &ada_signals::SignalSessionReport) -> Document {
             "feedback_recorded",
             i64::try_from(report.feedback_recorded).unwrap_or(i64::MAX),
         )
+}
+
+/// Compact result summary for a completed stream-mining session: the
+/// deterministic fingerprints plus the window/model counters.
+fn stream_summary(report: &ada_stream::StreamReport) -> Document {
+    let count = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    Document::new()
+        .with("stream", report.stream.as_str())
+        .with("ingested", count(report.ingested))
+        .with("folded", count(report.folded))
+        .with("windows_closed", count(report.windows_closed))
+        .with("refits", count(report.refits))
+        .with("rows", i64::try_from(report.rows).unwrap_or(i64::MAX))
+        .with("vocab", i64::try_from(report.vocab).unwrap_or(i64::MAX))
+        .with("drift", report.drift)
+        .with("sse", report.sse)
+        .with("has_model", report.has_model)
+        .with("vsm_fp", report.vsm_fp.as_str())
+        .with("model_fp", report.model_fp.as_str())
 }
 
 /// Compact result summary for a completed session: enough for a remote

@@ -822,6 +822,12 @@ fn prometheus_exposition_keeps_stable_names_and_adds_net_series() {
                 "# TYPE ada_obs_dropped_spans_total counter",
                 "# TYPE ada_obs_traces_persisted_total counter",
                 "# TYPE ada_obs_traces_forced_total counter",
+                "# TYPE ada_stream_ingested_total counter",
+                "# TYPE ada_stream_reordered_total counter",
+                "# TYPE ada_stream_dropped_total counter",
+                "# TYPE ada_stream_windows_closed_total counter",
+                "# TYPE ada_stream_refits_total counter",
+                "# TYPE ada_stream_drift_score gauge",
                 "# TYPE ada_net_accepts_total counter",
                 "# TYPE ada_net_rejects_total counter",
                 "# TYPE ada_net_protocol_errors_total counter",
@@ -876,7 +882,7 @@ fn prometheus_exposition_keeps_stable_names_and_adds_net_series() {
     let combined_types: Vec<&str> = combined
         .lines()
         .filter(|l| l.starts_with("# TYPE "))
-        .skip(28)
+        .skip(34)
         .collect();
     assert_eq!(
         combined_types,

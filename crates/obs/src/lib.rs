@@ -43,6 +43,7 @@ pub mod export;
 pub mod hist;
 pub mod recorder;
 pub mod repl;
+pub mod stream;
 pub mod trace;
 
 pub use context::{current_trace, TraceContext, TraceScope};
@@ -54,4 +55,5 @@ pub use recorder::{
     MARK_SLOW_SESSION,
 };
 pub use repl::{FleetMetrics, FleetMetricsSnapshot, ReplMetrics, ReplMetricsSnapshot};
+pub use stream::{StreamMetrics, StreamMetricsSnapshot};
 pub use trace::{EventKind, TraceEvent, Tracer, PARENT_NONE};

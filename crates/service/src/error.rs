@@ -32,6 +32,13 @@ pub enum ServiceError {
     /// primary. Unlike [`ServiceError::Degraded`] this is not sticky —
     /// promotion ([`crate::AnalysisService::promote`]) clears it.
     Follower,
+    /// No open ingestion stream with that name (open one with
+    /// [`crate::AnalysisService::stream_open`]).
+    UnknownStream(String),
+    /// The ingestion stream's worker faulted — a checkpoint write
+    /// failed or the durable history did not replay cleanly — and the
+    /// stream is poisoned until reopened.
+    StreamFault(String),
 }
 
 impl ServiceError {
@@ -72,6 +79,10 @@ impl fmt::Display for ServiceError {
                     "service is a replication follower (read-only); submit to the primary"
                 )
             }
+            ServiceError::UnknownStream(name) => {
+                write!(f, "no open ingestion stream named {name:?}")
+            }
+            ServiceError::StreamFault(msg) => write!(f, "ingestion stream faulted: {msg}"),
         }
     }
 }
@@ -102,6 +113,12 @@ mod tests {
         assert_eq!(ServiceError::Degraded.retry_after_hint(), None);
         assert!(ServiceError::Follower.to_string().contains("primary"));
         assert_eq!(ServiceError::Follower.retry_after_hint(), None);
+        assert!(ServiceError::UnknownStream("feed".into())
+            .to_string()
+            .contains("feed"));
+        assert!(ServiceError::StreamFault("oops".into())
+            .to_string()
+            .contains("oops"));
         let _: &dyn std::error::Error = &busy;
     }
 }

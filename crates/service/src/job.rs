@@ -8,6 +8,7 @@ use ada_core::AdaHealthConfig;
 use ada_dataset::ExamLog;
 use ada_obs::TraceContext;
 use ada_signals::SignalConfig;
+use ada_stream::StreamMiningSpec;
 
 use crate::cancel::CancelToken;
 
@@ -44,6 +45,12 @@ pub enum Workload {
     /// Ranked safety-signal mining (ROR + Bayesian shrinkage) over the
     /// same cohort, persisting into the `signal_knowledge` collection.
     SafetySignals(SignalConfig),
+    /// Streaming ingestion with incremental re-mining: the session
+    /// replays its cohort in timestamp order (seeded bounded disorder,
+    /// exercising the reorder buffer) through an `ada_stream`
+    /// engine, checkpointing every closed window into the
+    /// `stream_windows` collection, and reports the live model.
+    StreamMining(StreamMiningSpec),
 }
 
 /// One analysis session to run: a pipeline configuration plus its input

@@ -6,6 +6,7 @@ use std::sync::{Condvar, Mutex};
 
 use ada_core::SessionReport;
 use ada_signals::SignalSessionReport;
+use ada_stream::StreamReport;
 
 use crate::cancel::CancelToken;
 use crate::error::ServiceError;
@@ -29,6 +30,8 @@ pub enum SessionOutcome {
     Pipeline(Box<SessionReport>),
     /// A safety-signal mining run.
     Signals(Box<SignalSessionReport>),
+    /// A streaming ingestion + incremental mining run.
+    Stream(Box<StreamReport>),
 }
 
 impl SessionOutcome {
@@ -36,7 +39,7 @@ impl SessionOutcome {
     pub fn pipeline(&self) -> Option<&SessionReport> {
         match self {
             SessionOutcome::Pipeline(report) => Some(report),
-            SessionOutcome::Signals(_) => None,
+            _ => None,
         }
     }
 
@@ -44,7 +47,15 @@ impl SessionOutcome {
     pub fn signals(&self) -> Option<&SignalSessionReport> {
         match self {
             SessionOutcome::Signals(report) => Some(report),
-            SessionOutcome::Pipeline(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The stream-mining report, if this was a streaming session.
+    pub fn stream(&self) -> Option<&StreamReport> {
+        match self {
+            SessionOutcome::Stream(report) => Some(report),
+            _ => None,
         }
     }
 }

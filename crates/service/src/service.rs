@@ -1,20 +1,28 @@
 //! The analysis service: a fixed worker pool draining the prioritized
 //! job queue against one shared K-DB.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ada_core::{AdaHealth, PipelineError, PipelineObserver, RunControl, TraceHandle};
+use ada_core::{
+    AdaHealth, PipelineError, PipelineObserver, PipelineStage, RunControl, TraceHandle,
+};
+use ada_dataset::{ExamLog, ExamRecord, StreamOrder};
 use ada_kdb::{
     schema, CommitObserver, CommitRole, Document, DurabilityPolicy, Kdb, SharedKdb, Value,
 };
 use ada_obs::{
-    current_trace, document_to_json, past_sessions, past_traces, FlightRecorder, TraceContext,
-    TraceScope, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL, MARK_PROMOTED, MARK_QUEUE_WAIT,
-    MARK_RETRY, MARK_SLOW_SESSION,
+    current_trace, document_to_json, past_sessions, past_traces, FlightRecorder, StreamMetrics,
+    TraceContext, TraceScope, MARK_CANCELLED, MARK_DEGRADED, MARK_PERSIST_FAIL, MARK_PROMOTED,
+    MARK_QUEUE_WAIT, MARK_RETRY, MARK_SLOW_SESSION,
+};
+use ada_stream::{
+    IngestAck, IngestRejected, StreamConfig, StreamEngine, StreamHandle, StreamMiningSpec,
+    StreamReport,
 };
 
 use crate::cancel::CancelToken;
@@ -163,6 +171,12 @@ struct ServiceInner {
     sample_rate: f64,
     /// Seed for deterministic sampling and trace-id derivation.
     trace_seed: u64,
+    /// Open ingestion streams by name (`stream_open` registers,
+    /// `stop` closes).
+    streams: Mutex<HashMap<String, Arc<StreamHandle>>>,
+    /// Shared counters behind the `ada_stream_*` Prometheus families;
+    /// every stream (registry or session workload) reports here.
+    stream_metrics: Arc<StreamMetrics>,
 }
 
 impl ServiceInner {
@@ -231,6 +245,8 @@ impl AnalysisService {
             sync_on_shutdown: config.sync_on_shutdown,
             sample_rate: config.sample_rate,
             trace_seed: config.trace_seed,
+            streams: Mutex::new(HashMap::new()),
+            stream_metrics: Arc::new(StreamMetrics::new()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -474,9 +490,118 @@ impl AnalysisService {
         document_to_json(&self.snapshot())
     }
 
-    /// The metrics snapshot rendered as Prometheus text exposition.
+    /// The metrics snapshot rendered as Prometheus text exposition,
+    /// including the pinned `ada_stream_*` families.
     pub fn snapshot_prometheus(&self) -> String {
-        self.metrics().to_prometheus()
+        let mut out = self.metrics().to_prometheus();
+        out.push_str(&self.inner.stream_metrics.snapshot().to_prometheus());
+        out
+    }
+
+    /// Opens (or resumes) a named ingestion stream: if the shared K-DB
+    /// holds `stream_windows` checkpoints under this name they are
+    /// replayed and verified, and the stream resumes from its durable
+    /// watermark. Returns the number of resumed windows. Opening a
+    /// name that is already open is an idempotent no-op (returns 0);
+    /// a degraded or follower node refuses — ingestion is mutating
+    /// work that belongs on a healthy primary.
+    pub fn stream_open(&self, config: StreamConfig) -> Result<u64, ServiceError> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if self.inner.degraded.load(Ordering::Acquire) {
+            return Err(ServiceError::Degraded);
+        }
+        if self.inner.follower.load(Ordering::Acquire) {
+            return Err(ServiceError::Follower);
+        }
+        let mut streams = self.inner.streams.lock().unwrap();
+        if streams.contains_key(&config.name) {
+            return Ok(0);
+        }
+        let name = config.name.clone();
+        let (engine, resumed) = StreamEngine::open(
+            config,
+            Some(self.inner.kdb.clone()),
+            Arc::clone(&self.inner.stream_metrics),
+            Some(Arc::clone(&self.inner.recorder)),
+        )
+        .map_err(|e| ServiceError::StreamFault(e.to_string()))?;
+        streams.insert(name, StreamHandle::spawn(engine));
+        Ok(resumed)
+    }
+
+    /// Enqueues a record batch on an open stream without blocking. A
+    /// full channel refuses with the service's standard
+    /// [`ServiceError::Busy`] backpressure signal.
+    pub fn stream_ingest(
+        &self,
+        stream: &str,
+        records: Vec<ExamRecord>,
+    ) -> Result<IngestAck, ServiceError> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if self.inner.degraded.load(Ordering::Acquire) {
+            return Err(ServiceError::Degraded);
+        }
+        if self.inner.follower.load(Ordering::Acquire) {
+            return Err(ServiceError::Follower);
+        }
+        let handle = self.stream_handle(stream)?;
+        handle.try_ingest(records).map_err(|rej| match rej {
+            IngestRejected::Full => ServiceError::Busy {
+                capacity: handle.capacity(),
+                retry_after_hint: self.retry_after_hint(),
+            },
+            IngestRejected::Closed => ServiceError::ShuttingDown,
+            IngestRejected::Fault(msg) => ServiceError::StreamFault(msg),
+        })
+    }
+
+    /// The stream's status document — read-your-writes: every batch
+    /// accepted before this call is reflected. Allowed on any node
+    /// state (it is a read).
+    pub fn stream_query(&self, stream: &str) -> Result<Document, ServiceError> {
+        let handle = self.stream_handle(stream)?;
+        handle
+            .status()
+            .map_err(|e| ServiceError::StreamFault(e.to_string()))
+    }
+
+    /// Seals an open stream — closes every buffered window regardless
+    /// of the watermark (end of feed) — and returns its final status.
+    pub fn stream_seal(&self, stream: &str) -> Result<Document, ServiceError> {
+        if self.inner.degraded.load(Ordering::Acquire) {
+            return Err(ServiceError::Degraded);
+        }
+        if self.inner.follower.load(Ordering::Acquire) {
+            return Err(ServiceError::Follower);
+        }
+        let handle = self.stream_handle(stream)?;
+        handle
+            .seal()
+            .map_err(|e| ServiceError::StreamFault(e.to_string()))?;
+        handle
+            .status()
+            .map_err(|e| ServiceError::StreamFault(e.to_string()))
+    }
+
+    /// Names of the currently open streams, sorted.
+    pub fn stream_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.streams.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn stream_handle(&self, stream: &str) -> Result<Arc<StreamHandle>, ServiceError> {
+        self.inner
+            .streams
+            .lock()
+            .unwrap()
+            .get(stream)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownStream(stream.to_string()))
     }
 
     /// Stops accepting jobs, drains the queue, joins the workers, and
@@ -495,6 +620,21 @@ impl AnalysisService {
         self.inner.queue.send_shutdown(self.workers.len());
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // Drain and stop every open stream before the final fsync so
+        // accepted batches reach their durable checkpoints. Buffered
+        // (pre-watermark) records are intentionally left unclosed: a
+        // replaying source re-delivers them after resume.
+        let streams: Vec<Arc<StreamHandle>> = self
+            .inner
+            .streams
+            .lock()
+            .unwrap()
+            .drain()
+            .map(|(_, h)| h)
+            .collect();
+        for stream in streams {
+            stream.close();
         }
         if self.inner.sync_on_shutdown {
             // Batch/SnapshotOnly acks may still be fsync-uncovered; one
@@ -726,6 +866,10 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
                     &control,
                 )
                 .map(|report| SessionOutcome::Signals(Box::new(report))),
+                Workload::StreamMining(stream_spec) => {
+                    run_stream_session(inner, &session, stream_spec, &spec.log, &control)
+                        .map(|report| SessionOutcome::Stream(Box::new(report)))
+                }
             }
         }));
 
@@ -795,6 +939,45 @@ fn run_job(inner: &ServiceInner, id: SessionId, spec: JobSpec, queued_at: Instan
             }
         }
     }
+}
+
+/// The `StreamMining` workload: replay the session's cohort in
+/// timestamp order (seeded bounded disorder re-creates a live feed's
+/// jitter while staying inside the lateness bound) through a
+/// checkpointing [`StreamEngine`], then seal and report the live
+/// model. Because every closed window is durable in `stream_windows`,
+/// a retried attempt resumes from the durable watermark and re-folds
+/// nothing — the retry path and the crash-replay path are the same
+/// code.
+fn run_stream_session(
+    inner: &ServiceInner,
+    session: &str,
+    spec: &StreamMiningSpec,
+    log: &ExamLog,
+    control: &RunControl,
+) -> Result<StreamReport, PipelineError> {
+    let stage = PipelineStage::StreamMining;
+    control.stage(session, stage, || {
+        let (mut engine, _resumed) = StreamEngine::open(
+            spec.to_config(session),
+            Some(inner.kdb.clone()),
+            Arc::clone(&inner.stream_metrics),
+            Some(Arc::clone(&inner.recorder)),
+        )
+        .unwrap_or_else(|e| panic!("stream session could not open its checkpoint store: {e}"));
+        let records: Vec<ExamRecord> = StreamOrder::new(log, spec.seed, spec.disorder).collect();
+        for chunk in records.chunks(spec.chunk.max(1)) {
+            control.checkpoint(stage)?;
+            engine
+                .ingest(chunk)
+                .unwrap_or_else(|e| panic!("stream checkpoint write failed: {e}"));
+        }
+        control.checkpoint(stage)?;
+        engine
+            .seal()
+            .unwrap_or_else(|e| panic!("stream seal failed: {e}"));
+        Ok(StreamReport::from_engine(&engine))
+    })
 }
 
 #[cfg(test)]

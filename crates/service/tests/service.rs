@@ -372,3 +372,111 @@ fn shutdown_drains_already_accepted_jobs() {
     assert_eq!(metrics.completed, 4);
     assert_eq!(metrics.failed + metrics.cancelled, 0);
 }
+
+#[test]
+fn stream_mining_session_matches_a_direct_engine_run() {
+    use ada_dataset::StreamOrder;
+    use ada_service::Workload;
+    use ada_stream::{StreamEngine, StreamMiningSpec};
+
+    let service = AnalysisService::with_kdb(ServiceConfig::default(), Kdb::in_memory());
+    let log = Arc::new(generate(&cohort_cfg(), 55));
+    let spec = StreamMiningSpec::quick().seed(55);
+
+    let id = service
+        .submit(
+            JobSpec::new(AdaHealthConfig::quick("ward"), Arc::clone(&log))
+                .workload(Workload::StreamMining(spec.clone())),
+        )
+        .unwrap();
+    let report = match service.wait(id).unwrap() {
+        SessionState::Completed(outcome) => outcome.stream().unwrap().clone(),
+        other => panic!("expected a completed stream session, got {other:?}"),
+    };
+
+    // The session is just the engine fed the seeded StreamOrder replay:
+    // a direct run (no service, no checkpoint store) must land on the
+    // identical fingerprints.
+    let mut engine = StreamEngine::new(spec.to_config("direct"));
+    let feed: Vec<_> = StreamOrder::new(&log, spec.seed, spec.disorder).collect();
+    for batch in feed.chunks(spec.chunk.max(1)) {
+        engine.ingest(batch).unwrap();
+    }
+    engine.seal().unwrap();
+
+    assert!(report.windows_closed > 0);
+    assert!(report.has_model);
+    assert_eq!(report.vsm_fp, format!("{:016x}", engine.vsm_fingerprint()));
+    assert_eq!(
+        report.model_fp,
+        format!("{:016x}", engine.model_fingerprint().unwrap())
+    );
+    assert_eq!(report.windows_closed, engine.windows_closed());
+    assert_eq!(report.folded, engine.folded());
+    assert_eq!(report.refits, engine.refits());
+    service.shutdown();
+}
+
+#[test]
+fn open_ingest_query_seal_round_trip_and_restart_resume() {
+    use ada_dataset::StreamOrder;
+    use ada_kdb::Value;
+    use ada_service::ServiceError;
+    use ada_stream::StreamConfig;
+
+    let path = journal_path("stream");
+    let log = generate(&cohort_cfg(), 77);
+    let feed: Vec<_> = StreamOrder::new(&log, 77, 4).collect();
+    let config = StreamConfig::new("icu-feed")
+        .lateness_days(7)
+        .k(3)
+        .min_rows(8)
+        .update_iters(3)
+        .refit_iters(30);
+
+    let service = AnalysisService::with_kdb(ServiceConfig::default(), Kdb::open(&path).unwrap());
+    assert_eq!(service.stream_open(config.clone()).unwrap(), 0);
+    // Re-opening the same name is an idempotent no-op.
+    assert_eq!(service.stream_open(config.clone()).unwrap(), 0);
+    assert_eq!(service.stream_names(), vec!["icu-feed".to_string()]);
+    assert!(matches!(
+        service.stream_query("nope"),
+        Err(ServiceError::UnknownStream(_))
+    ));
+
+    for batch in feed.chunks(64) {
+        service.stream_ingest("icu-feed", batch.to_vec()).unwrap();
+    }
+    // Read-your-writes: every accepted batch is reflected.
+    let status = service.stream_query("icu-feed").unwrap();
+    assert_eq!(
+        status.get("ingested").unwrap().as_i64().unwrap() as usize,
+        feed.len()
+    );
+    let sealed = service.stream_seal("icu-feed").unwrap();
+    let windows = sealed.get("windows_closed").unwrap().as_i64().unwrap();
+    let vsm_fp = sealed.get("vsm_fp").unwrap().as_str().unwrap().to_string();
+    assert!(windows > 0);
+    let exposition = service.snapshot_prometheus();
+    assert!(exposition.contains("ada_stream_windows_closed_total"));
+    service.shutdown();
+
+    // A new service over the same journal resumes the stream from its
+    // durable checkpoints, byte-identically.
+    let service = AnalysisService::with_kdb(ServiceConfig::default(), Kdb::open(&path).unwrap());
+    let resumed = service.stream_open(config).unwrap();
+    assert_eq!(resumed, windows as u64);
+    let status = service.stream_query("icu-feed").unwrap();
+    assert_eq!(
+        status.get("windows_closed").unwrap().as_i64(),
+        Some(windows)
+    );
+    assert_eq!(
+        status.get("vsm_fp").unwrap().as_str().unwrap(),
+        vsm_fp,
+        "resumed state must match the sealed state"
+    );
+    assert!(!matches!(status.get("model"), Some(Value::Null) | None));
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+}

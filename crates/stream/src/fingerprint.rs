@@ -1,0 +1,76 @@
+//! Streaming FNV-1a fingerprints.
+//!
+//! The determinism gates compare VSM and model state across ingestion
+//! orders, chunkings, and crash replays without shipping matrices
+//! around; a 64-bit FNV-1a over the exact bit patterns is the
+//! established workspace idiom for "byte-identical or not".
+
+/// An incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Mixes one `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Mixes one `i64` (little-endian two's complement).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Mixes one `f64`'s exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Formats a digest the way the `stream_windows` schema stores it: 16
+/// lowercase hex digits.
+pub fn format_fp(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_and_sensitivity() {
+        // FNV-1a("a") is a published test vector.
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut x = Fnv64::new();
+        x.write_f64(1.0);
+        let mut y = Fnv64::new();
+        y.write_f64(1.0 + f64::EPSILON);
+        assert_ne!(x.finish(), y.finish(), "one-ulp difference must show");
+        assert_eq!(format_fp(0xaf), "00000000000000af");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the flagship streaming invariant: the engine's
+//! state is a pure function of the record multiset and the
+//! configuration — never of batch boundaries, and never of delivery
+//! order within the lateness bound.
+
+use ada_dataset::{Date, ExamRecord, ExamTypeId, PatientId};
+use ada_stream::{StreamConfig, StreamEngine};
+use proptest::prelude::*;
+
+/// Day number of 2015-01-01, the base of every generated feed.
+fn base_day() -> i64 {
+    Date::new(2015, 1, 1).unwrap().days_since_epoch()
+}
+
+fn record(patient: u32, exam: u32, day_offset: i64) -> ExamRecord {
+    ExamRecord::new(
+        PatientId(patient),
+        ExamTypeId(exam),
+        Date::from_days_since_epoch(base_day() + day_offset).unwrap(),
+    )
+}
+
+/// A feed of up to 120 records spread over ~9 weeks: several windows'
+/// worth under the 7-day config below.
+fn feeds() -> impl Strategy<Value = Vec<ExamRecord>> {
+    prop::collection::vec((0u32..10, 0u32..6, 0i64..63), 1..120)
+        .prop_map(|raw| raw.into_iter().map(|(p, e, d)| record(p, e, d)).collect())
+}
+
+fn config(lateness_days: i64) -> StreamConfig {
+    StreamConfig::new("prop")
+        .window_days(7)
+        .lateness_days(lateness_days)
+        .k(3)
+        .min_rows(3)
+        .update_iters(3)
+        .refit_iters(25)
+}
+
+/// Runs a feed through a fresh engine in the given chunk sizes and
+/// returns the complete deterministic outcome.
+fn run(
+    feed: &[ExamRecord],
+    lateness_days: i64,
+    chunk: usize,
+) -> (u64, Option<u64>, u64, u64, Option<i64>) {
+    let mut engine = StreamEngine::new(config(lateness_days));
+    for batch in feed.chunks(chunk.max(1)) {
+        engine.ingest(batch).unwrap();
+    }
+    engine.seal().unwrap();
+    (
+        engine.vsm_fingerprint(),
+        engine.model_fingerprint(),
+        engine.windows_closed(),
+        engine.folded(),
+        engine.watermark(),
+    )
+}
+
+/// Deterministically permutes a feed from a seed (Fisher–Yates over a
+/// splitmix-style generator — no RNG crate needed in tests).
+fn permute(feed: &[ExamRecord], seed: u64) -> Vec<ExamRecord> {
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut out = feed.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Batch boundaries are invisible: the same delivery sequence cut
+    // into any chunk sizes — including one record at a time — lands on
+    // byte-identical VSM and model state, with tight lateness (so
+    // windows close mid-feed) and with loose lateness alike.
+    #[test]
+    fn chunking_is_invisible(
+        feed in feeds(),
+        chunk_a in 1usize..40,
+        chunk_b in 1usize..40,
+        lateness in prop_oneof![Just(3i64), Just(14i64)],
+    ) {
+        let a = run(&feed, lateness, chunk_a);
+        let b = run(&feed, lateness, chunk_b);
+        let whole = run(&feed, lateness, feed.len());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &whole);
+    }
+
+    // Delivery order is invisible while arrivals stay in bound: with
+    // the lateness window covering the feed's whole day span, *any*
+    // permutation of the records — interleaved into different chunk
+    // sizes — produces the identical model.
+    #[test]
+    fn in_bound_interleaving_is_invisible(
+        feed in feeds(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        chunk in 1usize..40,
+    ) {
+        // Day offsets span < 63 days, so 63 days of lateness keeps
+        // every permutation in bound (nothing is ever late-dropped).
+        let a = run(&permute(&feed, seed_a), 63, chunk);
+        let b = run(&permute(&feed, seed_b), 63, 7);
+        let canonical = run(&feed, 63, feed.len());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &canonical);
+    }
+
+    // A drift-triggered (or forced) full re-fit equals a cold
+    // `KMeans::fit` over the accumulated cohort — streaming never
+    // bakes in a model a batch run could not reproduce.
+    #[test]
+    fn forced_refit_equals_cold_fit(feed in feeds()) {
+        let mut engine = StreamEngine::new(config(3));
+        engine.ingest(&feed).unwrap();
+        engine.seal().unwrap();
+        if engine.force_refit() {
+            let cfg = config(3);
+            let cold = ada_mining::KMeans::new(cfg.k)
+                .seed(cfg.seed)
+                .max_iters(cfg.refit_iters)
+                .fit(engine.matrix());
+            prop_assert_eq!(engine.model_fingerprint(), Some(cold.fingerprint()));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Crash-replay determinism: a stream resumed from its durable
+//! `stream_windows` checkpoints — with the source re-delivering the
+//! feed — lands on byte-identical state to a run that never crashed.
+
+use std::sync::Arc;
+
+use ada_dataset::synthetic::{generate, SyntheticConfig};
+use ada_dataset::{ExamRecord, StreamOrder};
+use ada_kdb::SharedKdb;
+use ada_obs::StreamMetrics;
+use ada_stream::{StreamConfig, StreamEngine, StreamError};
+
+fn config() -> StreamConfig {
+    StreamConfig::new("ward-7")
+        .window_days(7)
+        .lateness_days(7)
+        .k(3)
+        .min_rows(8)
+        .update_iters(3)
+        .refit_iters(30)
+}
+
+/// A mildly disordered feed over a small synthetic cohort.
+fn feed() -> Vec<ExamRecord> {
+    let log = generate(
+        &SyntheticConfig {
+            num_patients: 60,
+            num_exam_types: 20,
+            target_records: 900,
+            ..SyntheticConfig::small()
+        },
+        7,
+    );
+    StreamOrder::new(&log, 7, 5).collect()
+}
+
+fn open(kdb: &SharedKdb) -> (StreamEngine, u64) {
+    StreamEngine::open(
+        config(),
+        Some(kdb.clone()),
+        Arc::new(StreamMetrics::new()),
+        None,
+    )
+    .expect("checkpoints replay cleanly")
+}
+
+fn fingerprints(engine: &StreamEngine) -> (u64, Option<u64>, u64, u64, u64) {
+    (
+        engine.vsm_fingerprint(),
+        engine.model_fingerprint(),
+        engine.windows_closed(),
+        engine.folded(),
+        engine.refits(),
+    )
+}
+
+#[test]
+fn crash_replay_resumes_byte_identically() {
+    let feed = feed();
+
+    // Reference: one uninterrupted run.
+    let reference = SharedKdb::in_memory();
+    let (mut uninterrupted, resumed) = open(&reference);
+    assert_eq!(resumed, 0, "fresh store has nothing to resume");
+    uninterrupted.ingest(&feed).unwrap();
+    uninterrupted.seal().unwrap();
+    let expected = fingerprints(&uninterrupted);
+    assert!(expected.2 > 0, "the cohort spans several windows");
+    assert!(expected.1.is_some(), "enough rows accumulated for a model");
+
+    // Crash run: ingest half the feed in small batches, then drop the
+    // engine — everything buffered past the durable watermark is lost.
+    let store = SharedKdb::in_memory();
+    let (mut victim, _) = open(&store);
+    for batch in feed[..feed.len() / 2].chunks(17) {
+        victim.ingest(batch).unwrap();
+    }
+    let durable_windows = victim.windows_closed();
+    assert!(durable_windows > 0, "some windows closed before the crash");
+    drop(victim);
+
+    // Restart: replay the checkpoints, then let the source re-deliver
+    // the entire feed from the beginning. Everything below the durable
+    // watermark is already folded and gets dropped as late; everything
+    // at or above it folds exactly once.
+    let (mut resumed_engine, resumed) = open(&store);
+    assert_eq!(resumed, durable_windows, "every durable window replayed");
+    assert!(
+        resumed_engine.watermark().is_some(),
+        "resume restores the durable watermark"
+    );
+    resumed_engine.ingest(&feed).unwrap();
+    resumed_engine.seal().unwrap();
+    assert_eq!(
+        fingerprints(&resumed_engine),
+        expected,
+        "crash + replay must be invisible in the final state"
+    );
+
+    // The re-delivered prefix shows up as late drops, not double folds.
+    let status = resumed_engine.status_document();
+    let dropped = status.get("dropped").unwrap().as_i64().unwrap();
+    assert!(dropped > 0, "the already-folded prefix is dropped as late");
+}
+
+#[test]
+fn reopening_a_completed_stream_replays_every_window() {
+    let feed = feed();
+    let store = SharedKdb::in_memory();
+    let (mut engine, _) = open(&store);
+    engine.ingest(&feed).unwrap();
+    engine.seal().unwrap();
+    let expected = fingerprints(&engine);
+    drop(engine);
+
+    let (reopened, resumed) = open(&store);
+    assert_eq!(resumed, expected.2);
+    assert_eq!(fingerprints(&reopened), expected);
+}
+
+#[test]
+fn resuming_with_a_different_config_is_refused_as_corrupt() {
+    let feed = feed();
+    let store = SharedKdb::in_memory();
+    let (mut engine, _) = open(&store);
+    engine.ingest(&feed).unwrap();
+    engine.seal().unwrap();
+    drop(engine);
+
+    // Same name, different k: the replayed model fingerprint cannot
+    // match the stored one, so the resume refuses to fork history.
+    match StreamEngine::open(
+        config().k(5),
+        Some(store.clone()),
+        Arc::new(StreamMetrics::new()),
+        None,
+    ) {
+        Err(StreamError::Corrupt(_)) => {}
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("config mismatch must not resume silently"),
+    }
+}
+
+#[test]
+fn streams_are_isolated_by_name() {
+    let store = SharedKdb::in_memory();
+    let feed = feed();
+    let (mut a, _) = open(&store);
+    a.ingest(&feed).unwrap();
+    a.seal().unwrap();
+    drop(a);
+
+    // A different stream name over the same store starts empty.
+    let (other, resumed) = StreamEngine::open(
+        config().k(3).window_days(7),
+        Some(store.clone()),
+        Arc::new(StreamMetrics::new()),
+        None,
+    )
+    .map(|(mut e, r)| {
+        e.ingest(&[]).unwrap();
+        (e, r)
+    })
+    .unwrap();
+    assert_eq!(resumed, other.windows_closed());
+    let (fresh, fresh_resumed) = StreamEngine::open(
+        StreamConfig::new("other-ward"),
+        Some(store),
+        Arc::new(StreamMetrics::new()),
+        None,
+    )
+    .unwrap();
+    assert_eq!(fresh_resumed, 0);
+    assert_eq!(fresh.windows_closed(), 0);
+}

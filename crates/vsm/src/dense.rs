@@ -124,6 +124,40 @@ impl DenseMatrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Appends one all-zero row, returning its index.
+    ///
+    /// Streaming builders grow the cohort one patient at a time; the
+    /// flat row-major layout makes this a plain `Vec` extension.
+    pub fn push_zero_row(&mut self) -> usize {
+        self.norms_sq.take();
+        self.data.resize(self.data.len() + self.cols, 0.0);
+        self.rows += 1;
+        self.rows - 1
+    }
+
+    /// Widens the matrix to `cols` columns, padding every existing row
+    /// with trailing zeros (a no-op when `cols == num_cols()`).
+    ///
+    /// Streaming builders grow the vocabulary as new exam types appear;
+    /// widening restrides the flat buffer once per growth step.
+    ///
+    /// # Panics
+    /// Panics when `cols` is smaller than the current width.
+    pub fn grow_cols(&mut self, cols: usize) {
+        assert!(cols >= self.cols, "grow_cols cannot shrink the matrix");
+        if cols == self.cols {
+            return;
+        }
+        self.norms_sq.take();
+        let mut data = vec![0.0; self.rows * cols];
+        for r in 0..self.rows {
+            data[r * cols..r * cols + self.cols]
+                .copy_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
+        }
+        self.data = data;
+        self.cols = cols;
+    }
+
     /// Iterates over rows as slices.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.cols.max(1)).take(self.rows)
@@ -274,6 +308,31 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn from_rows_rejects_ragged() {
         let _ = DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn growth_pads_with_zeros_and_invalidates_norms() {
+        let mut m = DenseMatrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_eq!(m.row_norms_sq(), &[25.0]);
+        assert_eq!(m.push_zero_row(), 1);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+        assert_eq!(m.row_norms_sq(), &[25.0, 0.0]);
+        m.grow_cols(4);
+        assert_eq!(m.num_cols(), 4);
+        assert_eq!(m.row(0), &[3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0, 0.0]);
+        m.set(1, 3, 2.0);
+        assert_eq!(m.row_norms_sq(), &[25.0, 4.0]);
+        m.grow_cols(4); // no-op
+        assert_eq!(m.as_flat().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_cols_rejects_shrinking() {
+        let mut m = DenseMatrix::zeros(1, 3);
+        m.grow_cols(2);
     }
 
     #[test]

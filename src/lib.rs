@@ -8,9 +8,12 @@
 //! latency histograms, the session flight recorder), and the
 //! [`service`] layer that runs many concurrent analysis sessions over
 //! one shared K-DB, the [`signals`] safety-signal mining workload
-//! (disproportionality statistics with Bayesian shrinkage), and the
-//! [`net`] front-end that serves that service to remote clients over a
-//! framed, checksummed TCP wire protocol.
+//! (disproportionality statistics with Bayesian shrinkage), the
+//! [`stream`] ingestion subsystem (bounded backpressured feeds,
+//! incremental VSM builds and mini-batch K-means re-mining with
+//! durable window checkpoints), and the [`net`] front-end that serves
+//! that service to remote clients over a framed, checksummed TCP wire
+//! protocol.
 //!
 //! ## End-to-end usage
 //!
@@ -47,6 +50,7 @@
 
 pub use ada_core as engine;
 pub use ada_dataset as dataset;
+pub use ada_fleet as fleet;
 pub use ada_kdb as kdb;
 pub use ada_metrics as metrics;
 pub use ada_mining as mining;
@@ -54,4 +58,5 @@ pub use ada_net as net;
 pub use ada_obs as obs;
 pub use ada_service as service;
 pub use ada_signals as signals;
+pub use ada_stream as stream;
 pub use ada_vsm as vsm;
